@@ -1,0 +1,64 @@
+//! End-to-end profiling cost per method: one full `Session::run_method`
+//! (execute + sample + attribute + score) on a kernel. This is the unit of
+//! work every Table 1/2 cell repeats five times; the bench documents what
+//! regenerating the tables costs and how the methods compare in harness
+//! overhead (LBR's post-processing shows up here, per Table 3's
+//! "Overhead (in collection and post-processing)" drawback).
+
+use countertrust::methods::{MethodKind, MethodOptions};
+use countertrust::Session;
+use criterion::{criterion_group, criterion_main, Criterion};
+use ct_sim::MachineModel;
+use std::hint::black_box;
+
+fn bench_session_per_method(c: &mut Criterion) {
+    let machine = MachineModel::ivy_bridge();
+    let program = ct_workloads::kernels::g4box(20_000);
+    let opts = MethodOptions::fast();
+
+    let mut group = c.benchmark_group("session_run_method");
+    for kind in MethodKind::ALL {
+        let Some(inst) = kind.instantiate(&machine, &opts) else {
+            continue;
+        };
+        group.bench_function(kind.label(), |b| {
+            let mut session = Session::new(&machine, &program);
+            // Collect the reference outside the measured loop, as the
+            // table harness does (one reference per session).
+            session.reference().unwrap();
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let run = session.run_method(&inst, seed).unwrap();
+                black_box(run.accuracy_error)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_reference_collection(c: &mut Criterion) {
+    let machine = MachineModel::ivy_bridge();
+    let program = ct_workloads::kernels::g4box(20_000);
+    c.bench_function("reference_profile_collect", |b| {
+        b.iter(|| {
+            let r = ct_instrument::ReferenceProfile::collect(
+                &machine,
+                black_box(&program),
+                &ct_sim::RunConfig::default(),
+            )
+            .unwrap();
+            black_box(r.total_instructions)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_session_per_method, bench_reference_collection
+}
+criterion_main!(benches);

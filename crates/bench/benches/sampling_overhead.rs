@@ -1,0 +1,99 @@
+//! Collection-overhead benchmark — the paper's [38] aside ("The overhead
+//! of profiling using PMU hardware counters") and the Table 3 note that
+//! the LBR method pays "overhead (in collection and post-processing)".
+//!
+//! Measures the cost each sampling configuration adds to a fixed
+//! execution, plus the post-processing cost of the three attribution
+//! rules.
+
+use countertrust::attrib::attribute;
+use countertrust::methods::{Attribution, MethodKind, MethodOptions};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ct_pmu::Sampler;
+use ct_sim::{Cpu, MachineModel, RunConfig};
+use std::hint::black_box;
+
+fn workload() -> ct_isa::Program {
+    ct_workloads::kernels::g4box(20_000)
+}
+
+fn bench_collection(c: &mut Criterion) {
+    let machine = MachineModel::ivy_bridge();
+    let program = workload();
+    let run_config = RunConfig::default();
+    let opts = MethodOptions::default();
+
+    let mut group = c.benchmark_group("collection");
+    group.bench_function("no_observer", |b| {
+        b.iter(|| {
+            let s = Cpu::new(&machine)
+                .run(black_box(&program), &run_config, &mut [])
+                .unwrap();
+            black_box(s.instructions)
+        });
+    });
+    for kind in [
+        MethodKind::Classic,
+        MethodKind::Precise,
+        MethodKind::PreciseFix,
+        MethodKind::Lbr,
+    ] {
+        let inst = kind.instantiate(&machine, &opts).unwrap();
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                let mut sampler = Sampler::new(&machine, &inst.config).unwrap();
+                Cpu::new(&machine)
+                    .run(black_box(&program), &run_config, &mut [&mut sampler])
+                    .unwrap();
+                black_box(sampler.into_batch().len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_postprocessing(c: &mut Criterion) {
+    let machine = MachineModel::ivy_bridge();
+    let program = workload();
+    let cfg = ct_isa::Cfg::build(&program);
+    let run_config = RunConfig::default();
+    let opts = MethodOptions {
+        inst_period: 400,
+        branch_period: 80,
+        ..MethodOptions::default()
+    };
+
+    let mut group = c.benchmark_group("postprocessing");
+    for (kind, attribution) in [
+        (MethodKind::Precise, Attribution::Plain),
+        (MethodKind::PreciseFix, Attribution::IpFix),
+        (MethodKind::Lbr, Attribution::LbrWalk),
+    ] {
+        let inst = kind.instantiate(&machine, &opts).unwrap();
+        let mut sampler = Sampler::new(&machine, &inst.config).unwrap();
+        let nominal = sampler.nominal_period();
+        Cpu::new(&machine)
+            .run(&program, &run_config, &mut [&mut sampler])
+            .unwrap();
+        let batch = sampler.into_batch();
+        assert!(!batch.is_empty());
+        group.bench_function(format!("{}_{}_samples", kind.label(), batch.len()), |b| {
+            b.iter_batched(
+                || batch.clone(),
+                |batch| black_box(attribute(&batch, &cfg, attribution, nominal)),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_collection, bench_postprocessing
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Substrate throughput: retired instructions per second of the CPU model
+//! across workload types, establishing that the evaluation harness can
+//! afford the paper's full machine × method × workload grid.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ct_sim::{event::NullObserver, Cpu, MachineModel, RunConfig};
+use std::hint::black_box;
+
+fn bench_throughput(c: &mut Criterion) {
+    let machine = MachineModel::ivy_bridge();
+    let run_config = RunConfig::default();
+    let cases: Vec<(&str, ct_isa::Program)> = vec![
+        (
+            "latency_biased",
+            ct_workloads::kernels::latency_biased(50_000),
+        ),
+        ("callchain", ct_workloads::kernels::callchain(5_000, 10)),
+        ("mcf", ct_workloads::apps::mcf(1 << 14, 200)),
+        ("fullcms", ct_workloads::apps::fullcms(500)),
+    ];
+
+    let mut group = c.benchmark_group("simulator_throughput");
+    for (name, program) in cases {
+        let instructions = Cpu::new(&machine)
+            .run(&program, &run_config, &mut [&mut NullObserver])
+            .unwrap()
+            .instructions;
+        group.throughput(Throughput::Elements(instructions));
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let s = Cpu::new(&machine)
+                    .run(black_box(&program), &run_config, &mut [&mut NullObserver])
+                    .unwrap();
+                black_box(s.cycles)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_machines(c: &mut Criterion) {
+    let program = ct_workloads::kernels::test40(20_000);
+    let run_config = RunConfig::default();
+    let mut group = c.benchmark_group("per_machine");
+    for machine in MachineModel::paper_machines() {
+        group.bench_function(machine.name.clone(), |b| {
+            b.iter(|| {
+                let s = Cpu::new(&machine)
+                    .run(black_box(&program), &run_config, &mut [&mut NullObserver])
+                    .unwrap();
+                black_box(s.cycles)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_throughput, bench_machines
+}
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Regenerates **Table 1**: accuracy errors of every sampling method on
+//! the four kernels, per machine (lower is better).
+//!
+//! ```text
+//! cargo run --release -p ct-bench --bin table1 [--scale F] [--repeats N] [--json PATH]
+//! ```
+
+use countertrust::methods::{MethodKind, MethodOptions};
+use countertrust::report::evaluation_table;
+use ct_bench::{maybe_write_json, run_grid, CliOptions};
+use ct_sim::MachineModel;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = CliOptions::parse(&args);
+    let workloads = ct_workloads::kernel_set(cli.scale);
+    let machines = MachineModel::paper_machines();
+    let opts = MethodOptions::default();
+
+    println!(
+        "Table 1: kernel accuracy errors (mean±sd over {} runs, % of net instructions; lower is better)\n",
+        cli.repeats
+    );
+    let evals = run_grid(&workloads, &machines, &opts, cli.repeats, cli.seed);
+    let method_labels: Vec<&str> = MethodKind::ALL.iter().map(|k| k.label()).collect();
+    for w in &workloads {
+        let t = evaluation_table(&w.name, &evals, &method_labels);
+        println!("{}", t.render());
+    }
+    maybe_write_json(&cli, &evals);
+}

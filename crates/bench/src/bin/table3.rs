@@ -1,0 +1,63 @@
+//! Regenerates **Table 3**: the overview of reviewed sampling methods —
+//! per machine, the concrete event, mechanism, period policy and
+//! attribution of every method family.
+//!
+//! ```text
+//! cargo run --release -p ct-bench --bin table3
+//! ```
+
+use countertrust::methods::{MethodKind, MethodOptions};
+use countertrust::report::Table;
+use ct_pmu::Randomization;
+use ct_sim::MachineModel;
+
+fn main() {
+    let opts = MethodOptions::default();
+    println!("Table 3: an overview of reviewed sampling methods\n");
+    for machine in MachineModel::paper_machines() {
+        let mut t = Table::new(
+            format!("machine: {}", machine.name),
+            vec![
+                "method".into(),
+                "event".into(),
+                "mechanism".into(),
+                "period".into(),
+                "randomization".into(),
+                "attribution".into(),
+                "comment".into(),
+            ],
+        );
+        for kind in MethodKind::ALL {
+            match kind.instantiate(&machine, &opts) {
+                Some(inst) => {
+                    let rand = match inst.config.period.randomization {
+                        Randomization::None => "no".to_string(),
+                        Randomization::Software { bits } => format!("software ±2^{bits}"),
+                        Randomization::HardwareLsb { bits } => format!("hardware {bits} LSB"),
+                    };
+                    t.push_row(vec![
+                        kind.label().to_string(),
+                        inst.config.event.vendor_name().to_string(),
+                        format!("{:?}", inst.config.precision),
+                        inst.config.period.nominal.to_string(),
+                        rand,
+                        format!("{:?}", inst.attribution),
+                        kind.description().to_string(),
+                    ]);
+                }
+                None => {
+                    t.push_row(vec![
+                        kind.label().to_string(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        "not available on this machine".into(),
+                    ]);
+                }
+            }
+        }
+        println!("{}", t.render());
+    }
+}

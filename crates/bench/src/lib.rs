@@ -1,0 +1,188 @@
+//! `ct-bench` — the experiment harness behind every table and figure.
+//!
+//! The binaries in `src/bin/` regenerate the paper's artifacts:
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `table1` | Table 1 — kernel accuracy errors per machine × method |
+//! | `table2` | Table 2 — application accuracy errors per machine × method |
+//! | `table3` | Table 3 — the sampling-method taxonomy |
+//! | `function_rank` | §5.2 — FullCMS top-10 function ordering check |
+//! | `ablation_periods` | §6.1 — period policy sweep (round/prime/randomized) |
+//! | `ablation_lbr` | §6.2 — LBR depth sweep and call-stack-mode collision |
+//!
+//! Criterion benches in `benches/` measure collection and post-processing
+//! overhead (the [38] aside) and simulator throughput.
+
+use countertrust::evaluate::{evaluate_method, Evaluation};
+use countertrust::methods::{MethodKind, MethodOptions};
+use countertrust::Session;
+use ct_sim::MachineModel;
+use ct_workloads::Workload;
+
+/// Number of repeated measurements per cell, matching §4.1 ("measured five
+/// times").
+pub const REPEATS: usize = 5;
+
+/// Runs the full machine × method grid for one set of workloads,
+/// producing one [`Evaluation`] per (machine, workload) pair.
+///
+/// Methods a machine cannot run are skipped (the paper's tables have the
+/// same holes).
+#[must_use]
+pub fn run_grid(
+    workloads: &[Workload],
+    machines: &[MachineModel],
+    opts: &MethodOptions,
+    repeats: usize,
+    base_seed: u64,
+) -> Vec<Evaluation> {
+    let mut out = Vec::new();
+    for machine in machines {
+        for w in workloads {
+            let mut session = Session::with_run_config(machine, &w.program, w.run_config.clone());
+            let mut methods = Vec::new();
+            for kind in MethodKind::ALL {
+                let Some(instance) = kind.instantiate(machine, opts) else {
+                    continue;
+                };
+                match evaluate_method(&mut session, &instance, repeats, base_seed) {
+                    Ok(stats) => methods.push(stats),
+                    Err(e) => {
+                        eprintln!("warning: {} / {} / {:?}: {e}", machine.name, w.name, kind);
+                    }
+                }
+            }
+            out.push(Evaluation {
+                machine: machine.name.clone(),
+                workload: w.name.clone(),
+                methods,
+            });
+        }
+    }
+    out
+}
+
+/// Command-line conveniences shared by the binaries: `--scale F`,
+/// `--repeats N`, `--seed N`, `--json PATH`.
+#[derive(Debug, Clone)]
+pub struct CliOptions {
+    pub scale: f64,
+    pub repeats: usize,
+    pub seed: u64,
+    pub json_path: Option<String>,
+}
+
+impl Default for CliOptions {
+    fn default() -> Self {
+        Self {
+            scale: 1.0,
+            repeats: REPEATS,
+            seed: 1_000,
+            json_path: None,
+        }
+    }
+}
+
+impl CliOptions {
+    /// Parses `std::env::args()`-style arguments; unknown flags are
+    /// ignored so binaries can add their own.
+    #[must_use]
+    pub fn parse(args: &[String]) -> Self {
+        let mut opts = Self::default();
+        let mut i = 0;
+        while i < args.len() {
+            let take = |i: &mut usize| -> Option<&String> {
+                *i += 1;
+                args.get(*i)
+            };
+            match args[i].as_str() {
+                "--scale" => {
+                    if let Some(v) = take(&mut i) {
+                        opts.scale = v.parse().unwrap_or(opts.scale);
+                    }
+                }
+                "--repeats" => {
+                    if let Some(v) = take(&mut i) {
+                        opts.repeats = v.parse().unwrap_or(opts.repeats);
+                    }
+                }
+                "--seed" => {
+                    if let Some(v) = take(&mut i) {
+                        opts.seed = v.parse().unwrap_or(opts.seed);
+                    }
+                }
+                "--json" => {
+                    if let Some(v) = take(&mut i) {
+                        opts.json_path = Some(v.clone());
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        opts
+    }
+}
+
+/// Writes evaluations as JSON when `--json` was given.
+pub fn maybe_write_json(opts: &CliOptions, evals: &[Evaluation]) {
+    if let Some(path) = &opts.json_path {
+        let json = countertrust::report::to_json(evals);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("warning: cannot write {path}: {e}");
+        } else {
+            println!("(json written to {path})");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cli_parses_flags() {
+        let args: Vec<String> = [
+            "--scale",
+            "0.5",
+            "--repeats",
+            "3",
+            "--seed",
+            "9",
+            "--json",
+            "/tmp/x.json",
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+        let o = CliOptions::parse(&args);
+        assert_eq!(o.scale, 0.5);
+        assert_eq!(o.repeats, 3);
+        assert_eq!(o.seed, 9);
+        assert_eq!(o.json_path.as_deref(), Some("/tmp/x.json"));
+    }
+
+    #[test]
+    fn cli_ignores_unknown() {
+        let args: Vec<String> = ["--whatever", "--scale", "2.0"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let o = CliOptions::parse(&args);
+        assert_eq!(o.scale, 2.0);
+    }
+
+    #[test]
+    fn grid_produces_cells_for_all_machines() {
+        let workloads = ct_workloads::kernel_set(0.01);
+        let machines = MachineModel::paper_machines();
+        let evals = run_grid(&workloads[..1], &machines, &MethodOptions::fast(), 1, 1);
+        assert_eq!(evals.len(), 3);
+        // AMD runs fewer methods (no LBR/fix) than the Intel parts.
+        let amd = evals.iter().find(|e| e.machine.contains("Magny")).unwrap();
+        let ivb = evals.iter().find(|e| e.machine.contains("Ivy")).unwrap();
+        assert!(amd.methods.len() < ivb.methods.len());
+        assert_eq!(ivb.methods.len(), MethodKind::ALL.len());
+    }
+}

@@ -1,0 +1,160 @@
+//! Annotated disassembly: per-instruction sample counts rendered against
+//! the program text, the `perf annotate` view of a profile.
+//!
+//! §2.1 motivates instruction-level resolution (Watts-per-instruction
+//! monitors, basic-block graphs); this module provides the presentation
+//! layer and, for evaluation, the per-instruction error of a sample set
+//! against exact counts.
+
+use ct_isa::{Addr, Program};
+use ct_pmu::SampleBatch;
+use std::fmt::Write as _;
+
+/// Per-instruction sample histogram.
+#[derive(Debug, Clone)]
+pub struct Annotation {
+    /// Samples whose reported IP was this address.
+    pub samples: Vec<u64>,
+    total: u64,
+}
+
+impl Annotation {
+    /// Histograms `batch` over the addresses of `program`.
+    #[must_use]
+    pub fn from_batch(batch: &SampleBatch, program: &Program) -> Self {
+        let mut samples = vec![0u64; program.len()];
+        let mut total = 0;
+        for s in &batch.samples {
+            if let Some(slot) = samples.get_mut(s.reported_ip as usize) {
+                *slot += 1;
+                total += 1;
+            }
+        }
+        Self { samples, total }
+    }
+
+    /// Sample count at `addr`.
+    #[must_use]
+    pub fn at(&self, addr: Addr) -> u64 {
+        self.samples.get(addr as usize).copied().unwrap_or(0)
+    }
+
+    /// Total attributed samples.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The `n` hottest addresses, descending by sample count.
+    #[must_use]
+    pub fn hottest(&self, n: usize) -> Vec<(Addr, u64)> {
+        let mut v: Vec<(Addr, u64)> = self
+            .samples
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(a, &c)| (a as Addr, c))
+            .collect();
+        v.sort_by_key(|&(a, c)| (std::cmp::Reverse(c), a));
+        v.truncate(n);
+        v
+    }
+
+    /// Renders a `perf annotate`-style listing of one function: percent of
+    /// samples, address, instruction text.
+    #[must_use]
+    pub fn render_function(&self, program: &Program, function: &str) -> Option<String> {
+        let f = program.symbols.by_name(function)?;
+        let mut out = String::new();
+        let _ = writeln!(out, "; annotate {} [{}..{})", f.name, f.entry, f.end);
+        for addr in f.entry..f.end {
+            let c = self.at(addr);
+            let pct = if self.total == 0 {
+                0.0
+            } else {
+                c as f64 / self.total as f64 * 100.0
+            };
+            let marker = if pct >= 5.0 { ">>" } else { "  " };
+            let _ = writeln!(
+                out,
+                "{marker} {pct:6.2}%  {addr:6}  {}",
+                program.fetch(addr)
+            );
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_isa::asm::assemble;
+    use ct_pmu::Sample;
+
+    fn batch(ips: &[Addr]) -> SampleBatch {
+        SampleBatch {
+            samples: ips
+                .iter()
+                .map(|&ip| Sample {
+                    reported_ip: ip,
+                    trigger_ip: ip,
+                    trigger_seq: 0,
+                    reported_seq: 0,
+                    cycle: 0,
+                    lbr: None,
+                })
+                .collect(),
+            ..SampleBatch::default()
+        }
+    }
+
+    fn program() -> Program {
+        assemble(
+            "t",
+            r#"
+            .func main
+                movi r1, 3
+            top:
+                subi r1, r1, 1
+                brnz r1, top
+                halt
+            .endfunc
+        "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn histogram_counts_per_address() {
+        let p = program();
+        let a = Annotation::from_batch(&batch(&[1, 1, 2, 3]), &p);
+        assert_eq!(a.at(1), 2);
+        assert_eq!(a.at(2), 1);
+        assert_eq!(a.at(0), 0);
+        assert_eq!(a.total(), 4);
+    }
+
+    #[test]
+    fn out_of_range_samples_are_ignored() {
+        let p = program();
+        let a = Annotation::from_batch(&batch(&[99]), &p);
+        assert_eq!(a.total(), 0);
+    }
+
+    #[test]
+    fn hottest_orders_descending_with_address_tiebreak() {
+        let p = program();
+        let a = Annotation::from_batch(&batch(&[2, 2, 1, 3, 3]), &p);
+        assert_eq!(a.hottest(3), vec![(2, 2), (3, 2), (1, 1)]);
+    }
+
+    #[test]
+    fn render_marks_hot_lines() {
+        let p = program();
+        let a = Annotation::from_batch(&batch(&[1, 1, 1, 2]), &p);
+        let text = a.render_function(&p, "main").unwrap();
+        assert!(text.contains(">>  75.00%"));
+        assert!(text.contains("subi r1, r1, 1"));
+        assert!(a.render_function(&p, "nope").is_none());
+    }
+}

@@ -1,0 +1,49 @@
+//! Error type unifying the lower layers.
+
+use std::fmt;
+
+/// Errors from running a profiling session.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The PMU rejected the sampler configuration (capability mismatch).
+    Pmu(ct_pmu::PmuError),
+    /// The simulated execution failed.
+    Sim(ct_sim::SimError),
+    /// A method is not available on the target machine (e.g. the LBR
+    /// method on Magny-Cours, which has no LBR facility).
+    MethodUnavailable { method: String, machine: String },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Pmu(e) => write!(f, "PMU: {e}"),
+            CoreError::Sim(e) => write!(f, "simulation: {e}"),
+            CoreError::MethodUnavailable { method, machine } => {
+                write!(f, "method `{method}` unavailable on {machine}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Pmu(e) => Some(e),
+            CoreError::Sim(e) => Some(e),
+            CoreError::MethodUnavailable { .. } => None,
+        }
+    }
+}
+
+impl From<ct_pmu::PmuError> for CoreError {
+    fn from(e: ct_pmu::PmuError) -> Self {
+        CoreError::Pmu(e)
+    }
+}
+
+impl From<ct_sim::SimError> for CoreError {
+    fn from(e: ct_sim::SimError) -> Self {
+        CoreError::Sim(e)
+    }
+}

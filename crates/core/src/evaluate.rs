@@ -1,0 +1,96 @@
+//! The repeated-measurement harness behind Tables 1 and 2.
+//!
+//! §4.1: "Each of our kernels ... is measured five times." This module
+//! runs a method `repeats` times with distinct seeds and reports the error
+//! statistics.
+
+use crate::error::CoreError;
+use crate::methods::MethodInstance;
+use crate::metrics::Stats;
+use crate::session::Session;
+use serde::{Deserialize, Serialize};
+
+/// Error statistics of one method over repeated runs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ErrorStats {
+    pub method: String,
+    pub stats: Stats,
+    /// Individual per-run accuracy errors.
+    pub runs: Vec<f64>,
+    /// Mean samples per run.
+    pub mean_samples: f64,
+    /// Mean skid (instructions) per run.
+    pub mean_skid: f64,
+}
+
+/// A full evaluation cell: method × workload × machine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Evaluation {
+    pub machine: String,
+    pub workload: String,
+    pub methods: Vec<ErrorStats>,
+}
+
+/// Runs `method` `repeats` times (seeds `base_seed..base_seed+repeats`)
+/// and aggregates the accuracy errors.
+pub fn evaluate_method(
+    session: &mut Session<'_>,
+    method: &MethodInstance,
+    repeats: usize,
+    base_seed: u64,
+) -> Result<ErrorStats, CoreError> {
+    let mut runs = Vec::with_capacity(repeats);
+    let mut samples = 0usize;
+    let mut skid = 0.0;
+    for i in 0..repeats {
+        let r = session.run_method(method, base_seed + i as u64)?;
+        runs.push(r.accuracy_error);
+        samples += r.samples;
+        skid += r.mean_skid;
+    }
+    let n = repeats.max(1) as f64;
+    Ok(ErrorStats {
+        method: method.kind.label().to_string(),
+        stats: Stats::from_values(&runs),
+        runs,
+        mean_samples: samples as f64 / n,
+        mean_skid: skid / n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::{MethodKind, MethodOptions};
+    use ct_isa::asm::assemble;
+    use ct_sim::MachineModel;
+
+    #[test]
+    fn five_repeats_produce_five_runs() {
+        let m = MachineModel::ivy_bridge();
+        let p = assemble(
+            "k",
+            r#"
+            .func main
+                movi r1, 20000
+            top:
+                addi r2, r2, 1
+                subi r1, r1, 1
+                brnz r1, top
+                halt
+            .endfunc
+        "#,
+        )
+        .unwrap();
+        let mut s = Session::new(&m, &p);
+        let method = MethodKind::PrecisePrime
+            .instantiate(&m, &MethodOptions::fast())
+            .unwrap();
+        let stats = evaluate_method(&mut s, &method, 5, 100).unwrap();
+        assert_eq!(stats.runs.len(), 5);
+        assert_eq!(stats.stats.n, 5);
+        assert!(stats.mean_samples > 0.0);
+        assert!(stats.stats.mean >= 0.0);
+        assert!(stats.stats.min <= stats.stats.max);
+    }
+}

@@ -1,0 +1,214 @@
+//! LBR stack-walk reconstruction of basic-block executions.
+//!
+//! §3.2: entries are source-target pairs `<Si, Ti>`; between a target `Ti`
+//! and the next source `Si+1` no branch was taken, so every basic block in
+//! `[Ti, Si+1]` executed exactly once. A full 16-entry stack therefore
+//! witnesses 15 uninterrupted basic-block segments.
+
+use ct_isa::{Addr, BlockId, Cfg};
+use ct_pmu::LbrEntry;
+
+/// One reconstructed straight-line segment: all blocks from the one
+/// starting at `start` through the one ending at `end` (inclusive
+/// instruction addresses) executed exactly once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    pub start: Addr,
+    pub end: Addr,
+}
+
+/// Extracts the straight-line segments witnessed by one frozen LBR stack
+/// (entries oldest first, as produced by `LbrStack::snapshot`).
+///
+/// Segments with `target > next source` are discarded: they indicate the
+/// stack does not describe consecutive control flow (e.g. the facility was
+/// in call-stack mode, or entries were lost), exactly the corruption the
+/// paper warns about when LBRs are shared with other collections.
+#[must_use]
+pub fn segments(lbr: &[LbrEntry]) -> Vec<Segment> {
+    let mut out = Vec::with_capacity(lbr.len().saturating_sub(1));
+    for pair in lbr.windows(2) {
+        let t = pair[0].to;
+        let s = pair[1].from;
+        if t <= s {
+            out.push(Segment { start: t, end: s });
+        }
+    }
+    out
+}
+
+/// Credits `mass_per_insn` to every instruction of every block covered by
+/// `seg`, accumulating into `bb_mass` (indexed by block id).
+///
+/// LBR targets are always block leaders (branch targets and return
+/// addresses start blocks by construction), so segments cover whole
+/// blocks.
+pub fn credit_segment(seg: &Segment, cfg: &Cfg, mass_per_insn: f64, bb_mass: &mut [f64]) {
+    let Some(first) = cfg.try_block_of(seg.start) else {
+        return;
+    };
+    let Some(last) = cfg.try_block_of(seg.end) else {
+        return;
+    };
+    let mut id: BlockId = first;
+    loop {
+        let b = cfg.block(id);
+        // Clip to the segment (the first block may begin before `start` if
+        // the target was mid-block — defensive; normally start == b.start).
+        let lo = seg.start.max(b.start);
+        let hi = (seg.end + 1).min(b.end);
+        if hi > lo {
+            bb_mass[id as usize] += f64::from(hi - lo) * mass_per_insn;
+        }
+        if id == last {
+            break;
+        }
+        id += 1;
+    }
+}
+
+/// Walks a whole stack: returns the per-sample instruction mass if the
+/// stack yielded at least one valid segment.
+///
+/// `period` is the taken-branch sampling period; each captured stack
+/// witnesses `segments` of the roughly `period` branch intervals between
+/// PMIs, so every witnessed instruction carries `period / n_segments`
+/// instructions of estimated mass (the estimator is mass-conserving in
+/// expectation — see the property tests).
+pub fn credit_stack(lbr: &[LbrEntry], cfg: &Cfg, period: u64, bb_mass: &mut [f64]) -> bool {
+    let segs = segments(lbr);
+    if segs.is_empty() {
+        return false;
+    }
+    let mass = period as f64 / segs.len() as f64;
+    for seg in &segs {
+        credit_segment(seg, cfg, mass, bb_mass);
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_isa::asm::assemble;
+
+    fn entry(from: Addr, to: Addr) -> LbrEntry {
+        LbrEntry { from, to }
+    }
+
+    #[test]
+    fn segments_between_consecutive_entries() {
+        // Branch at 5 -> 10; straight line 10..=20; branch at 20 -> 2;
+        // straight line 2..=8; branch at 8 -> 30.
+        let lbr = [entry(5, 10), entry(20, 2), entry(8, 30)];
+        let segs = segments(&lbr);
+        assert_eq!(
+            segs,
+            vec![Segment { start: 10, end: 20 }, Segment { start: 2, end: 8 }]
+        );
+    }
+
+    #[test]
+    fn inconsistent_pairs_are_dropped() {
+        // Target 50 followed by a source at 10 cannot be straight-line.
+        let lbr = [entry(5, 50), entry(10, 2), entry(2, 60)];
+        let segs = segments(&lbr);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0], Segment { start: 2, end: 2 });
+    }
+
+    #[test]
+    fn single_entry_yields_nothing() {
+        assert!(segments(&[entry(1, 2)]).is_empty());
+        assert!(segments(&[]).is_empty());
+    }
+
+    #[test]
+    fn credit_covers_whole_blocks() {
+        let p = assemble(
+            "t",
+            r#"
+            .func main
+                movi r1, 3
+            top:
+                addi r2, r2, 1
+                subi r1, r1, 1
+                brnz r1, top
+                halt
+            .endfunc
+        "#,
+        )
+        .unwrap();
+        let cfg = ct_isa::Cfg::build(&p);
+        // Blocks: 0=[0,1), 1=[1,4), 2=[4,5).
+        let mut mass = vec![0.0; cfg.num_blocks()];
+        // Segment covering the loop body block exactly: target 1 .. source 3.
+        credit_segment(&Segment { start: 1, end: 3 }, &cfg, 2.0, &mut mass);
+        assert_eq!(mass, vec![0.0, 6.0, 0.0]);
+    }
+
+    #[test]
+    fn credit_spans_multiple_blocks() {
+        let p = assemble(
+            "t",
+            r#"
+            .func main
+                movi r1, 3
+            top:
+                addi r2, r2, 1
+                brz r3, skip
+                addi r2, r2, 1
+            skip:
+                subi r1, r1, 1
+                brnz r1, top
+                halt
+            .endfunc
+        "#,
+        )
+        .unwrap();
+        let cfg = ct_isa::Cfg::build(&p);
+        let n = cfg.num_blocks();
+        let mut mass = vec![0.0; n];
+        // One straight-line pass over the whole function 0..=6 (no branch
+        // taken): every block gets its length.
+        credit_segment(&Segment { start: 0, end: 6 }, &cfg, 1.0, &mut mass);
+        let total: f64 = mass.iter().sum();
+        assert_eq!(total, 7.0);
+        for b in cfg.blocks() {
+            assert_eq!(mass[b.id as usize], b.len() as f64, "block {}", b.id);
+        }
+    }
+
+    #[test]
+    fn credit_stack_scales_by_segment_count() {
+        let p = assemble(
+            "t",
+            r#"
+            .func main
+                movi r1, 3
+            top:
+                subi r1, r1, 1
+                brnz r1, top
+                halt
+            .endfunc
+        "#,
+        )
+        .unwrap();
+        let cfg = ct_isa::Cfg::build(&p);
+        let mut mass = vec![0.0; cfg.num_blocks()];
+        // Two self-loop entries -> one segment [1..=2].
+        let lbr = [entry(2, 1), entry(2, 1)];
+        assert!(credit_stack(&lbr, &cfg, 100, &mut mass));
+        // Segment count 1 -> mass per insn = 100; block 1 has 2 insns.
+        assert_eq!(mass[1], 200.0);
+    }
+
+    #[test]
+    fn empty_stack_credits_nothing() {
+        let p = assemble("t", ".func main\n halt\n.endfunc\n").unwrap();
+        let cfg = ct_isa::Cfg::build(&p);
+        let mut mass = vec![0.0; cfg.num_blocks()];
+        assert!(!credit_stack(&[], &cfg, 100, &mut mass));
+        assert_eq!(mass[0], 0.0);
+    }
+}

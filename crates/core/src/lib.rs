@@ -1,0 +1,72 @@
+//! `countertrust` — sampling-method accuracy evaluation.
+//!
+//! This crate is the reproduction of the paper's contribution:
+//! *"Establishing a Base of Trust with Performance Counters for Enterprise
+//! Workloads"* (Nowak, Yasin, Mendelson, Zwaenepoel — USENIX ATC 2015).
+//! It evaluates how accurately Event-Based Sampling methods recover
+//! per-basic-block instruction counts, cross-referencing each method
+//! against exact instrumentation (`ct-instrument`, the Pin stand-in).
+//!
+//! The pieces map one-to-one onto the paper:
+//!
+//! * [`methods`] — the method taxonomy of Table 3 (classic, precise,
+//!   prime/randomized periods, PDIR + LBR IP+1 fix, full LBR);
+//! * [`attrib`] — sample→basic-block attribution, including the LBR-based
+//!   IP+1 offset correction of §6.2;
+//! * [`lbrwalk`] — the LBR stack-walk reconstruction of §3.2 ("all basic
+//!   blocks between `Ti` and `Si+1` are executed exactly once");
+//! * [`metrics`] — the accuracy-error metric of §3.3;
+//! * [`session`] — a perf-record-like driver wiring CPU + PMU + collectors;
+//! * [`evaluate`] — the repeated-measurement harness behind Tables 1 and 2;
+//! * [`report`] — table formatting and JSON export for the bench binaries.
+//!
+//! # Examples
+//!
+//! ```
+//! use countertrust::{Session, methods::{MethodKind, MethodOptions}};
+//! use ct_sim::MachineModel;
+//! use ct_isa::asm::assemble;
+//!
+//! let program = assemble(
+//!     "demo",
+//!     r#"
+//!     .func main
+//!         movi r1, 20000
+//!     top:
+//!         addi r2, r2, 1
+//!         subi r1, r1, 1
+//!         brnz r1, top
+//!         halt
+//!     .endfunc
+//!     "#,
+//! )
+//! .unwrap();
+//! let machine = MachineModel::ivy_bridge();
+//! let mut session = Session::new(&machine, &program);
+//! let opts = MethodOptions::fast();
+//! let run = session
+//!     .run_method(&MethodKind::Lbr.instantiate(&machine, &opts).unwrap(), 1)
+//!     .unwrap();
+//! assert!(run.accuracy_error < 0.5);
+//! ```
+
+pub mod annotate;
+pub mod attrib;
+pub mod coverage;
+pub mod diagnostics;
+pub mod error;
+pub mod evaluate;
+pub mod lbrwalk;
+pub mod methods;
+pub mod metrics;
+pub mod profile;
+pub mod report;
+pub mod session;
+pub mod tripcount;
+
+pub use error::CoreError;
+pub use evaluate::{evaluate_method, ErrorStats, Evaluation};
+pub use methods::{Attribution, MethodInstance, MethodKind, MethodOptions};
+pub use metrics::{accuracy_error, kendall_tau, top_n_exact_match};
+pub use profile::EstimatedProfile;
+pub use session::{MethodRun, Session};

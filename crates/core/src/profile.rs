@@ -1,0 +1,122 @@
+//! Estimated profiles: block-level mass plus function-level aggregation.
+
+use ct_isa::{Cfg, Program};
+use serde::{Deserialize, Serialize};
+
+/// An estimated profile produced by one sampling method.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EstimatedProfile {
+    /// Estimated instruction mass per basic block (block-id indexed).
+    pub bb_mass: Vec<f64>,
+    /// Estimated instruction mass per function (symbol-table indexed).
+    pub function_mass: Vec<f64>,
+    /// Function names parallel to `function_mass`.
+    pub function_names: Vec<String>,
+}
+
+impl EstimatedProfile {
+    /// Aggregates block mass into function mass using the program's symbol
+    /// table.
+    #[must_use]
+    pub fn from_bb_mass(bb_mass: Vec<f64>, program: &Program, cfg: &Cfg) -> Self {
+        let funcs = program.symbols.functions();
+        let mut function_mass = vec![0.0; funcs.len()];
+        for b in cfg.blocks() {
+            if let Some(fi) = program.symbols.index_containing(b.start) {
+                function_mass[fi] += bb_mass[b.id as usize];
+            }
+        }
+        Self {
+            bb_mass,
+            function_mass,
+            function_names: funcs.iter().map(|f| f.name.clone()).collect(),
+        }
+    }
+
+    /// Total estimated mass.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.bb_mass.iter().sum()
+    }
+
+    /// Functions ranked by estimated mass, descending: `(name, mass)`.
+    #[must_use]
+    pub fn function_ranking(&self) -> Vec<(String, f64)> {
+        let mut v: Vec<(String, f64)> = self
+            .function_names
+            .iter()
+            .cloned()
+            .zip(self.function_mass.iter().copied())
+            .collect();
+        v.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        v
+    }
+
+    /// Names of the top-`n` functions by estimated mass.
+    #[must_use]
+    pub fn top_functions(&self, n: usize) -> Vec<String> {
+        self.function_ranking()
+            .into_iter()
+            .take(n)
+            .map(|(name, _)| name)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_isa::asm::assemble;
+
+    #[test]
+    fn function_aggregation() {
+        let p = assemble(
+            "t",
+            r#"
+            .func main
+                call f
+                halt
+            .endfunc
+            .func f
+                addi r1, r1, 1
+                ret
+            .endfunc
+        "#,
+        )
+        .unwrap();
+        let cfg = Cfg::build(&p);
+        // Blocks: [0,1) call, [1,2) halt, [2,3) addi... actually addi+ret
+        // form one block [2,4).
+        let mut bb = vec![0.0; cfg.num_blocks()];
+        for b in cfg.blocks() {
+            bb[b.id as usize] = b.len() as f64 * 10.0;
+        }
+        let prof = EstimatedProfile::from_bb_mass(bb, &p, &cfg);
+        let main_i = prof
+            .function_names
+            .iter()
+            .position(|n| n == "main")
+            .unwrap();
+        let f_i = prof.function_names.iter().position(|n| n == "f").unwrap();
+        assert_eq!(prof.function_mass[main_i], 20.0);
+        assert_eq!(prof.function_mass[f_i], 20.0);
+        assert_eq!(prof.total(), 40.0);
+    }
+
+    #[test]
+    fn ranking_and_top_n() {
+        let prof = EstimatedProfile {
+            bb_mass: vec![],
+            function_mass: vec![5.0, 20.0, 10.0],
+            function_names: vec!["a".into(), "b".into(), "c".into()],
+        };
+        assert_eq!(
+            prof.top_functions(2),
+            vec!["b".to_string(), "c".to_string()]
+        );
+    }
+}

@@ -1,0 +1,217 @@
+//! Loop trip-count estimation from sampled profiles.
+//!
+//! §2.1: "Loop tripcounts are widely used for a variety of purposes, but
+//! are hard to obtain with pure EBS methods." This module quantifies that
+//! claim: it estimates mean trip counts from (a) plain EBS samples and
+//! (b) LBR stack walks, for comparison against the exact
+//! [`ct_instrument::LoopProfiler`] counts.
+//!
+//! Estimators (standard FDO practice):
+//!
+//! * **EBS**: mean trips of the loop at back-edge `b` with header `h` ≈
+//!   samples-in-body / samples-at-preheader — approximated here at block
+//!   granularity as `mass(body) / mass(exit successor)`, which degrades
+//!   exactly as block attribution degrades;
+//! * **LBR**: back-edge traversals and loop entries are *directly
+//!   observable* in stack segments (`from == b && to == h` vs entries
+//!   into `h` from elsewhere), so the ratio estimator is sharp.
+
+use crate::lbrwalk::segments;
+use ct_isa::{Addr, Cfg};
+use ct_pmu::SampleBatch;
+use std::collections::HashMap;
+
+/// A loop identified by its back edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LoopKey {
+    /// Back-edge branch address.
+    pub branch: Addr,
+    /// Loop header (the back edge's target).
+    pub header: Addr,
+}
+
+/// Finds the static back edges of a program (branch with a direct target
+/// at or before itself).
+#[must_use]
+pub fn static_back_edges(cfg: &Cfg, program: &ct_isa::Program) -> Vec<LoopKey> {
+    let mut v = Vec::new();
+    for b in cfg.blocks() {
+        let last = b.last_addr();
+        if let Some(t) = program.fetch(last).direct_target() {
+            if t <= last && program.fetch(last).class() == ct_isa::InsnClass::Branch {
+                v.push(LoopKey {
+                    branch: last,
+                    header: t,
+                });
+            }
+        }
+    }
+    v
+}
+
+/// Mean-trip-count estimates per loop from LBR stacks: back-edge
+/// traversals divided by non-back-edge entries into the header.
+#[must_use]
+pub fn estimate_trips_lbr(batch: &SampleBatch, loops: &[LoopKey]) -> HashMap<LoopKey, f64> {
+    let mut back = HashMap::new();
+    let mut enter = HashMap::new();
+    for s in &batch.samples {
+        let Some(lbr) = &s.lbr else { continue };
+        for e in lbr {
+            for l in loops {
+                if e.to == l.header {
+                    if e.from == l.branch {
+                        *back.entry(*l).or_insert(0u64) += 1;
+                    } else {
+                        *enter.entry(*l).or_insert(0u64) += 1;
+                    }
+                }
+            }
+        }
+        // Fallthrough entries into the header are invisible to the LBR;
+        // segment walks recover them: a segment crossing the header
+        // without starting there entered by fallthrough.
+        for seg in segments(lbr) {
+            for l in loops {
+                if seg.start < l.header && l.header <= seg.end {
+                    *enter.entry(*l).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    loops
+        .iter()
+        .filter_map(|l| {
+            let b = back.get(l).copied().unwrap_or(0) as f64;
+            let e = enter.get(l).copied().unwrap_or(0) as f64;
+            (e > 0.0).then_some((*l, b / e))
+        })
+        .collect()
+}
+
+/// Mean-trip-count estimates from plain samples at block granularity:
+/// `mass(loop body blocks) / mass(exit block)` — the best a pure-EBS tool
+/// can do without branch records.
+#[must_use]
+pub fn estimate_trips_ebs(bb_mass: &[f64], cfg: &Cfg, loops: &[LoopKey]) -> HashMap<LoopKey, f64> {
+    let mut out = HashMap::new();
+    for l in loops {
+        let branch_block = cfg.block_of(l.branch);
+        let header_block = cfg.block_of(l.header);
+        // Body: blocks between header and back-edge branch inclusive.
+        let body: f64 = (header_block..=branch_block)
+            .map(|id| bb_mass[id as usize] / cfg.block(id).len() as f64)
+            .sum::<f64>()
+            / (branch_block - header_block + 1) as f64;
+        // Exit: the fallthrough block after the back edge.
+        let exit_id = branch_block + 1;
+        if (exit_id as usize) < cfg.num_blocks() {
+            let exit_block = cfg.block(exit_id);
+            let exit = bb_mass[exit_id as usize] / exit_block.len() as f64;
+            if exit > 0.0 {
+                out.insert(*l, body / exit);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrib::attribute;
+    use crate::methods::{Attribution, MethodKind, MethodOptions};
+    use ct_isa::asm::assemble;
+    use ct_pmu::Sampler;
+    use ct_sim::{Cpu, MachineModel, RunConfig};
+
+    fn loop_program(trips: i64) -> ct_isa::Program {
+        assemble(
+            "t",
+            &format!(
+                r#"
+                .func main
+                    movi r2, 40000
+                outer:
+                    movi r1, {trips}
+                inner:
+                    addi r3, r3, 1
+                    subi r1, r1, 1
+                    brnz r1, inner
+                    subi r2, r2, 1
+                    brnz r2, outer
+                    halt
+                .endfunc
+            "#
+            ),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn finds_static_back_edges() {
+        let p = loop_program(10);
+        let cfg = Cfg::build(&p);
+        let loops = static_back_edges(&cfg, &p);
+        assert_eq!(loops.len(), 2);
+        assert!(loops.iter().any(|l| l.header == 2), "inner loop found");
+        assert!(loops.iter().any(|l| l.header == 1), "outer loop found");
+    }
+
+    #[test]
+    fn lbr_estimate_is_close_ebs_estimate_is_not() {
+        // Trips small relative to the 16-entry LBR window, so stacks hold
+        // whole loop cycles and the ratio estimator is unbiased. (With
+        // trips >> window, entry events are censored at stack boundaries —
+        // a real limitation LBR-based tripcount tools share.)
+        let trips = 6i64;
+        let p = loop_program(trips);
+        let cfg = Cfg::build(&p);
+        let machine = MachineModel::ivy_bridge();
+        let loops = static_back_edges(&cfg, &p);
+        let inner = *loops.iter().find(|l| l.header == 2).unwrap();
+
+        // LBR method.
+        let lbr_inst = MethodKind::Lbr
+            .instantiate(&machine, &MethodOptions::fast())
+            .unwrap();
+        let mut sampler = Sampler::new(&machine, &lbr_inst.config).unwrap();
+        Cpu::new(&machine)
+            .run(&p, &RunConfig::default(), &mut [&mut sampler])
+            .unwrap();
+        let batch = sampler.into_batch();
+        let est = estimate_trips_lbr(&batch, &loops);
+        let lbr_trips = est[&inner];
+        // True mean trips of the inner back edge: trips-1 per entry.
+        let truth = (trips - 1) as f64;
+        let lbr_rel = (lbr_trips - truth).abs() / truth;
+        // The LBR ratio estimator carries a modest window-boundary bias
+        // (entries censored at stack edges, delivery-phase clustering) but
+        // stays in the right ballpark.
+        assert!(lbr_rel < 0.5, "LBR trip estimate {lbr_trips:.1} vs {truth}");
+
+        // Plain EBS (classic) method.
+        let ebs_inst = MethodKind::Classic
+            .instantiate(&machine, &MethodOptions::fast())
+            .unwrap();
+        let mut sampler = Sampler::new(&machine, &ebs_inst.config).unwrap();
+        let nominal = sampler.nominal_period();
+        Cpu::new(&machine)
+            .run(&p, &RunConfig::default(), &mut [&mut sampler])
+            .unwrap();
+        let mass = attribute(&sampler.into_batch(), &cfg, Attribution::Plain, nominal);
+        let ebs = estimate_trips_ebs(&mass, &cfg, &loops);
+        if let Some(&ebs_trips) = ebs.get(&inner) {
+            let ebs_rel = (ebs_trips - truth).abs() / truth;
+            // §2.1's claim, quantified: the pure-EBS estimate is farther
+            // off than the LBR one (classic attribution distorts both the
+            // body and the exit mass).
+            assert!(
+                ebs_rel > lbr_rel,
+                "EBS {ebs_trips:.1} (rel {ebs_rel:.2}) vs LBR rel {lbr_rel:.2}"
+            );
+        }
+        // (If EBS couldn't even see the exit block, that is the claim a
+        // fortiori — no estimate at all.)
+    }
+}

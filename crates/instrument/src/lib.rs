@@ -1,0 +1,38 @@
+//! `ct-instrument` — the Pin substitute: exact reference profiles.
+//!
+//! The paper cross-references every sampling method against
+//! instrumentation-based basic-block counts obtained through Pin ("REF",
+//! §3.3). Here the same ground truth is obtained by observing the simulated
+//! retirement stream exactly — every retired instruction increments its
+//! basic block, function, edge and loop counters with no sampling involved.
+//!
+//! The headline type is [`ReferenceProfile`], consumed by the accuracy
+//! metric in `countertrust`:
+//!
+//! ```
+//! use ct_isa::asm::assemble;
+//! use ct_sim::{MachineModel, RunConfig};
+//! use ct_instrument::ReferenceProfile;
+//!
+//! let p = assemble(
+//!     "t",
+//!     ".func main\n movi r1, 5\ntop:\n subi r1, r1, 1\n brnz r1, top\n halt\n.endfunc",
+//! )
+//! .unwrap();
+//! let reference =
+//!     ReferenceProfile::collect(&MachineModel::ivy_bridge(), &p, &RunConfig::default())
+//!         .unwrap();
+//! assert_eq!(reference.total_instructions(), 12);
+//! ```
+
+pub mod bbcount;
+pub mod callgraph;
+pub mod edges;
+pub mod loops;
+pub mod reference;
+
+pub use bbcount::BbCounter;
+pub use callgraph::CallGraphObserver;
+pub use edges::EdgeProfiler;
+pub use loops::LoopProfiler;
+pub use reference::ReferenceProfile;

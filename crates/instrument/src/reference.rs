@@ -1,0 +1,156 @@
+//! The complete "REF" profile: the paper's instrumentation ground truth.
+
+use crate::bbcount::BbCounter;
+use crate::callgraph::CallGraphObserver;
+use ct_isa::{Cfg, Program};
+use ct_sim::{Cpu, MachineModel, RunConfig, RunSummary, SimError};
+use serde::{Deserialize, Serialize};
+
+/// Exact per-block and per-function profile of one execution, used as the
+/// denominator of every accuracy comparison (the paper's "REF" method).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReferenceProfile {
+    /// Instructions executed per basic block, indexed by block id.
+    pub bb_instructions: Vec<u64>,
+    /// Block entry counts, indexed by block id.
+    pub bb_entries: Vec<u64>,
+    /// Exclusive instructions per function, parallel to `function_names`.
+    pub function_instructions: Vec<u64>,
+    pub function_names: Vec<String>,
+    /// Total retired instructions (`net_instruction_count` in §3.3).
+    pub total_instructions: u64,
+    /// Total taken control transfers (the LBR sampling event count).
+    pub taken_branches: u64,
+    /// Total cycles of the measured run.
+    pub cycles: u64,
+}
+
+impl ReferenceProfile {
+    /// Runs `program` once on `machine` with exact instrumentation attached
+    /// and returns the reference profile.
+    pub fn collect(
+        machine: &MachineModel,
+        program: &Program,
+        config: &RunConfig,
+    ) -> Result<Self, SimError> {
+        let cfg = Cfg::build(program);
+        Self::collect_with_cfg(machine, program, &cfg, config).map(|(p, _)| p)
+    }
+
+    /// As [`ReferenceProfile::collect`] but reuses a prebuilt CFG and also
+    /// returns the run summary.
+    pub fn collect_with_cfg(
+        machine: &MachineModel,
+        program: &Program,
+        cfg: &Cfg,
+        config: &RunConfig,
+    ) -> Result<(Self, RunSummary), SimError> {
+        let mut bb = BbCounter::new(cfg);
+        let mut cg = CallGraphObserver::new(program);
+        let summary = Cpu::new(machine).run(program, config, &mut [&mut bb, &mut cg])?;
+        Ok((
+            Self {
+                bb_instructions: bb.instruction_counts().to_vec(),
+                bb_entries: bb.entry_counts().to_vec(),
+                function_instructions: cg.instruction_counts().to_vec(),
+                function_names: cg.names().to_vec(),
+                total_instructions: bb.total_instructions(),
+                taken_branches: summary.taken_branches,
+                cycles: summary.cycles,
+            },
+            summary,
+        ))
+    }
+
+    /// Total retired instructions.
+    #[must_use]
+    pub fn total_instructions(&self) -> u64 {
+        self.total_instructions
+    }
+
+    /// Functions ranked by exclusive instruction count, descending.
+    #[must_use]
+    pub fn function_ranking(&self) -> Vec<(String, u64)> {
+        let mut v: Vec<(String, u64)> = self
+            .function_names
+            .iter()
+            .cloned()
+            .zip(self.function_instructions.iter().copied())
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_isa::asm::assemble;
+
+    #[test]
+    fn reference_is_internally_consistent() {
+        let p = assemble(
+            "t",
+            r#"
+            .func main
+                movi r1, 20
+            top:
+                call leaf
+                subi r1, r1, 1
+                brnz r1, top
+                halt
+            .endfunc
+            .func leaf
+                addi r2, r2, 1
+                ret
+            .endfunc
+        "#,
+        )
+        .unwrap();
+        let m = MachineModel::westmere();
+        let r = ReferenceProfile::collect(&m, &p, &RunConfig::default()).unwrap();
+        let bb_sum: u64 = r.bb_instructions.iter().sum();
+        let fn_sum: u64 = r.function_instructions.iter().sum();
+        assert_eq!(bb_sum, r.total_instructions);
+        assert_eq!(fn_sum, r.total_instructions);
+        assert!(r.taken_branches > 0);
+        assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn ranking_is_sorted() {
+        let p = assemble(
+            "t",
+            r#"
+            .func main
+                call hot
+                halt
+            .endfunc
+            .func hot
+                movi r1, 100
+            t:
+                subi r1, r1, 1
+                brnz r1, t
+                ret
+            .endfunc
+        "#,
+        )
+        .unwrap();
+        let r = ReferenceProfile::collect(&MachineModel::ivy_bridge(), &p, &RunConfig::default())
+            .unwrap();
+        let rank = r.function_ranking();
+        assert_eq!(rank[0].0, "hot");
+        for w in rank.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let p = assemble("t", ".func main\n halt\n.endfunc\n").unwrap();
+        let r = ReferenceProfile::collect(&MachineModel::ivy_bridge(), &p, &RunConfig::default())
+            .unwrap();
+        let js = serde_json::to_string(&r).unwrap();
+        assert!(js.contains("total_instructions"));
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests for instrumentation: conservation laws that the
+//! reference profile must satisfy on arbitrary structured programs.
+
+use ct_instrument::{BbCounter, CallGraphObserver, EdgeProfiler, LoopProfiler, ReferenceProfile};
+use ct_isa::reg::names::*;
+use ct_isa::{Cfg, ProgramBuilder};
+use ct_sim::{Cpu, MachineModel, RunConfig};
+use proptest::prelude::*;
+
+/// Nested counted loops with conditional arms and a leaf call.
+fn structured_program(outer: u16, inner: u16, arms: u8) -> ct_isa::Program {
+    let mut b = ProgramBuilder::new("prop");
+    b.begin_func("main");
+    b.movi(R1, i64::from(outer));
+    let otop = b.here_label();
+    b.movi(R2, i64::from(inner));
+    let itop = b.here_label();
+    for k in 0..arms {
+        let skip = b.new_label();
+        b.andi(R4, R2, 1 << (k % 3));
+        b.brz(R4, skip);
+        b.addi(R5, R5, 1);
+        b.bind(skip).unwrap();
+    }
+    b.call("leaf");
+    b.subi(R2, R2, 1);
+    b.brnz(R2, itop);
+    b.subi(R1, R1, 1);
+    b.brnz(R1, otop);
+    b.halt();
+    b.end_func();
+    b.begin_func("leaf");
+    b.addi(R6, R6, 1);
+    b.ret();
+    b.end_func();
+    b.build().expect("valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn reference_profile_conserves_instructions(
+        outer in 1u16..8,
+        inner in 1u16..12,
+        arms in 0u8..5,
+    ) {
+        let p = structured_program(outer, inner, arms);
+        for machine in MachineModel::paper_machines() {
+            let (r, summary) = ReferenceProfile::collect_with_cfg(
+                &machine,
+                &p,
+                &Cfg::build(&p),
+                &RunConfig::default(),
+            )
+            .unwrap();
+            let bb_sum: u64 = r.bb_instructions.iter().sum();
+            let fn_sum: u64 = r.function_instructions.iter().sum();
+            prop_assert_eq!(bb_sum, summary.instructions);
+            prop_assert_eq!(fn_sum, summary.instructions);
+            prop_assert_eq!(r.taken_branches, summary.taken_branches);
+        }
+    }
+
+    #[test]
+    fn edge_flow_conservation(
+        outer in 1u16..6,
+        inner in 1u16..10,
+        arms in 0u8..4,
+    ) {
+        let p = structured_program(outer, inner, arms);
+        let cfg = Cfg::build(&p);
+        let machine = MachineModel::ivy_bridge();
+        let mut edges = EdgeProfiler::new(&cfg);
+        let mut bb = BbCounter::new(&cfg);
+        Cpu::new(&machine)
+            .run(&p, &RunConfig::default(), &mut [&mut edges, &mut bb])
+            .unwrap();
+        // Incoming edges equal entries (minus the program entry block).
+        for blk in cfg.blocks() {
+            let incoming: u64 = edges
+                .edges()
+                .iter()
+                .filter(|((_, to), _)| *to == blk.id)
+                .map(|(_, c)| c)
+                .sum();
+            let expected = bb.entry_count(blk.id) - u64::from(blk.id == 0);
+            prop_assert_eq!(incoming, expected, "block {}", blk.id);
+        }
+    }
+
+    #[test]
+    fn block_instructions_are_entries_times_len_for_full_blocks(
+        outer in 1u16..6,
+        inner in 1u16..10,
+    ) {
+        // With no mid-block exits (all blocks run to completion when the
+        // program halts cleanly), instruction counts factor exactly.
+        let p = structured_program(outer, inner, 2);
+        let cfg = Cfg::build(&p);
+        let machine = MachineModel::westmere();
+        let mut bb = BbCounter::new(&cfg);
+        Cpu::new(&machine).run(&p, &RunConfig::default(), &mut [&mut bb]).unwrap();
+        for blk in cfg.blocks() {
+            prop_assert_eq!(
+                bb.instruction_count(blk.id),
+                bb.entry_count(blk.id) * blk.len() as u64,
+                "block {}", blk.id
+            );
+        }
+    }
+
+    #[test]
+    fn loop_tripcounts_match_construction(
+        outer in 1u16..8,
+        inner in 1u16..12,
+    ) {
+        let p = structured_program(outer, inner, 0);
+        let machine = MachineModel::ivy_bridge();
+        let mut lp = LoopProfiler::new();
+        Cpu::new(&machine).run(&p, &RunConfig::default(), &mut [&mut lp]).unwrap();
+        // The inner loop back edge runs `inner-1` trips per outer
+        // iteration; the outer loop `outer-1` trips once.
+        let total_inner: u64 = u64::from(outer) * u64::from(inner - 1);
+        let inner_stats: u64 = lp
+            .stats()
+            .values()
+            .map(|s| s.total_trips)
+            .max()
+            .unwrap_or(0);
+        if inner > 1 && outer >= 1 {
+            prop_assert_eq!(inner_stats.max(total_inner), total_inner);
+        }
+    }
+
+    #[test]
+    fn call_graph_counts_calls_exactly(
+        outer in 1u16..6,
+        inner in 1u16..10,
+    ) {
+        let p = structured_program(outer, inner, 1);
+        let machine = MachineModel::ivy_bridge();
+        let mut cg = CallGraphObserver::new(&p);
+        Cpu::new(&machine).run(&p, &RunConfig::default(), &mut [&mut cg]).unwrap();
+        let leaf = cg.names().iter().position(|n| n == "leaf").unwrap();
+        prop_assert_eq!(
+            cg.call_counts()[leaf],
+            u64::from(outer) * u64::from(inner)
+        );
+    }
+}

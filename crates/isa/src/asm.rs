@@ -1,0 +1,533 @@
+//! A small two-pass text assembler.
+//!
+//! The syntax mirrors the disassembler output, with labels instead of
+//! numeric targets:
+//!
+//! ```text
+//! .data 1024            ; data segment size in words
+//! .init 10, 42          ; mem[10] = 42
+//! .func main
+//!     movi r1, 100
+//! loop:
+//!     subi r1, r1, 1
+//!     brnz r1, loop
+//!     halt
+//! .endfunc
+//! ```
+//!
+//! Comments start with `;` or `#`. Branch targets may also be written as
+//! `@N` absolute addresses (as produced by the disassembler for round-trip
+//! tests).
+
+use crate::error::IsaError;
+use crate::insn::{Addr, Cond, Insn, Opcode};
+use crate::program::{Function, Program, SymbolTable};
+use crate::reg::{FReg, Reg};
+use std::collections::HashMap;
+
+/// Assembles `source` into a validated [`Program`] named `name`.
+pub fn assemble(name: &str, source: &str) -> Result<Program, IsaError> {
+    Assembler::new().run(name, source)
+}
+
+#[derive(Default)]
+struct Assembler {
+    insns: Vec<Insn>,
+    labels: HashMap<String, Addr>,
+    funcs: Vec<Function>,
+    open_func: Option<(String, Addr)>,
+    data_words: usize,
+    init_data: Vec<(usize, i64)>,
+    // (insn index, label, line) patched in pass 2
+    fixups: Vec<(usize, String, usize)>,
+    // call fixups resolved against function names
+    call_fixups: Vec<(usize, String, usize)>,
+}
+
+impl Assembler {
+    fn new() -> Self {
+        Self::default()
+    }
+
+    fn run(mut self, name: &str, source: &str) -> Result<Program, IsaError> {
+        for (lineno, raw) in source.lines().enumerate() {
+            let line = lineno + 1;
+            let text = strip_comment(raw).trim();
+            if text.is_empty() {
+                continue;
+            }
+            self.line(text, line)?;
+        }
+        if let Some((fname, _)) = &self.open_func {
+            return Err(IsaError::Parse {
+                line: 0,
+                detail: format!("function `{fname}` not closed with .endfunc"),
+            });
+        }
+        // Pass 2: patch label and call references.
+        for (idx, label, line) in std::mem::take(&mut self.fixups) {
+            let addr = self.resolve(&label, line)?;
+            self.insns[idx].op = match self.insns[idx].op {
+                Opcode::Jmp(_) => Opcode::Jmp(addr),
+                Opcode::Br(c, a, b, _) => Opcode::Br(c, a, b, addr),
+                Opcode::Brz(r, _) => Opcode::Brz(r, addr),
+                Opcode::Brnz(r, _) => Opcode::Brnz(r, addr),
+                other => other,
+            };
+        }
+        for (idx, target, line) in std::mem::take(&mut self.call_fixups) {
+            let addr = if let Some(f) = self.funcs.iter().find(|f| f.name == target) {
+                f.entry
+            } else {
+                self.resolve(&target, line)?
+            };
+            self.insns[idx].op = Opcode::Call(addr);
+        }
+        let mut p = Program::new(
+            name,
+            self.insns,
+            SymbolTable::new(self.funcs),
+            self.data_words,
+        )?;
+        p.init_data = self.init_data;
+        Ok(p)
+    }
+
+    fn resolve(&self, label: &str, line: usize) -> Result<Addr, IsaError> {
+        if let Some(rest) = label.strip_prefix('@') {
+            return rest.parse().map_err(|_| IsaError::Parse {
+                line,
+                detail: format!("bad absolute target `{label}`"),
+            });
+        }
+        self.labels
+            .get(label)
+            .copied()
+            .ok_or_else(|| IsaError::UndefinedLabel {
+                line,
+                label: label.to_string(),
+            })
+    }
+
+    fn line(&mut self, text: &str, line: usize) -> Result<(), IsaError> {
+        if let Some(rest) = text.strip_prefix(".data") {
+            self.data_words = parse_int(rest.trim(), line)? as usize;
+            return Ok(());
+        }
+        if let Some(rest) = text.strip_prefix(".init") {
+            let parts: Vec<&str> = rest.split(',').map(str::trim).collect();
+            if parts.len() != 2 {
+                return Err(IsaError::Parse {
+                    line,
+                    detail: ".init takes `index, value`".into(),
+                });
+            }
+            let idx = parse_int(parts[0], line)? as usize;
+            let val = parse_int(parts[1], line)?;
+            self.init_data.push((idx, val));
+            if idx >= self.data_words {
+                self.data_words = idx + 1;
+            }
+            return Ok(());
+        }
+        if let Some(rest) = text.strip_prefix(".func") {
+            if self.open_func.is_some() {
+                return Err(IsaError::Parse {
+                    line,
+                    detail: "nested .func".into(),
+                });
+            }
+            let fname = rest.trim().to_string();
+            if fname.is_empty() {
+                return Err(IsaError::Parse {
+                    line,
+                    detail: ".func needs a name".into(),
+                });
+            }
+            self.open_func = Some((fname, self.insns.len() as Addr));
+            return Ok(());
+        }
+        if text == ".endfunc" {
+            let (fname, entry) = self.open_func.take().ok_or_else(|| IsaError::Parse {
+                line,
+                detail: ".endfunc without .func".into(),
+            })?;
+            self.funcs.push(Function {
+                name: fname,
+                entry,
+                end: self.insns.len() as Addr,
+            });
+            return Ok(());
+        }
+        if let Some(label) = text.strip_suffix(':') {
+            let label = label.trim().to_string();
+            if self.labels.contains_key(&label) {
+                return Err(IsaError::DuplicateLabel { line, label });
+            }
+            self.labels.insert(label, self.insns.len() as Addr);
+            return Ok(());
+        }
+        let insn = self.instruction(text, line)?;
+        self.insns.push(insn);
+        Ok(())
+    }
+
+    fn instruction(&mut self, text: &str, line: usize) -> Result<Insn, IsaError> {
+        let (mnemonic, rest) = match text.split_once(char::is_whitespace) {
+            Some((m, r)) => (m, r.trim()),
+            None => (text, ""),
+        };
+        let ops: Vec<&str> = if rest.is_empty() {
+            Vec::new()
+        } else {
+            rest.split(',').map(str::trim).collect()
+        };
+        let idx = self.insns.len();
+
+        macro_rules! rrr {
+            ($variant:ident) => {{
+                expect_ops(&ops, 3, mnemonic, line)?;
+                Opcode::$variant(reg(ops[0], line)?, reg(ops[1], line)?, reg(ops[2], line)?)
+            }};
+        }
+        macro_rules! rri {
+            ($variant:ident) => {{
+                expect_ops(&ops, 3, mnemonic, line)?;
+                Opcode::$variant(
+                    reg(ops[0], line)?,
+                    reg(ops[1], line)?,
+                    parse_int(ops[2], line)?,
+                )
+            }};
+        }
+        macro_rules! fff {
+            ($variant:ident) => {{
+                expect_ops(&ops, 3, mnemonic, line)?;
+                Opcode::$variant(
+                    freg(ops[0], line)?,
+                    freg(ops[1], line)?,
+                    freg(ops[2], line)?,
+                )
+            }};
+        }
+
+        let op = match mnemonic {
+            "add" => rrr!(Add),
+            "sub" => rrr!(Sub),
+            "mul" => rrr!(Mul),
+            "div" => rrr!(Div),
+            "rem" => rrr!(Rem),
+            "and" => rrr!(And),
+            "or" => rrr!(Or),
+            "xor" => rrr!(Xor),
+            "shl" => rrr!(Shl),
+            "shr" => rrr!(Shr),
+            "addi" => rri!(AddI),
+            "subi" => rri!(SubI),
+            "muli" => rri!(MulI),
+            "andi" => rri!(AndI),
+            "xori" => rri!(XorI),
+            "mov" => {
+                expect_ops(&ops, 2, mnemonic, line)?;
+                Opcode::Mov(reg(ops[0], line)?, reg(ops[1], line)?)
+            }
+            "movi" => {
+                expect_ops(&ops, 2, mnemonic, line)?;
+                Opcode::MovI(reg(ops[0], line)?, parse_int(ops[1], line)?)
+            }
+            "fadd" => fff!(FAdd),
+            "fsub" => fff!(FSub),
+            "fmul" => fff!(FMul),
+            "fdiv" => fff!(FDiv),
+            "fsqrt" => {
+                expect_ops(&ops, 2, mnemonic, line)?;
+                Opcode::FSqrt(freg(ops[0], line)?, freg(ops[1], line)?)
+            }
+            "fmov" => {
+                expect_ops(&ops, 2, mnemonic, line)?;
+                Opcode::FMov(freg(ops[0], line)?, freg(ops[1], line)?)
+            }
+            "fmovi" => {
+                expect_ops(&ops, 2, mnemonic, line)?;
+                let v: f64 = ops[1].parse().map_err(|_| IsaError::Parse {
+                    line,
+                    detail: format!("bad float `{}`", ops[1]),
+                })?;
+                Opcode::FMovI(freg(ops[0], line)?, v)
+            }
+            "cvtif" => {
+                expect_ops(&ops, 2, mnemonic, line)?;
+                Opcode::CvtIF(freg(ops[0], line)?, reg(ops[1], line)?)
+            }
+            "cvtfi" => {
+                expect_ops(&ops, 2, mnemonic, line)?;
+                Opcode::CvtFI(reg(ops[0], line)?, freg(ops[1], line)?)
+            }
+            "load" => {
+                expect_ops(&ops, 2, mnemonic, line)?;
+                let (b, o) = mem_operand(ops[1], line)?;
+                Opcode::Load(reg(ops[0], line)?, b, o)
+            }
+            "store" => {
+                expect_ops(&ops, 2, mnemonic, line)?;
+                let (b, o) = mem_operand(ops[1], line)?;
+                Opcode::Store(reg(ops[0], line)?, b, o)
+            }
+            "fload" => {
+                expect_ops(&ops, 2, mnemonic, line)?;
+                let (b, o) = mem_operand(ops[1], line)?;
+                Opcode::FLoad(freg(ops[0], line)?, b, o)
+            }
+            "fstore" => {
+                expect_ops(&ops, 2, mnemonic, line)?;
+                let (b, o) = mem_operand(ops[1], line)?;
+                Opcode::FStore(freg(ops[0], line)?, b, o)
+            }
+            "jmp" => {
+                expect_ops(&ops, 1, mnemonic, line)?;
+                self.fixups.push((idx, ops[0].to_string(), line));
+                Opcode::Jmp(0)
+            }
+            "jmpind" => {
+                expect_ops(&ops, 1, mnemonic, line)?;
+                Opcode::JmpInd(reg(ops[0], line)?)
+            }
+            "breq" | "brne" | "brlt" | "brle" | "brgt" | "brge" => {
+                expect_ops(&ops, 3, mnemonic, line)?;
+                let cond = match &mnemonic[2..] {
+                    "eq" => Cond::Eq,
+                    "ne" => Cond::Ne,
+                    "lt" => Cond::Lt,
+                    "le" => Cond::Le,
+                    "gt" => Cond::Gt,
+                    _ => Cond::Ge,
+                };
+                self.fixups.push((idx, ops[2].to_string(), line));
+                Opcode::Br(cond, reg(ops[0], line)?, reg(ops[1], line)?, 0)
+            }
+            "brz" => {
+                expect_ops(&ops, 2, mnemonic, line)?;
+                self.fixups.push((idx, ops[1].to_string(), line));
+                Opcode::Brz(reg(ops[0], line)?, 0)
+            }
+            "brnz" => {
+                expect_ops(&ops, 2, mnemonic, line)?;
+                self.fixups.push((idx, ops[1].to_string(), line));
+                Opcode::Brnz(reg(ops[0], line)?, 0)
+            }
+            "call" => {
+                expect_ops(&ops, 1, mnemonic, line)?;
+                self.call_fixups.push((idx, ops[0].to_string(), line));
+                Opcode::Call(0)
+            }
+            "callind" => {
+                expect_ops(&ops, 1, mnemonic, line)?;
+                Opcode::CallInd(reg(ops[0], line)?)
+            }
+            "ret" => Opcode::Ret,
+            "nop" => Opcode::Nop,
+            "halt" => Opcode::Halt,
+            other => {
+                return Err(IsaError::Parse {
+                    line,
+                    detail: format!("unknown mnemonic `{other}`"),
+                })
+            }
+        };
+        Ok(Insn::new(op))
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find([';', '#']) {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn expect_ops(ops: &[&str], n: usize, mnemonic: &str, line: usize) -> Result<(), IsaError> {
+    if ops.len() != n {
+        return Err(IsaError::Parse {
+            line,
+            detail: format!("`{mnemonic}` takes {n} operands, got {}", ops.len()),
+        });
+    }
+    Ok(())
+}
+
+fn parse_int(s: &str, line: usize) -> Result<i64, IsaError> {
+    let s = s.trim();
+    let parsed = if let Some(hex) = s.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    };
+    parsed.map_err(|_| IsaError::Parse {
+        line,
+        detail: format!("bad integer `{s}`"),
+    })
+}
+
+fn reg(s: &str, line: usize) -> Result<Reg, IsaError> {
+    s.strip_prefix('r')
+        .and_then(|n| n.parse::<u8>().ok())
+        .and_then(Reg::try_new)
+        .ok_or_else(|| IsaError::Parse {
+            line,
+            detail: format!("bad register `{s}`"),
+        })
+}
+
+fn freg(s: &str, line: usize) -> Result<FReg, IsaError> {
+    s.strip_prefix('f')
+        .and_then(|n| n.parse::<u8>().ok())
+        .and_then(FReg::try_new)
+        .ok_or_else(|| IsaError::Parse {
+            line,
+            detail: format!("bad fp register `{s}`"),
+        })
+}
+
+/// Parses `[rN+off]` / `[rN-off]` / `[rN]`.
+fn mem_operand(s: &str, line: usize) -> Result<(Reg, i64), IsaError> {
+    let inner = s
+        .strip_prefix('[')
+        .and_then(|x| x.strip_suffix(']'))
+        .ok_or_else(|| IsaError::Parse {
+            line,
+            detail: format!("bad memory operand `{s}`"),
+        })?;
+    let (base, off) = match inner.find(['+', '-']) {
+        Some(i) => {
+            let (b, rest) = inner.split_at(i);
+            (b.trim(), parse_int(rest, line)?)
+        }
+        None => (inner.trim(), 0),
+    };
+    Ok((reg(base, line)?, off))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::names::*;
+
+    #[test]
+    fn assembles_loop() {
+        let p = assemble(
+            "t",
+            r#"
+            .data 8
+            .func main
+                movi r1, 10
+            top:
+                subi r1, r1, 1
+                brnz r1, top
+                halt
+            .endfunc
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.insns[2].op, Opcode::Brnz(R1, 1));
+        assert_eq!(p.data_words, 8);
+    }
+
+    #[test]
+    fn memory_operands() {
+        let p = assemble(
+            "t",
+            r#"
+            .func main
+                movi r2, 0
+                load r1, [r2+4]
+                store r1, [r2-0]
+                fload f1, [r2]
+                fstore f1, [r2+8]
+                halt
+            .endfunc
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.insns[1].op, Opcode::Load(R1, R2, 4));
+        assert_eq!(p.insns[3].op, Opcode::FLoad(F1, R2, 0));
+    }
+
+    #[test]
+    fn call_and_functions() {
+        let p = assemble(
+            "t",
+            r#"
+            .func main
+                call helper
+                halt
+            .endfunc
+            .func helper
+                ret
+            .endfunc
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.insns[0].op, Opcode::Call(2));
+    }
+
+    #[test]
+    fn cond_branches() {
+        let p = assemble(
+            "t",
+            r#"
+            .func main
+            top:
+                breq r1, r2, top
+                brlt r1, r2, top
+                brge r1, r2, @0
+                halt
+            .endfunc
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.insns[0].op, Opcode::Br(Cond::Eq, R1, R2, 0));
+        assert_eq!(p.insns[2].op, Opcode::Br(Cond::Ge, R1, R2, 0));
+    }
+
+    #[test]
+    fn undefined_label_errors() {
+        let e = assemble("t", ".func main\n jmp nowhere\n halt\n.endfunc\n").unwrap_err();
+        assert!(matches!(e, IsaError::UndefinedLabel { .. }));
+    }
+
+    #[test]
+    fn duplicate_label_errors() {
+        let e = assemble("t", ".func main\nx:\nx:\n halt\n.endfunc\n").unwrap_err();
+        assert!(matches!(e, IsaError::DuplicateLabel { .. }));
+    }
+
+    #[test]
+    fn unknown_mnemonic_errors() {
+        let e = assemble("t", ".func main\n frobnicate r1\n.endfunc\n").unwrap_err();
+        assert!(matches!(e, IsaError::Parse { .. }));
+    }
+
+    #[test]
+    fn unclosed_func_errors() {
+        let e = assemble("t", ".func main\n halt\n").unwrap_err();
+        assert!(matches!(e, IsaError::Parse { .. }));
+    }
+
+    #[test]
+    fn comments_and_hex() {
+        let p = assemble(
+            "t",
+            "; leading comment\n.func main\n movi r1, 0x10 # trailing\n halt\n.endfunc\n",
+        )
+        .unwrap();
+        assert_eq!(p.insns[0].op, Opcode::MovI(R1, 16));
+    }
+
+    #[test]
+    fn init_directive() {
+        let p = assemble("t", ".init 5, -3\n.func main\n halt\n.endfunc\n").unwrap();
+        assert_eq!(p.init_data, vec![(5, -3)]);
+        assert!(p.data_words >= 6);
+    }
+}

@@ -1,0 +1,411 @@
+//! A programmatic assembler: [`ProgramBuilder`].
+//!
+//! Workload generators construct programs with forward references (branches
+//! to not-yet-emitted code, calls to not-yet-defined functions). The builder
+//! records fixups and patches them in [`ProgramBuilder::build`].
+
+use crate::error::IsaError;
+use crate::insn::{Addr, Cond, Insn, Opcode};
+use crate::program::{Function, Program, SymbolTable};
+use crate::reg::{FReg, Reg};
+
+/// An opaque label handle produced by [`ProgramBuilder::new_label`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Label(u32);
+
+/// Builds [`Program`]s instruction by instruction.
+///
+/// # Examples
+///
+/// ```
+/// use ct_isa::builder::ProgramBuilder;
+/// use ct_isa::reg::names::*;
+///
+/// let mut b = ProgramBuilder::new("count");
+/// b.begin_func("main");
+/// b.movi(R1, 10);
+/// let top = b.here_label();
+/// b.subi(R1, R1, 1);
+/// b.brnz(R1, top);
+/// b.halt();
+/// b.end_func();
+/// let p = b.build().unwrap();
+/// assert_eq!(p.len(), 4);
+/// ```
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    name: String,
+    insns: Vec<Insn>,
+    funcs: Vec<Function>,
+    open_func: Option<(String, Addr)>,
+    labels: Vec<Option<Addr>>,
+    label_fixups: Vec<(usize, Label)>,
+    call_fixups: Vec<(usize, String)>,
+    data_words: usize,
+    init_data: Vec<(usize, i64)>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder for a program called `name`.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            insns: Vec::new(),
+            funcs: Vec::new(),
+            open_func: None,
+            labels: Vec::new(),
+            label_fixups: Vec::new(),
+            call_fixups: Vec::new(),
+            data_words: 0,
+            init_data: Vec::new(),
+        }
+    }
+
+    /// Sets the data-segment size in 64-bit words.
+    pub fn data(&mut self, words: usize) -> &mut Self {
+        self.data_words = words;
+        self
+    }
+
+    /// Sets an initial data value at `word_index`.
+    pub fn init(&mut self, word_index: usize, value: i64) -> &mut Self {
+        self.init_data.push((word_index, value));
+        if word_index >= self.data_words {
+            self.data_words = word_index + 1;
+        }
+        self
+    }
+
+    /// Current emission address.
+    #[must_use]
+    pub fn here(&self) -> Addr {
+        self.insns.len() as Addr
+    }
+
+    /// Allocates a fresh unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() as u32 - 1)
+    }
+
+    /// Allocates a label already bound to the current address.
+    pub fn here_label(&mut self) -> Label {
+        let l = self.new_label();
+        // Binding a freshly created label cannot fail.
+        self.bind(l).expect("fresh label cannot be already bound");
+        l
+    }
+
+    /// Binds `label` to the current address.
+    pub fn bind(&mut self, label: Label) -> Result<(), IsaError> {
+        let here = self.here();
+        let slot = &mut self.labels[label.0 as usize];
+        if slot.is_some() {
+            return Err(IsaError::LabelRebound { label: label.0 });
+        }
+        *slot = Some(here);
+        Ok(())
+    }
+
+    /// Opens a function; must be closed with [`ProgramBuilder::end_func`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when a function is already open — nesting is a generator bug.
+    pub fn begin_func(&mut self, name: impl Into<String>) -> &mut Self {
+        assert!(self.open_func.is_none(), "nested begin_func");
+        self.open_func = Some((name.into(), self.here()));
+        self
+    }
+
+    /// Closes the currently open function.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no function is open.
+    pub fn end_func(&mut self) -> &mut Self {
+        let (name, entry) = self.open_func.take().expect("end_func without begin_func");
+        self.funcs.push(Function {
+            name,
+            entry,
+            end: self.here(),
+        });
+        self
+    }
+
+    /// Emits a raw opcode.
+    pub fn emit(&mut self, op: Opcode) -> &mut Self {
+        self.insns.push(Insn::new(op));
+        self
+    }
+
+    // --- Integer ALU -------------------------------------------------------
+
+    pub fn add(&mut self, rd: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.emit(Opcode::Add(rd, a, b))
+    }
+    pub fn sub(&mut self, rd: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.emit(Opcode::Sub(rd, a, b))
+    }
+    pub fn mul(&mut self, rd: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.emit(Opcode::Mul(rd, a, b))
+    }
+    pub fn div(&mut self, rd: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.emit(Opcode::Div(rd, a, b))
+    }
+    pub fn rem(&mut self, rd: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.emit(Opcode::Rem(rd, a, b))
+    }
+    pub fn and(&mut self, rd: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.emit(Opcode::And(rd, a, b))
+    }
+    pub fn or(&mut self, rd: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.emit(Opcode::Or(rd, a, b))
+    }
+    pub fn xor(&mut self, rd: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.emit(Opcode::Xor(rd, a, b))
+    }
+    pub fn shl(&mut self, rd: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.emit(Opcode::Shl(rd, a, b))
+    }
+    pub fn shr(&mut self, rd: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.emit(Opcode::Shr(rd, a, b))
+    }
+    pub fn addi(&mut self, rd: Reg, a: Reg, imm: i64) -> &mut Self {
+        self.emit(Opcode::AddI(rd, a, imm))
+    }
+    pub fn subi(&mut self, rd: Reg, a: Reg, imm: i64) -> &mut Self {
+        self.emit(Opcode::SubI(rd, a, imm))
+    }
+    pub fn muli(&mut self, rd: Reg, a: Reg, imm: i64) -> &mut Self {
+        self.emit(Opcode::MulI(rd, a, imm))
+    }
+    pub fn andi(&mut self, rd: Reg, a: Reg, imm: i64) -> &mut Self {
+        self.emit(Opcode::AndI(rd, a, imm))
+    }
+    pub fn xori(&mut self, rd: Reg, a: Reg, imm: i64) -> &mut Self {
+        self.emit(Opcode::XorI(rd, a, imm))
+    }
+    pub fn mov(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.emit(Opcode::Mov(rd, rs))
+    }
+    pub fn movi(&mut self, rd: Reg, imm: i64) -> &mut Self {
+        self.emit(Opcode::MovI(rd, imm))
+    }
+
+    // --- Floating point -----------------------------------------------------
+
+    pub fn fadd(&mut self, fd: FReg, a: FReg, b: FReg) -> &mut Self {
+        self.emit(Opcode::FAdd(fd, a, b))
+    }
+    pub fn fsub(&mut self, fd: FReg, a: FReg, b: FReg) -> &mut Self {
+        self.emit(Opcode::FSub(fd, a, b))
+    }
+    pub fn fmul(&mut self, fd: FReg, a: FReg, b: FReg) -> &mut Self {
+        self.emit(Opcode::FMul(fd, a, b))
+    }
+    pub fn fdiv(&mut self, fd: FReg, a: FReg, b: FReg) -> &mut Self {
+        self.emit(Opcode::FDiv(fd, a, b))
+    }
+    pub fn fsqrt(&mut self, fd: FReg, a: FReg) -> &mut Self {
+        self.emit(Opcode::FSqrt(fd, a))
+    }
+    pub fn fmov(&mut self, fd: FReg, a: FReg) -> &mut Self {
+        self.emit(Opcode::FMov(fd, a))
+    }
+    pub fn fmovi(&mut self, fd: FReg, v: f64) -> &mut Self {
+        self.emit(Opcode::FMovI(fd, v))
+    }
+    pub fn cvt_if(&mut self, fd: FReg, rs: Reg) -> &mut Self {
+        self.emit(Opcode::CvtIF(fd, rs))
+    }
+    pub fn cvt_fi(&mut self, rd: Reg, fs: FReg) -> &mut Self {
+        self.emit(Opcode::CvtFI(rd, fs))
+    }
+
+    // --- Memory ---------------------------------------------------------------
+
+    pub fn load(&mut self, rd: Reg, base: Reg, off: i64) -> &mut Self {
+        self.emit(Opcode::Load(rd, base, off))
+    }
+    pub fn store(&mut self, val: Reg, base: Reg, off: i64) -> &mut Self {
+        self.emit(Opcode::Store(val, base, off))
+    }
+    pub fn fload(&mut self, fd: FReg, base: Reg, off: i64) -> &mut Self {
+        self.emit(Opcode::FLoad(fd, base, off))
+    }
+    pub fn fstore(&mut self, val: FReg, base: Reg, off: i64) -> &mut Self {
+        self.emit(Opcode::FStore(val, base, off))
+    }
+
+    // --- Control flow ---------------------------------------------------------
+
+    /// Emits an unconditional jump to `label`.
+    pub fn jmp(&mut self, label: Label) -> &mut Self {
+        self.label_fixups.push((self.insns.len(), label));
+        self.emit(Opcode::Jmp(0))
+    }
+
+    /// Emits an indirect jump through `rs` (target computed at run time).
+    pub fn jmp_ind(&mut self, rs: Reg) -> &mut Self {
+        self.emit(Opcode::JmpInd(rs))
+    }
+
+    /// Emits a conditional branch to `label`.
+    pub fn br(&mut self, cond: Cond, a: Reg, b: Reg, label: Label) -> &mut Self {
+        self.label_fixups.push((self.insns.len(), label));
+        self.emit(Opcode::Br(cond, a, b, 0))
+    }
+
+    /// Emits a branch-if-zero to `label`.
+    pub fn brz(&mut self, r: Reg, label: Label) -> &mut Self {
+        self.label_fixups.push((self.insns.len(), label));
+        self.emit(Opcode::Brz(r, 0))
+    }
+
+    /// Emits a branch-if-nonzero to `label`.
+    pub fn brnz(&mut self, r: Reg, label: Label) -> &mut Self {
+        self.label_fixups.push((self.insns.len(), label));
+        self.emit(Opcode::Brnz(r, 0))
+    }
+
+    /// Emits a direct call to the function named `callee` (which may be
+    /// defined later).
+    pub fn call(&mut self, callee: impl Into<String>) -> &mut Self {
+        self.call_fixups.push((self.insns.len(), callee.into()));
+        self.emit(Opcode::Call(0))
+    }
+
+    /// Emits an indirect call through `rs`.
+    pub fn call_ind(&mut self, rs: Reg) -> &mut Self {
+        self.emit(Opcode::CallInd(rs))
+    }
+
+    pub fn ret(&mut self) -> &mut Self {
+        self.emit(Opcode::Ret)
+    }
+    pub fn nop(&mut self) -> &mut Self {
+        self.emit(Opcode::Nop)
+    }
+    pub fn halt(&mut self) -> &mut Self {
+        self.emit(Opcode::Halt)
+    }
+
+    /// Resolves fixups, closes the symbol table and validates the program.
+    pub fn build(mut self) -> Result<Program, IsaError> {
+        assert!(self.open_func.is_none(), "build with an open function");
+        // Patch label references.
+        for (idx, label) in std::mem::take(&mut self.label_fixups) {
+            let addr =
+                self.labels[label.0 as usize].ok_or(IsaError::UnboundLabel { label: label.0 })?;
+            self.insns[idx].op = match self.insns[idx].op {
+                Opcode::Jmp(_) => Opcode::Jmp(addr),
+                Opcode::Br(c, a, b, _) => Opcode::Br(c, a, b, addr),
+                Opcode::Brz(r, _) => Opcode::Brz(r, addr),
+                Opcode::Brnz(r, _) => Opcode::Brnz(r, addr),
+                other => other,
+            };
+        }
+        // Patch call-by-name references.
+        for (idx, name) in std::mem::take(&mut self.call_fixups) {
+            let f = self.funcs.iter().find(|f| f.name == name).ok_or_else(|| {
+                IsaError::MalformedSymbolTable {
+                    detail: format!("call to undefined function `{name}`"),
+                }
+            })?;
+            self.insns[idx].op = Opcode::Call(f.entry);
+        }
+        let mut p = Program::new(
+            self.name,
+            self.insns,
+            SymbolTable::new(self.funcs),
+            self.data_words,
+        )?;
+        p.init_data = self.init_data;
+        Ok(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::names::*;
+
+    #[test]
+    fn forward_branch_is_patched() {
+        let mut b = ProgramBuilder::new("t");
+        b.begin_func("main");
+        let skip = b.new_label();
+        b.movi(R1, 0);
+        b.brz(R1, skip);
+        b.movi(R2, 1);
+        b.bind(skip).unwrap();
+        b.halt();
+        b.end_func();
+        let p = b.build().unwrap();
+        assert_eq!(p.insns[1].op, Opcode::Brz(R1, 3));
+    }
+
+    #[test]
+    fn call_forward_function() {
+        let mut b = ProgramBuilder::new("t");
+        b.begin_func("main");
+        b.call("helper");
+        b.halt();
+        b.end_func();
+        b.begin_func("helper");
+        b.ret();
+        b.end_func();
+        let p = b.build().unwrap();
+        assert_eq!(p.insns[0].op, Opcode::Call(2));
+        assert_eq!(p.symbols.by_name("helper").unwrap().entry, 2);
+    }
+
+    #[test]
+    fn unbound_label_errors() {
+        let mut b = ProgramBuilder::new("t");
+        b.begin_func("main");
+        let l = b.new_label();
+        b.jmp(l);
+        b.halt();
+        b.end_func();
+        assert!(matches!(b.build(), Err(IsaError::UnboundLabel { .. })));
+    }
+
+    #[test]
+    fn rebound_label_errors() {
+        let mut b = ProgramBuilder::new("t");
+        b.begin_func("main");
+        let l = b.here_label();
+        b.nop();
+        assert!(matches!(b.bind(l), Err(IsaError::LabelRebound { .. })));
+        b.halt();
+        b.end_func();
+    }
+
+    #[test]
+    fn call_to_missing_function_errors() {
+        let mut b = ProgramBuilder::new("t");
+        b.begin_func("main");
+        b.call("nope");
+        b.halt();
+        b.end_func();
+        assert!(matches!(
+            b.build(),
+            Err(IsaError::MalformedSymbolTable { .. })
+        ));
+    }
+
+    #[test]
+    fn init_data_grows_segment() {
+        let mut b = ProgramBuilder::new("t");
+        b.init(100, 7);
+        b.begin_func("main");
+        b.halt();
+        b.end_func();
+        let p = b.build().unwrap();
+        assert!(p.data_words >= 101);
+        assert_eq!(p.init_data, vec![(100, 7)]);
+    }
+}

@@ -1,0 +1,123 @@
+//! Disassembly: rendering instructions and programs as assembler text.
+//!
+//! The format round-trips through [`crate::asm::assemble`]; property tests in
+//! the assembler module rely on this.
+
+use crate::insn::{Insn, Opcode};
+use crate::program::Program;
+use std::fmt;
+use std::fmt::Write as _;
+
+impl fmt::Display for Insn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Opcode::*;
+        match self.op {
+            Add(d, a, b) => write!(f, "add {d}, {a}, {b}"),
+            Sub(d, a, b) => write!(f, "sub {d}, {a}, {b}"),
+            Mul(d, a, b) => write!(f, "mul {d}, {a}, {b}"),
+            Div(d, a, b) => write!(f, "div {d}, {a}, {b}"),
+            Rem(d, a, b) => write!(f, "rem {d}, {a}, {b}"),
+            And(d, a, b) => write!(f, "and {d}, {a}, {b}"),
+            Or(d, a, b) => write!(f, "or {d}, {a}, {b}"),
+            Xor(d, a, b) => write!(f, "xor {d}, {a}, {b}"),
+            Shl(d, a, b) => write!(f, "shl {d}, {a}, {b}"),
+            Shr(d, a, b) => write!(f, "shr {d}, {a}, {b}"),
+            AddI(d, a, i) => write!(f, "addi {d}, {a}, {i}"),
+            SubI(d, a, i) => write!(f, "subi {d}, {a}, {i}"),
+            MulI(d, a, i) => write!(f, "muli {d}, {a}, {i}"),
+            AndI(d, a, i) => write!(f, "andi {d}, {a}, {i}"),
+            XorI(d, a, i) => write!(f, "xori {d}, {a}, {i}"),
+            Mov(d, s) => write!(f, "mov {d}, {s}"),
+            MovI(d, i) => write!(f, "movi {d}, {i}"),
+            FAdd(d, a, b) => write!(f, "fadd {d}, {a}, {b}"),
+            FSub(d, a, b) => write!(f, "fsub {d}, {a}, {b}"),
+            FMul(d, a, b) => write!(f, "fmul {d}, {a}, {b}"),
+            FDiv(d, a, b) => write!(f, "fdiv {d}, {a}, {b}"),
+            FSqrt(d, a) => write!(f, "fsqrt {d}, {a}"),
+            FMov(d, a) => write!(f, "fmov {d}, {a}"),
+            FMovI(d, v) => write!(f, "fmovi {d}, {v:?}"),
+            CvtIF(d, s) => write!(f, "cvtif {d}, {s}"),
+            CvtFI(d, s) => write!(f, "cvtfi {d}, {s}"),
+            Load(d, b, o) => write!(f, "load {d}, [{b}{o:+}]"),
+            Store(v, b, o) => write!(f, "store {v}, [{b}{o:+}]"),
+            FLoad(d, b, o) => write!(f, "fload {d}, [{b}{o:+}]"),
+            FStore(v, b, o) => write!(f, "fstore {v}, [{b}{o:+}]"),
+            Jmp(t) => write!(f, "jmp @{t}"),
+            JmpInd(r) => write!(f, "jmpind {r}"),
+            Br(c, a, b, t) => write!(f, "br{} {a}, {b}, @{t}", c.mnemonic()),
+            Brz(r, t) => write!(f, "brz {r}, @{t}"),
+            Brnz(r, t) => write!(f, "brnz {r}, @{t}"),
+            Call(t) => write!(f, "call @{t}"),
+            CallInd(r) => write!(f, "callind {r}"),
+            Ret => write!(f, "ret"),
+            Nop => write!(f, "nop"),
+            Halt => write!(f, "halt"),
+        }
+    }
+}
+
+/// Renders a whole program as annotated assembler text: function headers,
+/// addresses and instructions. Intended for debugging and golden tests, not
+/// for re-assembly (it uses `@addr` numeric targets rather than labels).
+#[must_use]
+pub fn disassemble(program: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "; program: {} ({} insns)", program.name, program.len());
+    for (i, insn) in program.insns.iter().enumerate() {
+        if let Some(func) = program
+            .symbols
+            .functions()
+            .iter()
+            .find(|f| f.entry == i as u32)
+        {
+            let _ = writeln!(out, "{}:", func.name);
+        }
+        let _ = writeln!(out, "  {i:6}  {insn}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Function, SymbolTable};
+    use crate::reg::names::*;
+
+    #[test]
+    fn renders_instructions() {
+        assert_eq!(
+            Insn::new(Opcode::Add(R1, R2, R3)).to_string(),
+            "add r1, r2, r3"
+        );
+        assert_eq!(
+            Insn::new(Opcode::Load(R1, R2, -8)).to_string(),
+            "load r1, [r2-8]"
+        );
+        assert_eq!(
+            Insn::new(Opcode::Store(R1, R2, 4)).to_string(),
+            "store r1, [r2+4]"
+        );
+        assert_eq!(
+            Insn::new(Opcode::Br(crate::Cond::Lt, R1, R2, 7)).to_string(),
+            "brlt r1, r2, @7"
+        );
+        assert_eq!(
+            Insn::new(Opcode::FMovI(F1, 1.5)).to_string(),
+            "fmovi f1, 1.5"
+        );
+    }
+
+    #[test]
+    fn disassemble_includes_function_names() {
+        let insns = vec![Insn::new(Opcode::Nop), Insn::new(Opcode::Halt)];
+        let sym = SymbolTable::new(vec![Function {
+            name: "main".into(),
+            entry: 0,
+            end: 2,
+        }]);
+        let p = Program::new("t", insns, sym, 0).unwrap();
+        let text = disassemble(&p);
+        assert!(text.contains("main:"));
+        assert!(text.contains("halt"));
+    }
+}

@@ -1,0 +1,68 @@
+//! Error types for program construction, validation and assembly.
+
+use crate::insn::Addr;
+use std::fmt;
+
+/// Errors produced by this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IsaError {
+    /// A control-flow target points outside the program.
+    TargetOutOfRange { at: Addr, target: Addr },
+    /// A `call` target is not a known function entry.
+    CallTargetNotFunction { at: Addr, target: Addr },
+    /// Function address ranges overlap or are out of order.
+    MalformedSymbolTable { detail: String },
+    /// The program has no instructions.
+    EmptyProgram,
+    /// The last instruction can fall off the end of the program.
+    FallsOffEnd,
+    /// Assembler: syntax error.
+    Parse { line: usize, detail: String },
+    /// Assembler: a label was referenced but never defined.
+    UndefinedLabel { line: usize, label: String },
+    /// Assembler: a label was defined more than once.
+    DuplicateLabel { line: usize, label: String },
+    /// Builder: a label was bound more than once.
+    LabelRebound { label: u32 },
+    /// Builder: an emitted reference was never bound.
+    UnboundLabel { label: u32 },
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::TargetOutOfRange { at, target } => {
+                write!(f, "instruction {at}: branch target {target} out of range")
+            }
+            IsaError::CallTargetNotFunction { at, target } => {
+                write!(
+                    f,
+                    "instruction {at}: call target {target} is not a function entry"
+                )
+            }
+            IsaError::MalformedSymbolTable { detail } => {
+                write!(f, "malformed symbol table: {detail}")
+            }
+            IsaError::EmptyProgram => write!(f, "program has no instructions"),
+            IsaError::FallsOffEnd => {
+                write!(
+                    f,
+                    "control can fall off the end of the program (missing halt/ret)"
+                )
+            }
+            IsaError::Parse { line, detail } => write!(f, "line {line}: {detail}"),
+            IsaError::UndefinedLabel { line, label } => {
+                write!(f, "line {line}: undefined label `{label}`")
+            }
+            IsaError::DuplicateLabel { line, label } => {
+                write!(f, "line {line}: duplicate label `{label}`")
+            }
+            IsaError::LabelRebound { label } => write!(f, "builder label {label} bound twice"),
+            IsaError::UnboundLabel { label } => {
+                write!(f, "builder label {label} referenced but never bound")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IsaError {}

@@ -1,0 +1,109 @@
+//! Prime-number utilities for sampling periods.
+//!
+//! The paper's "precise with prime period" methods replace round sampling
+//! periods (e.g. 2,000,000) with nearby primes (2,000,003) to avoid
+//! synchronizing with loop trip counts. These helpers pick such periods.
+
+/// Deterministic Miller-Rabin primality test, exact for all `u64`.
+#[must_use]
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n.is_multiple_of(p) {
+            return false;
+        }
+    }
+    // Write n-1 = d * 2^r.
+    let mut d = n - 1;
+    let mut r = 0u32;
+    while d.is_multiple_of(2) {
+        d /= 2;
+        r += 1;
+    }
+    // These witnesses are sufficient for all n < 2^64.
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = mod_pow(a % n, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..r - 1 {
+            x = mod_mul(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// The smallest prime `>= n` (`2` when `n <= 2`).
+#[must_use]
+pub fn next_prime(n: u64) -> u64 {
+    let mut c = n.max(2);
+    while !is_prime(c) {
+        c += 1;
+    }
+    c
+}
+
+fn mod_mul(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+fn mod_pow(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    let mut acc = 1u64 % m;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mod_mul(acc, base, m);
+        }
+        base = mod_mul(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes() {
+        let primes = [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47];
+        for n in 0..50u64 {
+            assert_eq!(is_prime(n), primes.contains(&n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn paper_period() {
+        // The paper's example prime period.
+        assert!(is_prime(2_000_003));
+        assert!(!is_prime(2_000_000));
+        assert_eq!(next_prime(2_000_000), 2_000_003);
+    }
+
+    #[test]
+    fn scaled_periods() {
+        assert_eq!(next_prime(20_000), 20_011);
+        assert_eq!(next_prime(100_000), 100_003);
+        assert_eq!(next_prime(2), 2);
+        assert_eq!(next_prime(0), 2);
+    }
+
+    #[test]
+    fn large_values() {
+        // Carmichael numbers must not fool the test.
+        assert!(!is_prime(561));
+        assert!(!is_prime(1_105));
+        assert!(!is_prime(52_633));
+        // A large known prime (2^61 - 1 is a Mersenne prime).
+        assert!(is_prime((1u64 << 61) - 1));
+    }
+}

@@ -1,0 +1,167 @@
+//! Architectural register names.
+//!
+//! The machine has 16 integer registers (`r0`..`r15`) and 16 floating-point
+//! registers (`f0`..`f15`). `r0` is a normal register (not hardwired to
+//! zero); workload generators use a simple calling convention where `r0` is
+//! the return value, `r1`-`r5` are argument registers and `r12`-`r15` are
+//! callee-saved scratch.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of integer registers.
+pub const NUM_REGS: usize = 16;
+/// Number of floating-point registers.
+pub const NUM_FREGS: usize = 16;
+
+/// An integer register name (`r0`..`r15`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Creates a register name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= NUM_REGS`; register names are almost always
+    /// compile-time constants, so a fallible constructor would only add
+    /// noise (use [`Reg::try_new`] for parsed input).
+    #[must_use]
+    pub const fn new(idx: u8) -> Self {
+        assert!(idx < NUM_REGS as u8, "integer register index out of range");
+        Self(idx)
+    }
+
+    /// Creates a register name, returning `None` when out of range.
+    #[must_use]
+    pub const fn try_new(idx: u8) -> Option<Self> {
+        if idx < NUM_REGS as u8 {
+            Some(Self(idx))
+        } else {
+            None
+        }
+    }
+
+    /// Returns the register index (0..16).
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A floating-point register name (`f0`..`f15`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FReg(u8);
+
+impl FReg {
+    /// Creates a floating-point register name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= NUM_FREGS` (see [`Reg::new`] for rationale).
+    #[must_use]
+    pub const fn new(idx: u8) -> Self {
+        assert!(idx < NUM_FREGS as u8, "fp register index out of range");
+        Self(idx)
+    }
+
+    /// Creates a floating-point register name, returning `None` when out of
+    /// range.
+    #[must_use]
+    pub const fn try_new(idx: u8) -> Option<Self> {
+        if idx < NUM_FREGS as u8 {
+            Some(Self(idx))
+        } else {
+            None
+        }
+    }
+
+    /// Returns the register index (0..16).
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Convenience constants for the integer registers.
+pub mod names {
+    use super::{FReg, Reg};
+
+    pub const R0: Reg = Reg::new(0);
+    pub const R1: Reg = Reg::new(1);
+    pub const R2: Reg = Reg::new(2);
+    pub const R3: Reg = Reg::new(3);
+    pub const R4: Reg = Reg::new(4);
+    pub const R5: Reg = Reg::new(5);
+    pub const R6: Reg = Reg::new(6);
+    pub const R7: Reg = Reg::new(7);
+    pub const R8: Reg = Reg::new(8);
+    pub const R9: Reg = Reg::new(9);
+    pub const R10: Reg = Reg::new(10);
+    pub const R11: Reg = Reg::new(11);
+    pub const R12: Reg = Reg::new(12);
+    pub const R13: Reg = Reg::new(13);
+    pub const R14: Reg = Reg::new(14);
+    pub const R15: Reg = Reg::new(15);
+
+    pub const F0: FReg = FReg::new(0);
+    pub const F1: FReg = FReg::new(1);
+    pub const F2: FReg = FReg::new(2);
+    pub const F3: FReg = FReg::new(3);
+    pub const F4: FReg = FReg::new(4);
+    pub const F5: FReg = FReg::new(5);
+    pub const F6: FReg = FReg::new(6);
+    pub const F7: FReg = FReg::new(7);
+    pub const F8: FReg = FReg::new(8);
+    pub const F9: FReg = FReg::new(9);
+    pub const F10: FReg = FReg::new(10);
+    pub const F11: FReg = FReg::new(11);
+    pub const F12: FReg = FReg::new(12);
+    pub const F13: FReg = FReg::new(13);
+    pub const F14: FReg = FReg::new(14);
+    pub const F15: FReg = FReg::new(15);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_roundtrip() {
+        for i in 0..NUM_REGS as u8 {
+            assert_eq!(Reg::new(i).index(), i as usize);
+        }
+    }
+
+    #[test]
+    fn try_new_bounds() {
+        assert!(Reg::try_new(15).is_some());
+        assert!(Reg::try_new(16).is_none());
+        assert!(FReg::try_new(15).is_some());
+        assert!(FReg::try_new(16).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_panics_out_of_range() {
+        let _ = Reg::new(16);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Reg::new(3).to_string(), "r3");
+        assert_eq!(FReg::new(7).to_string(), "f7");
+    }
+}

@@ -1,0 +1,303 @@
+//! Counting-mode counters and multiplexing.
+//!
+//! The paper's related work (§2.5 — Mytkowicz, Weaver) studies PMU trust
+//! in *counting* mode: free-running counters read at the end of a run.
+//! Two effects dominate there and are modeled here:
+//!
+//! * **overcount**: some events tick more than the architectural ideal
+//!   (modeled per event as a small deterministic inflation, e.g. counting
+//!   uops for instructions);
+//! * **multiplexing**: more events than hardware counters forces
+//!   time-slicing; each event is observed for a fraction of the run and
+//!   linearly extrapolated, which is exact only for phase-free workloads.
+//!
+//! This extends the sampling study with the counting-mode base of trust
+//! the title alludes to, and lets tests quantify multiplexing error on
+//! phased workloads (e.g. mcf's init/chase phases).
+
+use crate::event::PmuEvent;
+use ct_sim::{MachineModel, RetireEvent, RetireObserver};
+use serde::{Deserialize, Serialize};
+
+/// One multiplexed counting session.
+#[derive(Debug)]
+pub struct CountingSession {
+    events: Vec<PmuEvent>,
+    /// True (un-multiplexed) event counts, for ground truth.
+    exact: Vec<u64>,
+    /// Counts observed while each event was scheduled on a counter.
+    observed: Vec<u64>,
+    /// Cycles during which each event was scheduled.
+    scheduled_cycles: Vec<u64>,
+    /// Hardware counters available.
+    slots: usize,
+    /// Multiplex rotation interval in cycles.
+    interval: u64,
+    total_cycles: u64,
+    last_cycle: u64,
+    /// Index of the first scheduled event in the current rotation.
+    rotation: usize,
+}
+
+/// The result for one event after a counting run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EventCount {
+    pub event: PmuEvent,
+    /// The linearly-extrapolated (tool-visible) estimate.
+    pub estimated: f64,
+    /// The exact count (simulation ground truth).
+    pub exact: u64,
+    /// Fraction of the run the event was actually scheduled.
+    pub coverage: f64,
+}
+
+impl EventCount {
+    /// Relative extrapolation error.
+    #[must_use]
+    pub fn relative_error(&self) -> f64 {
+        if self.exact == 0 {
+            0.0
+        } else {
+            (self.estimated - self.exact as f64).abs() / self.exact as f64
+        }
+    }
+}
+
+impl CountingSession {
+    /// Creates a session counting `events` on `machine`, which provides
+    /// `slots` general-purpose counters rotated every `interval` cycles
+    /// (perf's default multiplexing is timer-driven; cycle-driven is the
+    /// simulation equivalent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots == 0`, `interval == 0`, or `events` is empty.
+    #[must_use]
+    pub fn new(
+        _machine: &MachineModel,
+        events: Vec<PmuEvent>,
+        slots: usize,
+        interval: u64,
+    ) -> Self {
+        assert!(slots > 0 && interval > 0 && !events.is_empty());
+        let n = events.len();
+        Self {
+            events,
+            exact: vec![0; n],
+            observed: vec![0; n],
+            scheduled_cycles: vec![0; n],
+            slots,
+            interval,
+            total_cycles: 0,
+            last_cycle: 0,
+            rotation: 0,
+        }
+    }
+
+    fn scheduled(&self, idx: usize) -> bool {
+        let n = self.events.len();
+        if n <= self.slots {
+            return true;
+        }
+        // Events [rotation, rotation+slots) are on counters.
+        let off = (idx + n - self.rotation) % n;
+        off < self.slots
+    }
+
+    /// Results after the run.
+    #[must_use]
+    pub fn results(&self) -> Vec<EventCount> {
+        self.events
+            .iter()
+            .enumerate()
+            .map(|(i, &event)| {
+                let coverage = if self.total_cycles == 0 {
+                    1.0
+                } else {
+                    self.scheduled_cycles[i] as f64 / self.total_cycles as f64
+                };
+                let estimated = if coverage > 0.0 {
+                    self.observed[i] as f64 / coverage
+                } else {
+                    0.0
+                };
+                EventCount {
+                    event,
+                    estimated,
+                    exact: self.exact[i],
+                    coverage,
+                }
+            })
+            .collect()
+    }
+}
+
+impl RetireObserver for CountingSession {
+    fn on_retire(&mut self, ev: &RetireEvent) {
+        // Rotate on interval boundaries.
+        let slice_now = ev.cycle / self.interval;
+        let slice_then = self.last_cycle / self.interval;
+        if slice_now != slice_then && self.events.len() > self.slots {
+            let advance = (slice_now - slice_then) as usize * self.slots;
+            self.rotation = (self.rotation + advance) % self.events.len();
+        }
+        let delta = ev.cycle.saturating_sub(self.last_cycle);
+        for i in 0..self.events.len() {
+            let inc = self.events[i].increment(ev);
+            self.exact[i] += inc;
+            if self.scheduled(i) {
+                self.observed[i] += inc;
+                self.scheduled_cycles[i] += delta;
+            }
+        }
+        self.last_cycle = ev.cycle;
+        self.total_cycles = ev.cycle;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_isa::reg::names::*;
+    use ct_isa::ProgramBuilder;
+    use ct_sim::{Cpu, RunConfig};
+
+    fn steady_program(n: i64) -> ct_isa::Program {
+        let mut b = ProgramBuilder::new("steady");
+        b.begin_func("main");
+        b.movi(R1, n);
+        let top = b.here_label();
+        b.addi(R2, R2, 1);
+        b.mul(R3, R2, R2);
+        b.subi(R1, R1, 1);
+        b.brnz(R1, top);
+        b.halt();
+        b.end_func();
+        b.build().unwrap()
+    }
+
+    /// A two-phase program: pure ALU phase then pure branch-dense phase.
+    fn phased_program(n: i64) -> ct_isa::Program {
+        let mut b = ProgramBuilder::new("phased");
+        b.begin_func("main");
+        b.movi(R1, n);
+        let top1 = b.here_label();
+        for _ in 0..16 {
+            b.addi(R2, R2, 1);
+        }
+        b.subi(R1, R1, 1);
+        b.brnz(R1, top1);
+        b.movi(R1, n * 4);
+        let top2 = b.here_label();
+        b.subi(R1, R1, 1);
+        b.brnz(R1, top2); // taken-branch dense phase
+        b.halt();
+        b.end_func();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn unmultiplexed_counting_is_exact() {
+        let m = MachineModel::ivy_bridge();
+        let p = steady_program(10_000);
+        let mut s = CountingSession::new(
+            &m,
+            vec![PmuEvent::InstRetiredAny, PmuEvent::BrInstRetiredNearTaken],
+            4,
+            1_000,
+        );
+        let summary = Cpu::new(&m)
+            .run(&p, &RunConfig::default(), &mut [&mut s])
+            .unwrap();
+        for r in s.results() {
+            assert_eq!(r.coverage, 1.0);
+            assert_eq!(r.estimated, r.exact as f64);
+        }
+        let res = s.results();
+        assert_eq!(res[0].exact, summary.instructions);
+        assert_eq!(res[1].exact, summary.taken_branches);
+    }
+
+    #[test]
+    fn multiplexed_counting_extrapolates_well_on_steady_state() {
+        let m = MachineModel::ivy_bridge();
+        let p = steady_program(200_000);
+        // 4 events on 1 counter: 25% coverage each.
+        let events = vec![
+            PmuEvent::InstRetiredAny,
+            PmuEvent::BrInstRetiredNearTaken,
+            PmuEvent::InstRetiredAll,
+            PmuEvent::IbsOp,
+        ];
+        let mut s = CountingSession::new(&m, events, 1, 2_000);
+        Cpu::new(&m)
+            .run(&p, &RunConfig::default(), &mut [&mut s])
+            .unwrap();
+        for r in s.results() {
+            assert!(r.coverage < 0.35, "multiplexed coverage {}", r.coverage);
+            assert!(
+                r.relative_error() < 0.05,
+                "{:?}: steady-state extrapolation off by {:.3}",
+                r.event,
+                r.relative_error()
+            );
+        }
+    }
+
+    #[test]
+    fn multiplexing_misestimates_phased_workloads() {
+        let m = MachineModel::ivy_bridge();
+        let p = phased_program(30_000);
+        // Coarse rotation comparable to the phase length maximizes the
+        // classic multiplexing artifact.
+        let events = vec![
+            PmuEvent::InstRetiredAny,
+            PmuEvent::BrInstRetiredNearTaken,
+            PmuEvent::InstRetiredAll,
+            PmuEvent::IbsOp,
+        ];
+        let mut s = CountingSession::new(&m, events, 1, 100_000);
+        Cpu::new(&m)
+            .run(&p, &RunConfig::default(), &mut [&mut s])
+            .unwrap();
+        let worst = s
+            .results()
+            .iter()
+            .map(EventCount::relative_error)
+            .fold(0.0f64, f64::max);
+        assert!(
+            worst > 0.10,
+            "phased workload should defeat coarse multiplexing, worst {worst:.3}"
+        );
+    }
+
+    #[test]
+    fn fine_rotation_beats_coarse_rotation_on_phases() {
+        let m = MachineModel::ivy_bridge();
+        let p = phased_program(30_000);
+        let events = || {
+            vec![
+                PmuEvent::InstRetiredAny,
+                PmuEvent::BrInstRetiredNearTaken,
+                PmuEvent::InstRetiredAll,
+                PmuEvent::IbsOp,
+            ]
+        };
+        let run = |interval: u64| {
+            let mut s = CountingSession::new(&m, events(), 1, interval);
+            Cpu::new(&m)
+                .run(&p, &RunConfig::default(), &mut [&mut s])
+                .unwrap();
+            s.results()
+                .iter()
+                .map(EventCount::relative_error)
+                .fold(0.0f64, f64::max)
+        };
+        let fine = run(500);
+        let coarse = run(100_000);
+        assert!(
+            fine < coarse,
+            "finer rotation should reduce phase aliasing: {fine:.3} vs {coarse:.3}"
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! `ct-pmu` — the Performance Monitoring Unit model.
+//!
+//! This crate models the sampling hardware whose accuracy the paper
+//! evaluates, as an observer of the `ct-sim` retirement stream:
+//!
+//! * **counters** with programmable period and overflow (→ PMI);
+//! * **imprecise sampling** ("classic"): the PMI is delivered a skid of
+//!   `pmi_latency`+jitter cycles after overflow and reports the address of
+//!   the instruction retiring at delivery time — so long-latency
+//!   instructions at the retirement head soak up samples (the *shadow*
+//!   effect) and everything skids by dozens of instructions;
+//! * **PEBS**: overflow arms a capture that fires on the first event of a
+//!   *later* retirement cycle (burst/cycle-boundary arming bias — "the
+//!   distribution of samples is not guaranteed") and reports **IP+1**;
+//! * **PDIR** (`INST_RETIRED.PREC_DIST`, Ivy Bridge): captures the exact
+//!   overflowing instruction — precisely distributed — still reporting the
+//!   IP+1 artifact;
+//! * **IBS** (AMD): counts and tags *uops*, reporting the exact IP of the
+//!   instruction owning the tagged uop — multi-uop instructions are
+//!   proportionally oversampled relative to instruction counts;
+//! * **LBR**: a ring of the last N taken branches, frozen and attached to
+//!   samples on request, with an optional call-stack mode that collides
+//!   with basic-block use (§6.2);
+//! * **period control**: round or prime nominal periods, software
+//!   randomization, and AMD's built-in 4-LSB hardware randomization.
+
+pub mod counting;
+pub mod error;
+pub mod event;
+pub mod lbr;
+pub mod period;
+pub mod sample;
+pub mod sampler;
+
+pub use counting::{CountingSession, EventCount};
+pub use error::PmuError;
+pub use event::PmuEvent;
+pub use lbr::{LbrEntry, LbrFilter, LbrMode, LbrStack};
+pub use period::{PeriodGenerator, PeriodSpec, Randomization};
+pub use sample::{Sample, SampleBatch};
+pub use sampler::{Precision, Sampler, SamplerConfig, SamplerStats};

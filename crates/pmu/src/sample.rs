@@ -1,0 +1,77 @@
+//! Sample records produced by the sampler.
+
+use crate::lbr::LbrEntry;
+use ct_isa::Addr;
+use serde::{Deserialize, Serialize};
+
+/// One PMU sample.
+///
+/// `reported_ip` is what real tooling would see; `trigger_*` fields are
+/// simulation-only ground truth used to quantify skid (they have no
+/// hardware equivalent and must not be consulted by attribution code —
+/// the integration tests enforce this separation by comparing methods that
+/// only read `reported_ip` and `lbr`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Sample {
+    /// The instruction address the PMU reports for this sample.
+    pub reported_ip: Addr,
+    /// Ground truth: the instruction whose retirement overflowed the
+    /// counter.
+    pub trigger_ip: Addr,
+    /// Ground truth: retirement sequence number of the trigger.
+    pub trigger_seq: u64,
+    /// Retirement sequence number of the instruction whose address was
+    /// reported (measures skid in instructions).
+    pub reported_seq: u64,
+    /// Cycle at which the sample was recorded.
+    pub cycle: u64,
+    /// Frozen LBR contents (oldest first), when LBR collection was on.
+    pub lbr: Option<Vec<LbrEntry>>,
+}
+
+impl Sample {
+    /// Skid in retired instructions between trigger and report.
+    #[must_use]
+    pub fn skid_instructions(&self) -> u64 {
+        self.reported_seq.abs_diff(self.trigger_seq)
+    }
+}
+
+/// All samples from one run plus bookkeeping.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SampleBatch {
+    pub samples: Vec<Sample>,
+    /// PMIs lost because a previous PMI was still in flight.
+    pub dropped_collisions: u64,
+    /// PMIs lost to injected failure (see `SamplerConfig::pmi_drop_rate`).
+    pub dropped_injected: u64,
+    /// Total event count observed (the denominator for sample-rate checks).
+    pub total_events: u64,
+}
+
+impl SampleBatch {
+    /// Number of collected samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples were collected.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean skid in instructions across all samples.
+    #[must_use]
+    pub fn mean_skid(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples
+            .iter()
+            .map(Sample::skid_instructions)
+            .sum::<u64>() as f64
+            / self.samples.len() as f64
+    }
+}

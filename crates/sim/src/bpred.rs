@@ -1,0 +1,132 @@
+//! Branch prediction: a bimodal direction predictor plus a last-target
+//! table for indirect transfers.
+//!
+//! Mispredictions insert retirement bubbles, which matters to the sampling
+//! experiments in two ways: branch-heavy code develops "burst heads" after
+//! each bubble (attracting imprecise samples), and the fragmented
+//! enterprise proxies with indirect calls (omnetpp, FullCMS) are penalized
+//! more than straight-line kernels.
+
+use ct_isa::Addr;
+
+const TABLE_BITS: usize = 12;
+const TABLE_SIZE: usize = 1 << TABLE_BITS;
+
+/// Direction predictor (2-bit saturating counters) + indirect-target table.
+#[derive(Debug, Clone)]
+pub struct BranchPredictor {
+    /// 2-bit counters: 0,1 predict not-taken; 2,3 predict taken.
+    counters: Vec<u8>,
+    /// Last-seen target per indirect branch slot.
+    targets: Vec<Addr>,
+    lookups: u64,
+    mispredicts: u64,
+}
+
+impl Default for BranchPredictor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BranchPredictor {
+    /// Creates a predictor with weakly-not-taken initial state.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            counters: vec![1u8; TABLE_SIZE],
+            targets: vec![0; TABLE_SIZE],
+            lookups: 0,
+            mispredicts: 0,
+        }
+    }
+
+    fn slot(addr: Addr) -> usize {
+        // Multiplicative hash spreads loop bodies across the table.
+        ((addr as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (64 - TABLE_BITS as u32)) as usize
+    }
+
+    /// Records a conditional-branch outcome; returns `true` when the
+    /// prediction was wrong.
+    pub fn predict_conditional(&mut self, addr: Addr, taken: bool) -> bool {
+        self.lookups += 1;
+        let c = &mut self.counters[Self::slot(addr)];
+        let predicted_taken = *c >= 2;
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+        let miss = predicted_taken != taken;
+        self.mispredicts += u64::from(miss);
+        miss
+    }
+
+    /// Records an indirect jump/call resolution; returns `true` on target
+    /// mispredict.
+    pub fn predict_indirect(&mut self, addr: Addr, target: Addr) -> bool {
+        self.lookups += 1;
+        let t = &mut self.targets[Self::slot(addr)];
+        let miss = *t != target;
+        *t = target;
+        self.mispredicts += u64::from(miss);
+        miss
+    }
+
+    /// `(lookups, mispredicts)` so far.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64) {
+        (self.lookups, self.mispredicts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_a_biased_branch() {
+        let mut p = BranchPredictor::new();
+        // First taken outcome mispredicts (weakly not-taken start)...
+        assert!(p.predict_conditional(100, true));
+        // ...then the counter trains up (the second outcome may or may not
+        // still mispredict) and saturates into correct predictions.
+        p.predict_conditional(100, true);
+        p.predict_conditional(100, true);
+        assert!(!p.predict_conditional(100, true));
+        assert!(!p.predict_conditional(100, true));
+    }
+
+    #[test]
+    fn alternating_branch_mispredicts_often() {
+        let mut p = BranchPredictor::new();
+        let mut misses = 0;
+        for i in 0..100 {
+            if p.predict_conditional(5, i % 2 == 0) {
+                misses += 1;
+            }
+        }
+        assert!(
+            misses >= 45,
+            "alternation defeats a bimodal predictor: {misses}"
+        );
+    }
+
+    #[test]
+    fn indirect_learns_monomorphic_target() {
+        let mut p = BranchPredictor::new();
+        assert!(p.predict_indirect(7, 1000));
+        assert!(!p.predict_indirect(7, 1000));
+        assert!(p.predict_indirect(7, 2000), "target change mispredicts");
+        assert!(!p.predict_indirect(7, 2000));
+    }
+
+    #[test]
+    fn stats_count() {
+        let mut p = BranchPredictor::new();
+        p.predict_conditional(1, true);
+        p.predict_indirect(2, 3);
+        let (lookups, _) = p.stats();
+        assert_eq!(lookups, 2);
+    }
+}

@@ -1,0 +1,46 @@
+//! Runtime errors raised by the executor.
+
+use ct_isa::Addr;
+use std::fmt;
+
+/// Errors terminating a simulated execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A load or store touched a word outside the data segment.
+    MemOutOfBounds { pc: Addr, word_addr: i64 },
+    /// An indirect jump/call resolved outside the program.
+    BadIndirectTarget { pc: Addr, target: i64 },
+    /// `ret` executed with an empty call stack.
+    CallStackUnderflow { pc: Addr },
+    /// The call stack exceeded its configured depth.
+    CallStackOverflow { pc: Addr, depth: usize },
+    /// An indirect call landed on an address that is not a function entry.
+    IndirectCallNotFunction { pc: Addr, target: Addr },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::MemOutOfBounds { pc, word_addr } => {
+                write!(f, "pc {pc}: memory access out of bounds (word {word_addr})")
+            }
+            SimError::BadIndirectTarget { pc, target } => {
+                write!(f, "pc {pc}: indirect target {target} out of range")
+            }
+            SimError::CallStackUnderflow { pc } => {
+                write!(f, "pc {pc}: ret with empty call stack")
+            }
+            SimError::CallStackOverflow { pc, depth } => {
+                write!(f, "pc {pc}: call stack exceeded {depth} frames")
+            }
+            SimError::IndirectCallNotFunction { pc, target } => {
+                write!(
+                    f,
+                    "pc {pc}: indirect call target {target} is not a function entry"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

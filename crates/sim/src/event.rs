@@ -1,0 +1,77 @@
+//! The retirement-event stream: what every measurement tool observes.
+
+use ct_isa::{Addr, InsnClass};
+
+/// One retired instruction, as visible to the PMU and to instrumentation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetireEvent {
+    /// Address of the retired instruction.
+    pub addr: Addr,
+    /// Retirement sequence number (0-based instruction count).
+    pub seq: u64,
+    /// Cycle at which the instruction retired. Multiple instructions may
+    /// share a cycle — that is the retirement *burst* the paper's Callchain
+    /// analysis blames ("out-of-order clustering of uops ... retired in
+    /// bursts").
+    pub cycle: u64,
+    /// Number of uops the instruction decodes into (IBS samples these).
+    pub uops: u32,
+    /// Instruction class.
+    pub class: InsnClass,
+    /// `Some(target)` when the instruction was a *taken* control transfer
+    /// (taken conditional branch, jump, call or return) — exactly the
+    /// transfers an LBR records.
+    pub taken_target: Option<Addr>,
+    /// True when this instruction was a mispredicted branch (adds a
+    /// retirement bubble after it).
+    pub mispredicted: bool,
+}
+
+impl RetireEvent {
+    /// True when the event is a taken control transfer (LBR-visible).
+    #[must_use]
+    pub fn is_taken_branch(&self) -> bool {
+        self.taken_target.is_some()
+    }
+}
+
+/// Observer of the retirement stream.
+///
+/// Implementations must be cheap: they run once per retired instruction.
+pub trait RetireObserver {
+    /// Called for every retired instruction in program order.
+    fn on_retire(&mut self, ev: &RetireEvent);
+
+    /// Called once when execution finishes, with the final cycle count.
+    /// Deferred work (e.g. a PMI still in flight) can be resolved here.
+    fn on_finish(&mut self, _final_cycle: u64) {}
+}
+
+/// A no-op observer, useful as a placeholder in generic code.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl RetireObserver for NullObserver {
+    fn on_retire(&mut self, _ev: &RetireEvent) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taken_branch_flag() {
+        let mut ev = RetireEvent {
+            addr: 0,
+            seq: 0,
+            cycle: 0,
+            uops: 1,
+            class: InsnClass::Branch,
+            taken_target: None,
+            mispredicted: false,
+        };
+        assert!(!ev.is_taken_branch());
+        ev.taken_target = Some(5);
+        assert!(ev.is_taken_branch());
+    }
+}

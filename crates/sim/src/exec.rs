@@ -1,0 +1,902 @@
+//! The executor: functional semantics plus retirement-timing accounting.
+//!
+//! Instructions execute in program order. A retirement clock advances
+//! according to the machine model:
+//!
+//! * up to `retire_width` instructions retire per cycle (bursts);
+//! * completion latencies up to `hide_latency` are hidden by the
+//!   out-of-order engine; anything longer stalls retirement for
+//!   `latency - hide_latency` cycles, after which a burst drains;
+//! * a mispredicted branch inserts a `mispredict_penalty` bubble after it
+//!   retires;
+//! * load latency comes from the two-level cache model.
+//!
+//! The stream of [`RetireEvent`]s, with their cycle stamps, is the single
+//! source of truth consumed by the PMU model and the instrumentation
+//! reference.
+
+use crate::bpred::BranchPredictor;
+use crate::cache::CacheModel;
+use crate::error::SimError;
+use crate::event::{RetireEvent, RetireObserver};
+use crate::machine::MachineModel;
+use ct_isa::{Addr, InsnClass, Opcode, Program};
+
+/// Run parameters.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Stop after this many retired instructions (safety fuel).
+    pub max_insns: u64,
+    /// Initial values for `r1..` (workload inputs).
+    pub args: Vec<i64>,
+    /// Maximum call-stack depth.
+    pub call_stack_limit: usize,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self {
+            max_insns: 2_000_000_000,
+            args: Vec::new(),
+            call_stack_limit: 4096,
+        }
+    }
+}
+
+impl RunConfig {
+    /// Convenience constructor setting only the fuel limit.
+    #[must_use]
+    pub fn with_fuel(max_insns: u64) -> Self {
+        Self {
+            max_insns,
+            ..Self::default()
+        }
+    }
+}
+
+/// Why a run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// A `halt` instruction retired.
+    Halted,
+    /// The instruction budget ran out.
+    FuelExhausted,
+}
+
+/// Aggregate statistics for a completed run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunSummary {
+    pub instructions: u64,
+    pub uops: u64,
+    pub cycles: u64,
+    pub taken_branches: u64,
+    pub mispredicts: u64,
+    pub l1_hits: u64,
+    pub l2_hits: u64,
+    pub mem_accesses: u64,
+    pub stop: StopReason,
+    /// Final value of `r0` (workload result, prevents dead-code illusions).
+    pub result: i64,
+}
+
+impl RunSummary {
+    /// Instructions per cycle over the whole run.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// The simulated CPU for one machine model.
+pub struct Cpu<'m> {
+    machine: &'m MachineModel,
+}
+
+impl<'m> Cpu<'m> {
+    /// Creates a CPU implementing `machine`.
+    #[must_use]
+    pub fn new(machine: &'m MachineModel) -> Self {
+        Self { machine }
+    }
+
+    /// The machine model this CPU implements.
+    #[must_use]
+    pub fn machine(&self) -> &MachineModel {
+        self.machine
+    }
+
+    /// Runs `program` to completion, publishing every retired instruction
+    /// to `observers` in order.
+    pub fn run(
+        &self,
+        program: &Program,
+        config: &RunConfig,
+        observers: &mut [&mut dyn RetireObserver],
+    ) -> Result<RunSummary, SimError> {
+        let m = self.machine;
+        let mut regs = [0i64; ct_isa::reg::NUM_REGS];
+        let mut fregs = [0f64; ct_isa::reg::NUM_FREGS];
+        for (i, &a) in config.args.iter().enumerate().take(5) {
+            regs[i + 1] = a;
+        }
+        let mut mem = vec![0i64; program.data_words];
+        for &(idx, v) in &program.init_data {
+            if idx < mem.len() {
+                mem[idx] = v;
+            }
+        }
+        let mut call_stack: Vec<Addr> = Vec::with_capacity(64);
+        let mut cache = CacheModel::new(m.cache);
+        let mut bpred = BranchPredictor::new();
+
+        let mut pc: Addr = program.entry;
+        let mut cycle: u64 = 0;
+        let mut slot: u32 = 0;
+        let mut pending_bubble: u64 = 0;
+        let mut instructions: u64 = 0;
+        let mut uops: u64 = 0;
+        let mut taken_branches: u64 = 0;
+        let mut mispredicts: u64 = 0;
+        let hide = m.hide_latency;
+
+        let stop = loop {
+            if instructions >= config.max_insns {
+                break StopReason::FuelExhausted;
+            }
+            let insn = program.fetch(pc);
+            let class = insn.class();
+            let mut next_pc = pc + 1;
+            let mut taken_target: Option<Addr> = None;
+            let mut mispredicted = false;
+            let mut latency = m.class_latency(class);
+
+            match insn.op {
+                Opcode::Add(d, a, b) => {
+                    regs[d.index()] = regs[a.index()].wrapping_add(regs[b.index()]);
+                }
+                Opcode::Sub(d, a, b) => {
+                    regs[d.index()] = regs[a.index()].wrapping_sub(regs[b.index()]);
+                }
+                Opcode::Mul(d, a, b) => {
+                    regs[d.index()] = regs[a.index()].wrapping_mul(regs[b.index()]);
+                }
+                Opcode::Div(d, a, b) => {
+                    let den = regs[b.index()];
+                    regs[d.index()] = if den == 0 {
+                        0
+                    } else {
+                        regs[a.index()].wrapping_div(den)
+                    };
+                }
+                Opcode::Rem(d, a, b) => {
+                    let den = regs[b.index()];
+                    regs[d.index()] = if den == 0 {
+                        0
+                    } else {
+                        regs[a.index()].wrapping_rem(den)
+                    };
+                }
+                Opcode::And(d, a, b) => regs[d.index()] = regs[a.index()] & regs[b.index()],
+                Opcode::Or(d, a, b) => regs[d.index()] = regs[a.index()] | regs[b.index()],
+                Opcode::Xor(d, a, b) => regs[d.index()] = regs[a.index()] ^ regs[b.index()],
+                Opcode::Shl(d, a, b) => {
+                    regs[d.index()] = regs[a.index()].wrapping_shl(regs[b.index()] as u32 & 63);
+                }
+                Opcode::Shr(d, a, b) => {
+                    regs[d.index()] = regs[a.index()].wrapping_shr(regs[b.index()] as u32 & 63);
+                }
+                Opcode::AddI(d, a, i) => regs[d.index()] = regs[a.index()].wrapping_add(i),
+                Opcode::SubI(d, a, i) => regs[d.index()] = regs[a.index()].wrapping_sub(i),
+                Opcode::MulI(d, a, i) => regs[d.index()] = regs[a.index()].wrapping_mul(i),
+                Opcode::AndI(d, a, i) => regs[d.index()] = regs[a.index()] & i,
+                Opcode::XorI(d, a, i) => regs[d.index()] = regs[a.index()] ^ i,
+                Opcode::Mov(d, s) => regs[d.index()] = regs[s.index()],
+                Opcode::MovI(d, i) => regs[d.index()] = i,
+
+                Opcode::FAdd(d, a, b) => fregs[d.index()] = fregs[a.index()] + fregs[b.index()],
+                Opcode::FSub(d, a, b) => fregs[d.index()] = fregs[a.index()] - fregs[b.index()],
+                Opcode::FMul(d, a, b) => fregs[d.index()] = fregs[a.index()] * fregs[b.index()],
+                Opcode::FDiv(d, a, b) => fregs[d.index()] = fregs[a.index()] / fregs[b.index()],
+                Opcode::FSqrt(d, a) => fregs[d.index()] = fregs[a.index()].abs().sqrt(),
+                Opcode::FMov(d, a) => fregs[d.index()] = fregs[a.index()],
+                Opcode::FMovI(d, v) => fregs[d.index()] = v,
+                Opcode::CvtIF(d, s) => fregs[d.index()] = regs[s.index()] as f64,
+                Opcode::CvtFI(d, s) => {
+                    let v = fregs[s.index()];
+                    regs[d.index()] = if v.is_nan() { 0 } else { v as i64 };
+                }
+
+                Opcode::Load(d, b, off) => {
+                    let idx = regs[b.index()].wrapping_add(off);
+                    let v = *mem
+                        .get(
+                            usize::try_from(idx)
+                                .ok()
+                                .filter(|&i| i < mem.len())
+                                .ok_or(SimError::MemOutOfBounds { pc, word_addr: idx })?,
+                        )
+                        .expect("index checked above");
+                    regs[d.index()] = v;
+                    latency = cache.access(idx as u64);
+                }
+                Opcode::Store(v, b, off) => {
+                    let idx = regs[b.index()].wrapping_add(off);
+                    let slot_ref = usize::try_from(idx)
+                        .ok()
+                        .filter(|&i| i < mem.len())
+                        .ok_or(SimError::MemOutOfBounds { pc, word_addr: idx })?;
+                    mem[slot_ref] = regs[v.index()];
+                    cache.access(idx as u64); // write-allocate; latency hidden by the store buffer
+                }
+                Opcode::FLoad(d, b, off) => {
+                    let idx = regs[b.index()].wrapping_add(off);
+                    let raw = *mem
+                        .get(
+                            usize::try_from(idx)
+                                .ok()
+                                .filter(|&i| i < mem.len())
+                                .ok_or(SimError::MemOutOfBounds { pc, word_addr: idx })?,
+                        )
+                        .expect("index checked above");
+                    fregs[d.index()] = f64::from_bits(raw as u64);
+                    latency = cache.access(idx as u64);
+                }
+                Opcode::FStore(v, b, off) => {
+                    let idx = regs[b.index()].wrapping_add(off);
+                    let slot_ref = usize::try_from(idx)
+                        .ok()
+                        .filter(|&i| i < mem.len())
+                        .ok_or(SimError::MemOutOfBounds { pc, word_addr: idx })?;
+                    mem[slot_ref] = fregs[v.index()].to_bits() as i64;
+                    cache.access(idx as u64);
+                }
+
+                Opcode::Jmp(t) => {
+                    next_pc = t;
+                    taken_target = Some(t);
+                }
+                Opcode::JmpInd(r) => {
+                    let t = regs[r.index()];
+                    let t_addr = u32::try_from(t)
+                        .ok()
+                        .filter(|&a| (a as usize) < program.len())
+                        .ok_or(SimError::BadIndirectTarget { pc, target: t })?;
+                    mispredicted = bpred.predict_indirect(pc, t_addr);
+                    next_pc = t_addr;
+                    taken_target = Some(t_addr);
+                }
+                Opcode::Br(c, a, b, t) => {
+                    let taken = c.eval(regs[a.index()], regs[b.index()]);
+                    mispredicted = bpred.predict_conditional(pc, taken);
+                    if taken {
+                        next_pc = t;
+                        taken_target = Some(t);
+                    }
+                }
+                Opcode::Brz(r, t) => {
+                    let taken = regs[r.index()] == 0;
+                    mispredicted = bpred.predict_conditional(pc, taken);
+                    if taken {
+                        next_pc = t;
+                        taken_target = Some(t);
+                    }
+                }
+                Opcode::Brnz(r, t) => {
+                    let taken = regs[r.index()] != 0;
+                    mispredicted = bpred.predict_conditional(pc, taken);
+                    if taken {
+                        next_pc = t;
+                        taken_target = Some(t);
+                    }
+                }
+                Opcode::Call(t) => {
+                    if call_stack.len() >= config.call_stack_limit {
+                        return Err(SimError::CallStackOverflow {
+                            pc,
+                            depth: config.call_stack_limit,
+                        });
+                    }
+                    call_stack.push(pc + 1);
+                    next_pc = t;
+                    taken_target = Some(t);
+                }
+                Opcode::CallInd(r) => {
+                    let t = regs[r.index()];
+                    let t_addr = u32::try_from(t)
+                        .ok()
+                        .filter(|&a| (a as usize) < program.len())
+                        .ok_or(SimError::BadIndirectTarget { pc, target: t })?;
+                    if !program.symbols.is_entry(t_addr) {
+                        return Err(SimError::IndirectCallNotFunction { pc, target: t_addr });
+                    }
+                    if call_stack.len() >= config.call_stack_limit {
+                        return Err(SimError::CallStackOverflow {
+                            pc,
+                            depth: config.call_stack_limit,
+                        });
+                    }
+                    mispredicted = bpred.predict_indirect(pc, t_addr);
+                    call_stack.push(pc + 1);
+                    next_pc = t_addr;
+                    taken_target = Some(t_addr);
+                }
+                Opcode::Ret => {
+                    // Return-address-stack prediction: always correct.
+                    let t = call_stack
+                        .pop()
+                        .ok_or(SimError::CallStackUnderflow { pc })?;
+                    next_pc = t;
+                    taken_target = Some(t);
+                }
+                Opcode::Nop => {}
+                Opcode::Halt => {
+                    // Retire the halt itself, then stop.
+                    let ev = Self::advance_clock(
+                        m,
+                        &mut cycle,
+                        &mut slot,
+                        &mut pending_bubble,
+                        latency,
+                        hide,
+                        pc,
+                        instructions,
+                        insn.uops(),
+                        class,
+                        None,
+                        false,
+                    );
+                    instructions += 1;
+                    uops += u64::from(insn.uops());
+                    for obs in observers.iter_mut() {
+                        obs.on_retire(&ev);
+                    }
+                    break StopReason::Halted;
+                }
+            }
+
+            let ev = Self::advance_clock(
+                m,
+                &mut cycle,
+                &mut slot,
+                &mut pending_bubble,
+                latency,
+                hide,
+                pc,
+                instructions,
+                insn.uops(),
+                class,
+                taken_target,
+                mispredicted,
+            );
+            instructions += 1;
+            uops += u64::from(insn.uops());
+            taken_branches += u64::from(taken_target.is_some());
+            mispredicts += u64::from(mispredicted);
+            for obs in observers.iter_mut() {
+                obs.on_retire(&ev);
+            }
+            if mispredicted {
+                pending_bubble = u64::from(m.mispredict_penalty);
+            }
+            pc = next_pc;
+        };
+
+        for obs in observers.iter_mut() {
+            obs.on_finish(cycle);
+        }
+        let (l1_hits, l2_hits, mem_accesses) = cache.stats();
+        let (_, bp_miss) = bpred.stats();
+        debug_assert_eq!(bp_miss, mispredicts);
+        Ok(RunSummary {
+            instructions,
+            uops,
+            cycles: cycle + 1,
+            taken_branches,
+            mispredicts,
+            l1_hits,
+            l2_hits,
+            mem_accesses,
+            stop,
+            result: regs[0],
+        })
+    }
+
+    /// Advances the retirement clock for one instruction and builds its
+    /// retire event.
+    #[expect(clippy::too_many_arguments)]
+    fn advance_clock(
+        m: &MachineModel,
+        cycle: &mut u64,
+        slot: &mut u32,
+        pending_bubble: &mut u64,
+        latency: u32,
+        hide: u32,
+        pc: Addr,
+        seq: u64,
+        uops: u32,
+        class: InsnClass,
+        taken_target: Option<Addr>,
+        mispredicted: bool,
+    ) -> RetireEvent {
+        if *pending_bubble > 0 {
+            *cycle += *pending_bubble;
+            *slot = 0;
+            *pending_bubble = 0;
+        }
+        let stall = u64::from(latency.saturating_sub(hide));
+        if stall > 0 {
+            // Long-latency completion: retirement drains, the instruction
+            // retires alone at the head of a fresh cycle and a burst forms
+            // behind it.
+            *cycle += stall;
+            *slot = 0;
+        }
+        if *slot >= m.retire_width {
+            *cycle += 1;
+            *slot = 0;
+        }
+        let ev = RetireEvent {
+            addr: pc,
+            seq,
+            cycle: *cycle,
+            uops,
+            class,
+            taken_target,
+            mispredicted,
+        };
+        *slot += 1;
+        ev
+    }
+}
+
+/// Runs with a single observer (convenience wrapper over [`Cpu::run`]).
+pub fn run_with(
+    machine: &MachineModel,
+    program: &Program,
+    config: &RunConfig,
+    observer: &mut dyn RetireObserver,
+) -> Result<RunSummary, SimError> {
+    Cpu::new(machine).run(program, config, &mut [observer])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::NullObserver;
+    use ct_isa::asm::assemble;
+
+    fn run(src: &str) -> RunSummary {
+        run_args(src, &[])
+    }
+
+    fn run_args(src: &str, args: &[i64]) -> RunSummary {
+        let p = assemble("t", src).unwrap();
+        let m = MachineModel::ivy_bridge();
+        let cfg = RunConfig {
+            args: args.to_vec(),
+            ..RunConfig::default()
+        };
+        run_with(&m, &p, &cfg, &mut NullObserver).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_result() {
+        let s = run(r#"
+            .func main
+                movi r1, 21
+                movi r2, 2
+                mul r0, r1, r2
+                halt
+            .endfunc
+        "#);
+        assert_eq!(s.result, 42);
+        assert_eq!(s.instructions, 4);
+        assert_eq!(s.stop, StopReason::Halted);
+    }
+
+    #[test]
+    fn division_by_zero_is_zero() {
+        let s = run(r#"
+            .func main
+                movi r1, 7
+                movi r2, 0
+                div r0, r1, r2
+                halt
+            .endfunc
+        "#);
+        assert_eq!(s.result, 0);
+    }
+
+    #[test]
+    fn loop_counts_instructions() {
+        // movi + 10 * (subi + brnz) + halt = 22 instructions.
+        let s = run(r#"
+            .func main
+                movi r1, 10
+            top:
+                subi r1, r1, 1
+                brnz r1, top
+                halt
+            .endfunc
+        "#);
+        assert_eq!(s.instructions, 22);
+        assert_eq!(s.taken_branches, 9);
+    }
+
+    #[test]
+    fn call_and_ret() {
+        let s = run(r#"
+            .func main
+                movi r1, 5
+                call double
+                mov r0, r1
+                halt
+            .endfunc
+            .func double
+                add r1, r1, r1
+                ret
+            .endfunc
+        "#);
+        assert_eq!(s.result, 10);
+        // call and ret are both taken transfers.
+        assert_eq!(s.taken_branches, 2);
+    }
+
+    #[test]
+    fn fp_math() {
+        let s = run(r#"
+            .func main
+                fmovi f1, 9.0
+                fsqrt f2, f1
+                cvtfi r0, f2
+                halt
+            .endfunc
+        "#);
+        assert_eq!(s.result, 3);
+    }
+
+    #[test]
+    fn memory_roundtrip() {
+        let s = run(r#"
+            .data 16
+            .func main
+                movi r1, 3
+                movi r2, 99
+                store r2, [r1+2]
+                load r0, [r1+2]
+                halt
+            .endfunc
+        "#);
+        assert_eq!(s.result, 99);
+        assert!(s.mem_accesses >= 1);
+    }
+
+    #[test]
+    fn out_of_bounds_load_errors() {
+        let p = assemble(
+            "t",
+            r#"
+            .data 4
+            .func main
+                movi r1, 100
+                load r0, [r1]
+                halt
+            .endfunc
+        "#,
+        )
+        .unwrap();
+        let m = MachineModel::ivy_bridge();
+        let err = run_with(&m, &p, &RunConfig::default(), &mut NullObserver).unwrap_err();
+        assert!(matches!(err, SimError::MemOutOfBounds { .. }));
+    }
+
+    #[test]
+    fn negative_index_errors() {
+        let p = assemble(
+            "t",
+            r#"
+            .data 4
+            .func main
+                movi r1, 0
+                load r0, [r1-1]
+                halt
+            .endfunc
+        "#,
+        )
+        .unwrap();
+        let m = MachineModel::ivy_bridge();
+        let err = run_with(&m, &p, &RunConfig::default(), &mut NullObserver).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::MemOutOfBounds { word_addr: -1, .. }
+        ));
+    }
+
+    #[test]
+    fn ret_underflow_errors() {
+        let p = assemble("t", ".func main\n ret\n.endfunc\n").unwrap();
+        let m = MachineModel::ivy_bridge();
+        let err = run_with(&m, &p, &RunConfig::default(), &mut NullObserver).unwrap_err();
+        assert!(matches!(err, SimError::CallStackUnderflow { .. }));
+    }
+
+    #[test]
+    fn call_overflow_errors() {
+        let p = assemble(
+            "t",
+            r#"
+            .func main
+                call main
+                halt
+            .endfunc
+        "#,
+        )
+        .unwrap();
+        let m = MachineModel::ivy_bridge();
+        let cfg = RunConfig {
+            call_stack_limit: 32,
+            ..RunConfig::default()
+        };
+        let err = run_with(&m, &p, &cfg, &mut NullObserver).unwrap_err();
+        assert!(matches!(err, SimError::CallStackOverflow { .. }));
+    }
+
+    #[test]
+    fn fuel_exhaustion_stops() {
+        let p = assemble(
+            "t",
+            r#"
+            .func main
+            spin:
+                jmp spin
+            .endfunc
+        "#,
+        )
+        .unwrap();
+        let m = MachineModel::ivy_bridge();
+        let cfg = RunConfig::with_fuel(1000);
+        let s = run_with(&m, &p, &cfg, &mut NullObserver).unwrap();
+        assert_eq!(s.stop, StopReason::FuelExhausted);
+        assert_eq!(s.instructions, 1000);
+    }
+
+    #[test]
+    fn indirect_call_dispatch() {
+        let s = run(r#"
+            .func main
+                movi r10, 4          ; address of f (computed below)
+                callind r10
+                halt
+            .endfunc
+            .func pad
+                ret
+            .endfunc
+            .func f
+                movi r0, 77
+                ret
+            .endfunc
+        "#);
+        assert_eq!(s.result, 77);
+    }
+
+    #[test]
+    fn indirect_call_to_non_entry_errors() {
+        let p = assemble(
+            "t",
+            r#"
+            .func main
+                movi r10, 1
+                callind r10
+                halt
+            .endfunc
+        "#,
+        )
+        .unwrap();
+        let m = MachineModel::ivy_bridge();
+        let err = run_with(&m, &p, &RunConfig::default(), &mut NullObserver).unwrap_err();
+        assert!(matches!(err, SimError::IndirectCallNotFunction { .. }));
+    }
+
+    // --- Timing-model properties -----------------------------------------
+
+    /// Collects events for timing assertions.
+    #[derive(Default)]
+    struct Collector(Vec<RetireEvent>);
+    impl RetireObserver for Collector {
+        fn on_retire(&mut self, ev: &RetireEvent) {
+            self.0.push(*ev);
+        }
+    }
+
+    #[test]
+    fn cycles_monotone_and_bursts_bounded() {
+        let p = assemble(
+            "t",
+            r#"
+            .func main
+                movi r1, 200
+                movi r2, 3
+            top:
+                add r3, r1, r2
+                add r4, r3, r2
+                div r5, r1, r2
+                subi r1, r1, 1
+                brnz r1, top
+                halt
+            .endfunc
+        "#,
+        )
+        .unwrap();
+        let m = MachineModel::ivy_bridge();
+        let mut c = Collector::default();
+        Cpu::new(&m)
+            .run(&p, &RunConfig::default(), &mut [&mut c])
+            .unwrap();
+        let evs = &c.0;
+        let mut per_cycle = std::collections::HashMap::new();
+        let mut prev = 0u64;
+        for ev in evs {
+            assert!(ev.cycle >= prev, "retirement cycles are monotone");
+            prev = ev.cycle;
+            *per_cycle.entry(ev.cycle).or_insert(0u32) += 1;
+        }
+        assert!(per_cycle.values().all(|&n| n <= m.retire_width));
+        // Bursts exist: some cycle retires more than one instruction.
+        assert!(
+            per_cycle.values().any(|&n| n > 1),
+            "no retirement bursts observed"
+        );
+    }
+
+    #[test]
+    fn div_stalls_retirement() {
+        let p = assemble(
+            "t",
+            r#"
+            .func main
+                movi r1, 90
+                movi r2, 3
+                add r3, r1, r2
+                div r4, r1, r2
+                add r5, r1, r2
+                halt
+            .endfunc
+        "#,
+        )
+        .unwrap();
+        let m = MachineModel::ivy_bridge();
+        let mut c = Collector::default();
+        Cpu::new(&m)
+            .run(&p, &RunConfig::default(), &mut [&mut c])
+            .unwrap();
+        let evs = &c.0;
+        // Gap before the div retires is at least div latency - hide.
+        let div_idx = 3;
+        let gap = evs[div_idx].cycle - evs[div_idx - 1].cycle;
+        assert!(
+            gap >= u64::from(m.latencies.div - m.hide_latency),
+            "div retired without a stall (gap {gap})"
+        );
+        // The instruction after the div retires in the same burst cycle.
+        assert_eq!(evs[div_idx + 1].cycle, evs[div_idx].cycle);
+    }
+
+    #[test]
+    fn taken_branches_report_targets() {
+        let p = assemble(
+            "t",
+            r#"
+            .func main
+                movi r1, 3
+            top:
+                subi r1, r1, 1
+                brnz r1, top
+                halt
+            .endfunc
+        "#,
+        )
+        .unwrap();
+        let m = MachineModel::ivy_bridge();
+        let mut c = Collector::default();
+        Cpu::new(&m)
+            .run(&p, &RunConfig::default(), &mut [&mut c])
+            .unwrap();
+        let taken: Vec<_> = c.0.iter().filter(|e| e.is_taken_branch()).collect();
+        assert_eq!(taken.len(), 2);
+        assert!(taken
+            .iter()
+            .all(|e| e.addr == 2 && e.taken_target == Some(1)));
+    }
+
+    #[test]
+    fn observers_see_every_instruction() {
+        let p = assemble(
+            "t",
+            r#"
+            .func main
+                movi r1, 50
+            top:
+                subi r1, r1, 1
+                brnz r1, top
+                halt
+            .endfunc
+        "#,
+        )
+        .unwrap();
+        let m = MachineModel::westmere();
+        let mut c = Collector::default();
+        let s = Cpu::new(&m)
+            .run(&p, &RunConfig::default(), &mut [&mut c])
+            .unwrap();
+        assert_eq!(c.0.len() as u64, s.instructions);
+        // seq is dense and ordered.
+        for (i, ev) in c.0.iter().enumerate() {
+            assert_eq!(ev.seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let src = r#"
+            .data 64
+            .func main
+                movi r1, 1000
+                movi r2, 7
+            top:
+                rem r3, r1, r2
+                store r3, [r3+0]
+                load r4, [r3+0]
+                subi r1, r1, 1
+                brnz r1, top
+                halt
+            .endfunc
+        "#;
+        let a = run(src);
+        let b = run(src);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mispredict_inserts_bubble() {
+        // A data-dependent branch alternating taken/not-taken defeats the
+        // bimodal predictor; cycles must exceed the well-predicted variant.
+        let alternating = run_args(
+            r#"
+            .func main
+                movi r1, 2000
+            top:
+                andi r2, r1, 1
+                brz r2, even
+                addi r3, r3, 1
+            even:
+                subi r1, r1, 1
+                brnz r1, top
+                halt
+            .endfunc
+        "#,
+            &[],
+        );
+        let steady = run_args(
+            r#"
+            .func main
+                movi r1, 2000
+            top:
+                movi r2, 1
+                brz r2, even
+                addi r3, r3, 1
+            even:
+                subi r1, r1, 1
+                brnz r1, top
+                halt
+            .endfunc
+        "#,
+            &[],
+        );
+        assert!(alternating.mispredicts > steady.mispredicts);
+        assert!(alternating.cycles > steady.cycles);
+    }
+}

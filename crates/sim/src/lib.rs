@@ -1,0 +1,36 @@
+//! `ct-sim` — the CPU substrate: functional execution with cycle accounting.
+//!
+//! The paper measures sampling-accuracy artifacts that are *timing*
+//! phenomena of the retirement stream of an out-of-order x86 core:
+//!
+//! * **skid** — the address reported by a sample trails the instruction
+//!   that overflowed the counter by the PMI delivery latency;
+//! * **shadow** — instructions retiring in the shadow of a long-latency
+//!   instruction receive few samples, while the long-latency instruction
+//!   soaks them up;
+//! * **burst ("clustered") retirement** — an out-of-order core retires
+//!   several uops per cycle, so event positions inside a retirement cycle
+//!   are not observable to imprecise mechanisms.
+//!
+//! This crate reproduces those phenomena mechanistically without a full
+//! out-of-order model: instructions execute functionally in program order
+//! while a retirement clock advances using per-class latencies, a two-level
+//! cache model for loads, a branch predictor for control flow, and a
+//! `retire_width`-wide retirement stage that drains bursts after stalls.
+//! Every retired instruction is published to [`event::RetireObserver`]s —
+//! the PMU model (`ct-pmu`), the reference instrumentation
+//! (`ct-instrument`) and the profiling session (`countertrust`) all observe
+//! this one stream, exactly as PMU, Pin and perf all observe one execution
+//! on real hardware.
+
+pub mod bpred;
+pub mod cache;
+pub mod error;
+pub mod event;
+pub mod exec;
+pub mod machine;
+
+pub use error::SimError;
+pub use event::{RetireEvent, RetireObserver};
+pub use exec::{Cpu, RunConfig, RunSummary, StopReason};
+pub use machine::{CacheConfig, Latencies, MachineModel, PmuCaps, Vendor};

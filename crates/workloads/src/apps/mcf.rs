@@ -1,0 +1,165 @@
+//! 429.mcf proxy — vehicle-scheduling network simplex.
+//!
+//! What matters for sampling accuracy in real mcf, preserved here:
+//!
+//! * **pointer chasing over a working set far larger than L2** — the inner
+//!   loop's dependent loads miss constantly, creating long retirement
+//!   stalls whose shadows distort imprecise profiles;
+//! * **tight compare/update blocks** after each load (short blocks around
+//!   loads);
+//! * a secondary streaming pass (`refresh_potential`) with a different
+//!   access pattern.
+//!
+//! The paper finds the LBR method "noticeably better than precise
+//! sampling, especially so in the case of mcf" — the miss-stall bursts
+//! defeat even PEBS's distribution, while the LBR walk does not depend on
+//! where samples land.
+
+use crate::util::conv;
+use ct_isa::reg::names::*;
+use ct_isa::{Cond, Program, ProgramBuilder};
+
+/// Builds the mcf proxy.
+///
+/// `arcs` must be a power of two (it sizes the pointer-chase arena in
+/// words); `iterations` is the number of simplex pivots.
+///
+/// # Panics
+///
+/// Panics if `arcs` is not a power of two or `iterations == 0`.
+#[must_use]
+pub fn mcf(arcs: usize, iterations: u64) -> Program {
+    assert!(arcs.is_power_of_two(), "arena must be a power of two");
+    assert!(iterations > 0);
+    let mask = (arcs - 1) as i64;
+    let mut b = ProgramBuilder::new("mcf");
+    b.data(arcs + 64);
+
+    b.begin_func("main");
+    b.call("init_arcs");
+    b.movi(conv::LOOP, iterations as i64);
+    b.movi(R12, 0); // current arc cursor (even = next-pointer slot)
+    let top = b.here_label();
+    b.call("primal_bea_mpp");
+    b.call("refresh_potential");
+    b.subi(conv::LOOP, conv::LOOP, 1);
+    b.brnz(conv::LOOP, top);
+    b.mov(R0, R14);
+    b.halt();
+    b.end_func();
+
+    // Arcs are (next, cost) pairs: even slot 2i holds the next pointer,
+    // odd slot 2i+1 the cost. Next pointers form a full-period LCG orbit
+    // over the even slots (`a ≡ 1 mod 4`, odd increment), so chasing
+    // visits the whole arena in a cache-hostile order — and the refresh
+    // pass below only ever touches odd (cost) slots, keeping the
+    // permutation intact.
+    let half = (arcs / 2) as i64;
+    b.begin_func("init_arcs");
+    b.movi(R2, 0);
+    b.movi(R3, half);
+    let init_top = b.here_label();
+    b.muli(R4, R2, 2_654_435_761);
+    b.addi(R4, R4, 12_345);
+    b.andi(R4, R4, half - 1);
+    b.add(R4, R4, R4); // even target slot
+    b.add(R5, R2, R2); // this arc's even slot
+    b.store(R4, R5, 0);
+    b.xori(R7, R4, 0x3F);
+    b.store(R7, R5, 1); // cost
+    b.addi(R2, R2, 1);
+    b.br(Cond::Lt, R2, R3, init_top);
+    b.ret();
+    b.end_func();
+
+    // The hot pricing loop: chase 64 arcs, tracking the best reduced cost.
+    b.begin_func("primal_bea_mpp");
+    b.movi(R4, 64); // chase length per pivot
+    b.movi(R15, i64::MAX); // best cost
+    let chase = b.here_label();
+    b.load(R13, R12, 0); // next arc (dependent, cache-hostile)
+    b.load(R14, R13, 1); // its cost field
+    let no_improve = b.new_label();
+    b.br(Cond::Ge, R14, R15, no_improve);
+    b.mov(R15, R14); // new best
+    b.addi(R6, R6, 1);
+    b.bind(no_improve).expect("fresh label");
+    b.mov(R12, R13); // advance cursor
+    b.subi(R4, R4, 1);
+    b.brnz(R4, chase);
+    b.ret();
+    b.end_func();
+
+    // Streaming potential refresh over a rotating 128-pair window,
+    // updating only cost (odd) slots.
+    b.begin_func("refresh_potential");
+    b.andi(R2, R12, mask & !255);
+    b.movi(R4, 128);
+    let scan = b.here_label();
+    b.load(R5, R2, 1);
+    b.addi(R5, R5, 1);
+    b.andi(R5, R5, mask);
+    let skip_store = b.new_label();
+    b.andi(R7, R5, 7);
+    b.brnz(R7, skip_store);
+    b.store(R5, R2, 1); // write back every 8th entry
+    b.bind(skip_store).expect("fresh label");
+    b.addi(R2, R2, 2);
+    b.subi(R4, R4, 1);
+    b.brnz(R4, scan);
+    b.ret();
+    b.end_func();
+
+    b.build().expect("mcf proxy is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_sim::{event::NullObserver, exec::run_with, MachineModel, RunConfig, StopReason};
+
+    #[test]
+    fn runs_to_completion() {
+        let p = mcf(1 << 12, 50);
+        let s = run_with(
+            &MachineModel::ivy_bridge(),
+            &p,
+            &RunConfig::default(),
+            &mut NullObserver,
+        )
+        .unwrap();
+        assert_eq!(s.stop, StopReason::Halted);
+        assert!(s.instructions > 20_000);
+    }
+
+    #[test]
+    fn large_arena_misses_in_cache() {
+        // Arena of 2^16 words = 512 KiB > L2 (256 KiB). Enough pivots that
+        // the chase dominates the (sequential, line-friendly) init pass.
+        let p = mcf(1 << 16, 1_500);
+        let s = run_with(
+            &MachineModel::ivy_bridge(),
+            &p,
+            &RunConfig::default(),
+            &mut NullObserver,
+        )
+        .unwrap();
+        let total = s.l1_hits + s.l2_hits + s.mem_accesses;
+        // Long-latency loads (L1 misses) are what create retirement-stall
+        // shadows; the chase should produce them constantly.
+        let l1_miss_rate = (s.l2_hits + s.mem_accesses) as f64 / total as f64;
+        assert!(
+            l1_miss_rate > 0.2,
+            "pointer chase should miss L1 often, got {l1_miss_rate:.3}"
+        );
+        assert!(s.mem_accesses > 10_000, "memory-level misses expected");
+    }
+
+    #[test]
+    fn chase_visits_whole_arena() {
+        // The multiplier is odd, so next[i] = a*i+c mod 2^k is a bijection;
+        // verify the emitted constant stays odd (a build-time invariant the
+        // cache-hostility argument rests on).
+        assert_eq!(2_654_435_761i64 % 2, 1);
+    }
+}

@@ -1,0 +1,18 @@
+//! Application proxies (§4.3.5): the SPEC CPU2006 subset the paper selects
+//! for its enterprise-like characteristics, plus the CERN FullCMS
+//! production workload.
+//!
+//! Each generator documents the shape properties it preserves from the
+//! original; DESIGN.md carries the full substitution table.
+
+pub mod fullcms;
+pub mod mcf;
+pub mod omnetpp;
+pub mod povray;
+pub mod xalanc;
+
+pub use fullcms::fullcms;
+pub use mcf::mcf;
+pub use omnetpp::omnetpp;
+pub use povray::povray;
+pub use xalanc::xalanc;

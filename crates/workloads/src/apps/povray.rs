@@ -1,0 +1,149 @@
+//! 453.povray proxy — ray tracing.
+//!
+//! Shape properties preserved from the original: floating-point dominated
+//! compute with long-latency `fdiv`/`fsqrt` in small math helpers
+//! (`vdot`, `vnormalize`), a quadratic-discriminant intersection routine
+//! with data-dependent branches, and a shading routine composing the
+//! helpers through short call chains.
+
+use crate::util::{conv, emit_extract, emit_lcg_step};
+use ct_isa::reg::names::*;
+use ct_isa::{Cond, Program, ProgramBuilder};
+
+/// Builds the povray proxy tracing `rays` pseudo-random rays against four
+/// spheres.
+///
+/// # Panics
+///
+/// Panics if `rays == 0`.
+#[must_use]
+pub fn povray(rays: u64) -> Program {
+    assert!(rays > 0);
+    let mut b = ProgramBuilder::new("povray");
+
+    b.begin_func("main");
+    b.movi(conv::LOOP, rays as i64);
+    b.movi(conv::RNG, 0xC0FFEE);
+    let top = b.here_label();
+    // Ray direction from random bits (f1, f2, f3).
+    emit_lcg_step(&mut b, conv::RNG);
+    emit_extract(&mut b, R2, conv::RNG, 16, 1023);
+    b.cvt_if(F1, R2);
+    emit_extract(&mut b, R2, conv::RNG, 26, 1023);
+    b.cvt_if(F2, R2);
+    emit_extract(&mut b, R2, conv::RNG, 36, 1023);
+    b.cvt_if(F3, R2);
+    b.call("vnormalize");
+    // Test against four spheres; r5 counts hits.
+    b.movi(R3, 4);
+    let sphere_loop = b.here_label();
+    b.call("intersect_sphere");
+    let miss = b.new_label();
+    b.brz(R4, miss);
+    b.call("shade");
+    b.addi(R5, R5, 1);
+    b.bind(miss).expect("fresh label");
+    b.subi(R3, R3, 1);
+    b.brnz(R3, sphere_loop);
+    b.subi(conv::LOOP, conv::LOOP, 1);
+    b.brnz(conv::LOOP, top);
+    b.mov(R0, R5);
+    b.halt();
+    b.end_func();
+
+    // f0 = f1*f1 + f2*f2 + f3*f3 (the dot-product helper every routine
+    // leans on).
+    b.begin_func("vdot");
+    b.fmul(F4, F1, F1);
+    b.fmul(F5, F2, F2);
+    b.fadd(F4, F4, F5);
+    b.fmul(F5, F3, F3);
+    b.fadd(F0, F4, F5);
+    b.ret();
+    b.end_func();
+
+    // Normalizes (f1,f2,f3): fsqrt + three fdivs — long-latency FP.
+    b.begin_func("vnormalize");
+    b.call("vdot");
+    b.fmovi(F6, 1.0e-9);
+    b.fadd(F0, F0, F6); // avoid division by zero
+    b.fsqrt(F6, F0);
+    b.fdiv(F1, F1, F6);
+    b.fdiv(F2, F2, F6);
+    b.fdiv(F3, F3, F6);
+    b.ret();
+    b.end_func();
+
+    // Quadratic discriminant test: hit (r4=1) iff b^2 - 4ac > 0 for
+    // sphere parameters derived from the ray and the loop index r3.
+    // (`vdot` clobbers f4/f5, so it runs before b^2 is staged.)
+    b.begin_func("intersect_sphere");
+    b.call("vdot"); // a term in f0
+    b.fmovi(F6, 0.85);
+    b.fmul(F6, F0, F6); // 4ac surrogate
+    b.cvt_if(F7, R3); // sphere center offset from index
+    b.fmovi(F8, 0.35);
+    b.fmul(F7, F7, F8);
+    b.fadd(F4, F1, F7);
+    b.fmul(F5, F4, F4); // b^2 term
+    b.fsub(F5, F5, F6);
+    b.movi(R4, 0);
+    b.cvt_fi(R6, F5);
+    let done = b.new_label();
+    b.movi(R7, 0);
+    b.br(Cond::Le, R6, R7, done);
+    b.movi(R4, 1);
+    b.fsqrt(F5, F5); // root distance
+    b.bind(done).expect("fresh label");
+    b.ret();
+    b.end_func();
+
+    // Shading: diffuse term via vdot, attenuation via fdiv.
+    b.begin_func("shade");
+    b.call("vdot");
+    b.fmovi(F6, 2.5);
+    b.fdiv(F7, F0, F6);
+    b.fadd(F8, F8, F7);
+    b.ret();
+    b.end_func();
+
+    b.build().expect("povray proxy is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_sim::{event::NullObserver, exec::run_with, MachineModel, RunConfig, StopReason};
+
+    #[test]
+    fn runs_and_hits_some_spheres() {
+        let p = povray(2_000);
+        let s = run_with(
+            &MachineModel::ivy_bridge(),
+            &p,
+            &RunConfig::default(),
+            &mut NullObserver,
+        )
+        .unwrap();
+        assert_eq!(s.stop, StopReason::Halted);
+        assert!(s.result > 0, "at least one ray should hit");
+    }
+
+    #[test]
+    fn fp_dominated_profile() {
+        let p = povray(1_000);
+        let hist = p.class_histogram();
+        let fp: usize = ["FpAdd", "FpMul", "FpDiv"]
+            .iter()
+            .filter_map(|k| hist.get(*k))
+            .sum();
+        assert!(fp >= 20, "static FP share too small: {hist:?}");
+        let m = MachineModel::westmere();
+        let r = ct_instrument::ReferenceProfile::collect(&m, &p, &RunConfig::default()).unwrap();
+        // All helpers execute.
+        for f in ["vdot", "vnormalize", "intersect_sphere", "shade"] {
+            let i = r.function_names.iter().position(|n| n == f).unwrap();
+            assert!(r.function_instructions[i] > 0, "{f} never ran");
+        }
+    }
+}

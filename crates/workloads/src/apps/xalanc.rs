@@ -1,0 +1,205 @@
+//! 483.xalancbmk proxy — XSLT/XML transformation.
+//!
+//! Shape properties preserved from the original: a character-scanning loop
+//! dispatching through a class table to many *tiny* handler routines
+//! (2-8 instructions — the very short basic blocks that challenge plain
+//! sampling, §3.1's jump-table remark), extremely high taken-branch
+//! density, and nested-structure bookkeeping (tag depth).
+
+use crate::util::{conv, emit_extract, emit_lcg_step};
+use ct_isa::reg::names::*;
+use ct_isa::{Cond, Program, ProgramBuilder};
+
+const CLASSES: usize = 8;
+
+/// Builds the xalancbmk proxy: a synthetic "document" of `doc_words`
+/// character-class codes scanned `passes` times (one pass per template).
+///
+/// # Panics
+///
+/// Panics if `doc_words < 64` or `passes == 0`.
+#[must_use]
+pub fn xalanc(doc_words: usize, passes: u64) -> Program {
+    assert!(doc_words >= 64);
+    assert!(passes > 0);
+    // Memory map: [0, doc_words) document; table after it.
+    let table = doc_words as i64;
+    let mut b = ProgramBuilder::new("xalanc");
+    b.data(doc_words + CLASSES);
+
+    b.begin_func("main");
+    b.movi(R15, 0);
+    b.movi(conv::RNG, 0xDEAD_0001);
+    b.call("gen_document");
+    b.movi(R11, passes as i64);
+    let pass_top = b.here_label();
+    b.call("scan_pass");
+    b.subi(R11, R11, 1);
+    b.brnz(R11, pass_top);
+    b.mov(R0, R14);
+    b.halt();
+    b.end_func();
+
+    // Fills the document with class codes skewed towards text (class 2).
+    b.begin_func("gen_document");
+    b.movi(R2, 0);
+    b.movi(R3, doc_words as i64);
+    let gen_top = b.here_label();
+    emit_lcg_step(&mut b, conv::RNG);
+    emit_extract(&mut b, R4, conv::RNG, 33, 15);
+    // Map 0..15 -> classes: 0,1 tags; 2..9 text; 10,11 attr; 12 entity;
+    // 13 digit; 14 space; 15 other.
+    let is_text = b.new_label();
+    let store = b.new_label();
+    b.movi(R5, 2);
+    b.br(Cond::Lt, R4, R5, store); // classes 0,1 pass through
+    b.movi(R5, 10);
+    b.br(Cond::Lt, R4, R5, is_text);
+    b.subi(R4, R4, 8); // 10..15 -> 2..7... (attr..other)
+    b.jmp(store);
+    b.bind(is_text).expect("fresh label");
+    b.movi(R4, 2);
+    b.bind(store).expect("fresh label");
+    b.store(R4, R2, 0);
+    b.addi(R2, R2, 1);
+    b.br(Cond::Lt, R2, R3, gen_top);
+    b.ret();
+    b.end_func();
+
+    // One template pass over the document: load class, dispatch handler.
+    b.begin_func("scan_pass");
+    b.movi(R2, 0);
+    b.movi(R3, doc_words as i64);
+    let scan_top = b.here_label();
+    b.load(R4, R2, 0);
+    b.load(R5, R4, table);
+    b.call_ind(R5);
+    b.addi(R2, R2, 1);
+    b.br(Cond::Lt, R2, R3, scan_top);
+    b.ret();
+    b.end_func();
+
+    // Tiny handlers — one per character class.
+    b.begin_func("h_tag_open"); // class 0
+    b.addi(R6, R6, 1); // depth++
+    b.addi(R14, R14, 3);
+    b.ret();
+    b.end_func();
+
+    b.begin_func("h_tag_close"); // class 1
+    let floor = b.new_label();
+    b.brz(R6, floor);
+    b.subi(R6, R6, 1);
+    b.bind(floor).expect("fresh label");
+    b.ret();
+    b.end_func();
+
+    b.begin_func("h_text"); // class 2 (hottest)
+    b.addi(R7, R7, 1);
+    b.ret();
+    b.end_func();
+
+    b.begin_func("h_attr"); // class 3: short inner loop
+    b.movi(R8, 2);
+    let attr_top = b.here_label();
+    b.addi(R14, R14, 1);
+    b.subi(R8, R8, 1);
+    b.brnz(R8, attr_top);
+    b.ret();
+    b.end_func();
+
+    b.begin_func("h_entity"); // class 4: table lookup
+    b.andi(R8, R7, 7);
+    b.load(R9, R8, table);
+    b.add(R14, R14, R9);
+    b.ret();
+    b.end_func();
+
+    b.begin_func("h_digit"); // class 5: value accumulate
+    b.muli(R9, R9, 10);
+    b.addi(R9, R9, 4);
+    b.ret();
+    b.end_func();
+
+    b.begin_func("h_space"); // class 6
+    b.ret();
+    b.end_func();
+
+    b.begin_func("h_other"); // class 7
+    b.xori(R14, R14, 0x55);
+    b.ret();
+    b.end_func();
+
+    let mut p = b.build().expect("xalanc proxy is structurally valid");
+    let names = [
+        "h_tag_open",
+        "h_tag_close",
+        "h_text",
+        "h_attr",
+        "h_entity",
+        "h_digit",
+        "h_space",
+        "h_other",
+    ];
+    for (c, name) in names.iter().enumerate() {
+        let entry = p
+            .symbols
+            .by_name(name)
+            .expect("handler emitted above")
+            .entry;
+        p.init_data.push(((table as usize) + c, i64::from(entry)));
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_sim::{event::NullObserver, exec::run_with, MachineModel, RunConfig, StopReason};
+
+    #[test]
+    fn scans_all_passes() {
+        let p = xalanc(1024, 20);
+        let s = run_with(
+            &MachineModel::ivy_bridge(),
+            &p,
+            &RunConfig::default(),
+            &mut NullObserver,
+        )
+        .unwrap();
+        assert_eq!(s.stop, StopReason::Halted);
+    }
+
+    #[test]
+    fn very_short_blocks_and_dense_branches() {
+        let p = xalanc(2048, 10);
+        let cfg = ct_isa::Cfg::build(&p);
+        let mean_len = p.len() as f64 / cfg.num_blocks() as f64;
+        assert!(
+            mean_len < 3.5,
+            "xalanc proxy blocks should be tiny, got {mean_len:.2}"
+        );
+        let m = MachineModel::ivy_bridge();
+        let r = ct_instrument::ReferenceProfile::collect(&m, &p, &RunConfig::default()).unwrap();
+        let ipb = r.total_instructions as f64 / r.taken_branches as f64;
+        assert!(ipb < 8.0, "branch density too low: {ipb:.1}");
+    }
+
+    #[test]
+    fn text_handler_is_hottest() {
+        let p = xalanc(4096, 10);
+        let m = MachineModel::westmere();
+        let r = ct_instrument::ReferenceProfile::collect(&m, &p, &RunConfig::default()).unwrap();
+        let count = |name: &str| {
+            r.function_names
+                .iter()
+                .position(|n| n == name)
+                .map(|i| r.function_instructions[i])
+                .unwrap()
+        };
+        // Text is ~half of all classes by construction; its handler must
+        // dominate the other handlers.
+        assert!(count("h_text") > count("h_tag_open"));
+        assert!(count("h_text") > count("h_entity"));
+    }
+}

@@ -1,0 +1,401 @@
+//! The paper's four kernels (§4.3.1–§4.3.4).
+//!
+//! Each kernel isolates one sampling difficulty. Loop-body instruction
+//! counts are deliberately *round* (8 per iteration for Latency-Biased) so
+//! that the default round sampling periods resonate with them — the effect
+//! prime periods and randomization exist to break.
+
+use crate::util::{conv, emit_extract, emit_lcg_step};
+use ct_isa::reg::names::*;
+use ct_isa::{Cond, Program, ProgramBuilder};
+
+/// §4.3.1 Latency-Biased: `while (n--) ((n % 2) ? x /= y : x += y);`
+///
+/// Both paths retire exactly 8 instructions per iteration; the odd path's
+/// `div` is a long-latency instruction that soaks up imprecisely
+/// distributed samples (the shadow effect), distorting the profile.
+///
+/// # Panics
+///
+/// Panics if `n == 0` (the builder would emit an empty loop).
+#[must_use]
+pub fn latency_biased(n: u64) -> Program {
+    assert!(n > 0);
+    let mut b = ProgramBuilder::new("latency_biased");
+    b.begin_func("main");
+    b.movi(conv::LOOP, n as i64);
+    b.movi(R3, 1_000_000_007); // x
+    b.movi(R4, 3); // y
+    let top = b.here_label();
+    let even = b.new_label();
+    let next = b.new_label();
+    b.andi(R5, conv::LOOP, 1); // 1: n % 2
+    b.brz(R5, even); // 2
+    b.div(R3, R3, R4); // 3 (odd): x /= y  — long latency
+    b.nop(); // 4
+    b.jmp(next); // 5
+    b.bind(even).expect("fresh label");
+    b.add(R3, R3, R4); // 3 (even): x += y
+    b.nop(); // 4
+    b.nop(); // 5
+    b.bind(next).expect("fresh label");
+    b.addi(R6, R6, 1); // 6
+    b.subi(conv::LOOP, conv::LOOP, 1); // 7
+    b.brnz(conv::LOOP, top); // 8
+    b.mov(R0, R3);
+    b.halt();
+    b.end_func();
+    b.build().expect("latency_biased is structurally valid")
+}
+
+/// §4.3.2 Callchain: a 10-deep call chain enveloped by a loop.
+///
+/// Every function performs identical work (8 retired instructions per
+/// invocation including `call`/`ret`), so a perfect profiler reports equal
+/// instruction counts for all ten. Retirement bursts around the call/ret
+/// boundaries ("out-of-order clustering of uops") are what skews sampled
+/// profiles here.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `depth == 0`.
+#[must_use]
+pub fn callchain(n: u64, depth: usize) -> Program {
+    assert!(n > 0 && depth > 0);
+    let mut b = ProgramBuilder::new("callchain");
+    b.begin_func("main");
+    b.movi(conv::LOOP, n as i64);
+    let top = b.here_label();
+    b.call("f1");
+    // Bookkeeping filler brings the default 10-deep iteration to 88
+    // retired instructions — sharing a factor of 8 with the round
+    // sampling period, so fixed-round sampling locks onto a handful of
+    // loop phases (the synchronization the prime period breaks).
+    b.addi(R2, R2, 1);
+    b.addi(R3, R3, 1);
+    b.addi(R2, R2, 1);
+    b.addi(R3, R3, 1);
+    b.addi(R2, R2, 1);
+    b.subi(conv::LOOP, conv::LOOP, 1);
+    b.brnz(conv::LOOP, top);
+    b.halt();
+    b.end_func();
+
+    for i in 1..=depth {
+        b.begin_func(format!("f{i}"));
+        if i < depth {
+            // 3 ALU ops + call + 3 ALU ops + ret = 8 instructions.
+            b.addi(R6, R6, 1);
+            b.addi(R7, R7, 1);
+            b.addi(R6, R6, 1);
+            b.call(format!("f{}", i + 1));
+            b.addi(R7, R7, 1);
+            b.addi(R6, R6, 1);
+            b.addi(R7, R7, 1);
+            b.ret();
+        } else {
+            // Leaf: 7 ALU ops + ret = 8 instructions.
+            for _ in 0..7 {
+                b.addi(R6, R6, 1);
+            }
+            b.ret();
+        }
+        b.end_func();
+    }
+    b.build().expect("callchain is structurally valid")
+}
+
+/// §4.3.3 G4Box: two functions with an even work split, dominated by
+/// chains of tests and branches that generate very short basic blocks —
+/// "a good case for LBR analysis".
+///
+/// `classify` runs an integer threshold cascade; `surface` runs the same
+/// cascade shape over a transformed value with floating-point updates.
+/// Input data comes from an in-program LCG so branch outcomes vary.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn g4box(n: u64) -> Program {
+    assert!(n > 0);
+    let mut b = ProgramBuilder::new("g4box");
+    b.begin_func("main");
+    b.movi(conv::LOOP, n as i64);
+    b.movi(conv::RNG, 0x5DEECE66D);
+    b.fmovi(F1, 1.0);
+    let top = b.here_label();
+    emit_lcg_step(&mut b, conv::RNG);
+    emit_extract(&mut b, R2, conv::RNG, 29, 255);
+    b.call("classify");
+    b.call("surface");
+    b.subi(conv::LOOP, conv::LOOP, 1);
+    b.brnz(conv::LOOP, top);
+    b.mov(R0, R6);
+    b.halt();
+    b.end_func();
+
+    // Threshold cascade: 8 tests, each a 3-instruction basic block.
+    b.begin_func("classify");
+    let done = b.new_label();
+    for (i, threshold) in [16i64, 40, 72, 96, 128, 160, 200, 232].iter().enumerate() {
+        let next_test = b.new_label();
+        b.movi(R7, *threshold);
+        b.br(Cond::Ge, R2, R7, next_test);
+        b.addi(R6, R6, i as i64 + 1);
+        b.jmp(done);
+        b.bind(next_test).expect("fresh label");
+    }
+    b.addi(R6, R6, 9);
+    b.bind(done).expect("fresh label");
+    b.ret();
+    b.end_func();
+
+    // Same cascade shape over a shifted field, with FP work in the arms.
+    b.begin_func("surface");
+    let sdone = b.new_label();
+    emit_extract(&mut b, R3, conv::RNG, 17, 255);
+    for threshold in [24i64, 56, 88, 120, 152, 184, 216, 240] {
+        let next_test = b.new_label();
+        b.movi(R7, threshold);
+        b.br(Cond::Ge, R3, R7, next_test);
+        b.cvt_if(F2, R3);
+        b.fadd(F1, F1, F2);
+        b.jmp(sdone);
+        b.bind(next_test).expect("fresh label");
+    }
+    b.fmovi(F2, 0.5);
+    b.fmul(F1, F1, F2);
+    b.bind(sdone).expect("fresh label");
+    b.ret();
+    b.end_func();
+    b.build().expect("g4box is structurally valid")
+}
+
+/// §4.3.4 Geant4 test40: a kernelized doppelganger of large Geant4
+/// applications — "an electron travels through a detector with a very
+/// simple geometry, triggering physics processes on its way".
+///
+/// The step loop locates the particle (integer geometry), advances it, and
+/// dispatches one of four small fragmented physics methods depending on
+/// pseudo-random interaction draws and on the current material. The
+/// signature is "a collection of small, fragmented methods, conditionally
+/// executed".
+///
+/// # Panics
+///
+/// Panics if `steps == 0`.
+#[must_use]
+pub fn test40(steps: u64) -> Program {
+    assert!(steps > 0);
+    let mut b = ProgramBuilder::new("test40");
+    b.begin_func("main");
+    b.movi(conv::LOOP, steps as i64);
+    b.movi(conv::RNG, 0x1234_5678_9ABC);
+    b.movi(R2, 0); // position (cell index)
+    b.fmovi(F1, 100.0); // energy
+    let top = b.here_label();
+    // Geometry: locate the cell and advance the particle.
+    b.call("geom_locate");
+    b.call("geom_step");
+    // Physics selection from fresh random bits.
+    emit_lcg_step(&mut b, conv::RNG);
+    emit_extract(&mut b, R5, conv::RNG, 40, 3);
+    let p_brems = b.new_label();
+    let p_scatter = b.new_label();
+    let p_absorb = b.new_label();
+    let stepped = b.new_label();
+    b.movi(R7, 1);
+    b.br(Cond::Eq, R5, R7, p_brems);
+    b.movi(R7, 2);
+    b.br(Cond::Eq, R5, R7, p_scatter);
+    b.movi(R7, 3);
+    b.br(Cond::Eq, R5, R7, p_absorb);
+    b.call("phys_ionize");
+    b.jmp(stepped);
+    b.bind(p_brems).expect("fresh label");
+    b.call("phys_brems");
+    b.jmp(stepped);
+    b.bind(p_scatter).expect("fresh label");
+    b.call("phys_scatter");
+    b.jmp(stepped);
+    b.bind(p_absorb).expect("fresh label");
+    b.call("phys_absorb");
+    b.bind(stepped).expect("fresh label");
+    b.subi(conv::LOOP, conv::LOOP, 1);
+    b.brnz(conv::LOOP, top);
+    b.mov(R0, R2);
+    b.halt();
+    b.end_func();
+
+    // Geometry: cell = |position| % 16 through compare chains (small
+    // blocks, integer only).
+    b.begin_func("geom_locate");
+    b.andi(R3, R2, 15);
+    let in_core = b.new_label();
+    b.movi(R7, 8);
+    b.br(Cond::Lt, R3, R7, in_core);
+    b.addi(R4, R4, 1); // tracker region
+    b.ret();
+    b.bind(in_core).expect("fresh label");
+    b.addi(R4, R4, 2); // calorimeter region
+    b.ret();
+    b.end_func();
+
+    b.begin_func("geom_step");
+    emit_lcg_step(&mut b, conv::RNG);
+    emit_extract(&mut b, R5, conv::RNG, 21, 7);
+    b.add(R2, R2, R5);
+    b.andi(R2, R2, 1023);
+    b.ret();
+    b.end_func();
+
+    // Physics processes: small fragmented FP methods of unequal shapes.
+    b.begin_func("phys_ionize");
+    b.fmovi(F2, 0.98);
+    b.fmul(F1, F1, F2);
+    b.addi(R6, R6, 1);
+    b.ret();
+    b.end_func();
+
+    b.begin_func("phys_brems");
+    b.fmovi(F2, 0.75);
+    b.fmul(F1, F1, F2);
+    b.fsqrt(F3, F1);
+    b.fadd(F1, F1, F3);
+    b.addi(R6, R6, 2);
+    b.ret();
+    b.end_func();
+
+    b.begin_func("phys_scatter");
+    b.fmovi(F2, 1.02);
+    b.fmul(F1, F1, F2);
+    b.fmovi(F3, 2.0);
+    b.fdiv(F4, F1, F3);
+    b.addi(R6, R6, 3);
+    b.ret();
+    b.end_func();
+
+    b.begin_func("phys_absorb");
+    b.fmovi(F1, 100.0); // new particle
+    b.addi(R6, R6, 4);
+    b.movi(R2, 0);
+    b.ret();
+    b.end_func();
+
+    b.build().expect("test40 is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_sim::{event::NullObserver, exec::run_with, MachineModel, RunConfig, StopReason};
+
+    fn run(p: &Program) -> ct_sim::RunSummary {
+        run_with(
+            &MachineModel::ivy_bridge(),
+            p,
+            &RunConfig::default(),
+            &mut NullObserver,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn latency_biased_iteration_is_exactly_eight_instructions() {
+        let p = latency_biased(1000);
+        let s = run(&p);
+        assert_eq!(s.stop, StopReason::Halted);
+        // 3 setup + 8 * n + 2 tail.
+        assert_eq!(s.instructions, 3 + 8 * 1000 + 2);
+    }
+
+    #[test]
+    fn latency_biased_halves_divide() {
+        let p = latency_biased(10_000);
+        let cfg = ct_isa::Cfg::build(&p);
+        // The div instruction exists and is in its own short block.
+        let div_addr = p
+            .insns
+            .iter()
+            .position(|i| i.class() == ct_isa::InsnClass::Div)
+            .unwrap();
+        let blk = cfg.block(cfg.block_of(div_addr as u32));
+        assert!(blk.len() <= 3);
+        let s = run(&p);
+        assert_eq!(s.stop, StopReason::Halted);
+    }
+
+    #[test]
+    fn callchain_functions_do_equal_work() {
+        let p = callchain(2_000, 10);
+        assert_eq!(p.symbols.functions().len(), 11); // main + f1..f10
+        let m = MachineModel::ivy_bridge();
+        let r = ct_instrument::ReferenceProfile::collect(&m, &p, &RunConfig::default()).unwrap();
+        let per_fn: Vec<u64> = r
+            .function_names
+            .iter()
+            .zip(&r.function_instructions)
+            .filter(|(n, _)| n.starts_with('f'))
+            .map(|(_, &c)| c)
+            .collect();
+        assert_eq!(per_fn.len(), 10);
+        // All ten functions retire exactly the same instruction count.
+        assert!(per_fn.windows(2).all(|w| w[0] == w[1]), "{per_fn:?}");
+        assert_eq!(per_fn[0], 8 * 2_000);
+    }
+
+    #[test]
+    fn g4box_splits_work_evenly_and_has_short_blocks() {
+        let p = g4box(5_000);
+        let m = MachineModel::ivy_bridge();
+        let r = ct_instrument::ReferenceProfile::collect(&m, &p, &RunConfig::default()).unwrap();
+        let get = |name: &str| {
+            r.function_names
+                .iter()
+                .position(|n| n == name)
+                .map(|i| r.function_instructions[i])
+                .unwrap()
+        };
+        let classify = get("classify") as f64;
+        let surface = get("surface") as f64;
+        let ratio = classify / surface;
+        assert!(
+            (0.6..=1.6).contains(&ratio),
+            "even work split expected, got {classify} vs {surface}"
+        );
+        // Short-block signature: mean block length under 4 instructions.
+        let cfg = ct_isa::Cfg::build(&p);
+        let mean_len = p.len() as f64 / cfg.num_blocks() as f64;
+        assert!(mean_len < 4.0, "mean block length {mean_len}");
+    }
+
+    #[test]
+    fn test40_exercises_all_processes() {
+        let p = test40(20_000);
+        let m = MachineModel::westmere();
+        let r = ct_instrument::ReferenceProfile::collect(&m, &p, &RunConfig::default()).unwrap();
+        for proc_name in ["phys_ionize", "phys_brems", "phys_scatter", "phys_absorb"] {
+            let i = r
+                .function_names
+                .iter()
+                .position(|n| n == proc_name)
+                .unwrap();
+            assert!(r.function_instructions[i] > 0, "{proc_name} never executed");
+        }
+        // Fragmented methods: taken branches are frequent (enterprise-like
+        // instructions-per-taken-branch, §2.3 cites ratios of 6-12).
+        let ipb = r.total_instructions as f64 / r.taken_branches as f64;
+        assert!(ipb < 12.0, "instructions per taken branch {ipb}");
+    }
+
+    #[test]
+    fn kernels_are_deterministic() {
+        let a = run(&latency_biased(5_000));
+        let b = run(&latency_biased(5_000));
+        assert_eq!(a, b);
+        let c = run(&test40(5_000));
+        let d = run(&test40(5_000));
+        assert_eq!(c, d);
+    }
+}

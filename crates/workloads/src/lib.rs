@@ -1,0 +1,27 @@
+//! `ct-workloads` — the paper's measurement workloads.
+//!
+//! Two families, mirroring §4.3:
+//!
+//! * **kernels** — small hand-written codes, each emphasizing one
+//!   difficulty for sampling: [`kernels::latency_biased`] (non-uniform
+//!   basic-block execution times), [`kernels::callchain`] (10-deep chains
+//!   of short methods), [`kernels::g4box`] (chains of tests and branches →
+//!   very short basic blocks), [`kernels::test40`] (fragmented,
+//!   conditionally executed physics methods);
+//! * **applications** — synthetic proxies for the paper's SPEC CPU2006
+//!   subset (mcf, povray, omnetpp, xalancbmk) and the CERN FullCMS
+//!   production workload. Each proxy reproduces the *shape* that drives
+//!   sampling accuracy on the original: hotspot structure, basic-block
+//!   size distribution, instructions-per-taken-branch ratio, memory
+//!   behaviour and call-chain depth (see DESIGN.md for the substitution
+//!   argument).
+//!
+//! All generators are deterministic: the same parameters produce the same
+//! program and the same dynamic instruction stream.
+
+pub mod apps;
+pub mod kernels;
+pub mod registry;
+pub mod util;
+
+pub use registry::{all, applications, kernels as kernel_set, Workload, WorkloadClass};

@@ -1,0 +1,147 @@
+//! The workload registry: named, sized instances of every kernel and
+//! application, as consumed by the evaluation binaries.
+
+use crate::{apps, kernels};
+use ct_isa::Program;
+use ct_sim::RunConfig;
+
+/// Kernel vs application (Tables 1 and 2 respectively).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadClass {
+    Kernel,
+    Application,
+}
+
+/// A ready-to-run workload.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    pub name: String,
+    pub class: WorkloadClass,
+    pub program: Program,
+    pub run_config: RunConfig,
+}
+
+impl Workload {
+    fn new(name: &str, class: WorkloadClass, program: Program) -> Self {
+        Self {
+            name: name.to_string(),
+            class,
+            program,
+            run_config: RunConfig::default(),
+        }
+    }
+}
+
+/// The four kernels of Table 1 at a given scale. Scale 1.0 sizes every
+/// kernel to roughly 1.5×10^7 dynamic instructions so the default sampling
+/// periods yield several thousand samples per run (the paper's sampling
+/// regime, scaled); tests use much smaller scales.
+#[must_use]
+pub fn kernels(scale: f64) -> Vec<Workload> {
+    let s = |base: u64| ((base as f64 * scale) as u64).max(100);
+    vec![
+        Workload::new(
+            "latency_biased",
+            WorkloadClass::Kernel,
+            kernels::latency_biased(s(1_900_000)),
+        ),
+        Workload::new(
+            "callchain",
+            WorkloadClass::Kernel,
+            kernels::callchain(s(185_000), 10),
+        ),
+        Workload::new("g4box", WorkloadClass::Kernel, kernels::g4box(s(260_000))),
+        Workload::new("test40", WorkloadClass::Kernel, kernels::test40(s(300_000))),
+    ]
+}
+
+/// The five applications of Table 2 at a given scale (1.0 ≈ 1.5×10^7
+/// dynamic instructions each).
+#[must_use]
+pub fn applications(scale: f64) -> Vec<Workload> {
+    let s = |base: u64| ((base as f64 * scale) as u64).max(50);
+    vec![
+        Workload::new(
+            "mcf",
+            WorkloadClass::Application,
+            apps::mcf(1 << 16, s(10_000)),
+        ),
+        Workload::new(
+            "povray",
+            WorkloadClass::Application,
+            apps::povray(s(130_000)),
+        ),
+        Workload::new(
+            "omnetpp",
+            WorkloadClass::Application,
+            apps::omnetpp(s(160_000), 4096),
+        ),
+        Workload::new(
+            "xalancbmk",
+            WorkloadClass::Application,
+            apps::xalanc(8192, s(170)),
+        ),
+        Workload::new(
+            "fullcms",
+            WorkloadClass::Application,
+            apps::fullcms(s(22_000)),
+        ),
+    ]
+}
+
+/// Every workload (kernels then applications).
+#[must_use]
+pub fn all(scale: f64) -> Vec<Workload> {
+    let mut v = kernels(scale);
+    v.extend(applications(scale));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_sim::{event::NullObserver, exec::run_with, MachineModel, StopReason};
+
+    #[test]
+    fn every_workload_runs_on_every_machine() {
+        for m in MachineModel::paper_machines() {
+            for w in all(0.02) {
+                let s = run_with(&m, &w.program, &w.run_config, &mut NullObserver)
+                    .unwrap_or_else(|e| panic!("{} on {}: {e}", w.name, m.name));
+                assert_eq!(s.stop, StopReason::Halted, "{} on {}", w.name, m.name);
+                assert!(s.instructions > 1_000, "{} too small", w.name);
+            }
+        }
+    }
+
+    #[test]
+    fn registry_names_are_unique() {
+        let names: Vec<String> = all(0.01).into_iter().map(|w| w.name).collect();
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
+    }
+
+    #[test]
+    fn classes_are_assigned() {
+        assert!(kernels(0.01)
+            .iter()
+            .all(|w| w.class == WorkloadClass::Kernel));
+        assert!(applications(0.01)
+            .iter()
+            .all(|w| w.class == WorkloadClass::Application));
+    }
+
+    #[test]
+    fn scale_controls_size() {
+        let m = MachineModel::ivy_bridge();
+        let small = &kernels(0.01)[0];
+        let large = &kernels(0.05)[0];
+        let si = run_with(&m, &small.program, &small.run_config, &mut NullObserver)
+            .unwrap()
+            .instructions;
+        let li = run_with(&m, &large.program, &large.run_config, &mut NullObserver)
+            .unwrap()
+            .instructions;
+        assert!(li > 3 * si);
+    }
+}

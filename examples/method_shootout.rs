@@ -1,0 +1,62 @@
+//! A compact Table-1-style shootout: every method on every machine for a
+//! chosen kernel, in one screen.
+//!
+//! ```text
+//! cargo run --release -p countertrust --example method_shootout -- [kernel]
+//! # kernels: latency_biased callchain g4box test40
+//! ```
+
+use countertrust::methods::{MethodKind, MethodOptions};
+use countertrust::Session;
+use ct_sim::MachineModel;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let kernel = args.first().map_or("latency_biased", String::as_str);
+    let kernels = ct_workloads::kernel_set(0.5);
+    let Some(w) = kernels.iter().find(|w| w.name == kernel) else {
+        eprintln!(
+            "unknown kernel `{kernel}`; available: {}",
+            kernels
+                .iter()
+                .map(|w| w.name.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        std::process::exit(1);
+    };
+
+    println!(
+        "method shootout on kernel `{}` (accuracy error, lower is better)\n",
+        w.name
+    );
+    print!("{:<32}", "machine");
+    for kind in MethodKind::ALL {
+        print!("{:>20}", kind.label());
+    }
+    println!();
+
+    let opts = MethodOptions::default();
+    for machine in MachineModel::paper_machines() {
+        let mut session = Session::with_run_config(&machine, &w.program, w.run_config.clone());
+        print!("{:<32}", machine.name);
+        for kind in MethodKind::ALL {
+            match kind.instantiate(&machine, &opts) {
+                Some(inst) => match session.run_method(&inst, 3) {
+                    Ok(run) => print!("{:>19.1}%", run.accuracy_error * 100.0),
+                    Err(e) => {
+                        print!("{:>20}", format!("err:{e:.12}"));
+                    }
+                },
+                None => print!("{:>20}", "n/a"),
+            }
+        }
+        println!();
+    }
+    println!(
+        "\nShapes to look for: classic is worst; prime periods beat round ones; \
+         the PDIR fix column collapses only on Ivy Bridge (the machine that has \
+         PDIR); LBR wins nearly everywhere it exists; AMD never gets the LBR \
+         or fix columns."
+    );
+}

@@ -1,0 +1,95 @@
+//! A miniature `perf record` / `perf report`: profile a named workload
+//! with a named method and print the hot-function table, annotated with
+//! the exact (instrumented) shares for comparison.
+//!
+//! ```text
+//! cargo run --release -p countertrust --example perf_record -- [workload] [method] [machine]
+//! # e.g.
+//! cargo run --release -p countertrust --example perf_record -- omnetpp lbr ivb
+//! ```
+
+use countertrust::methods::{MethodKind, MethodOptions};
+use countertrust::Session;
+use ct_sim::MachineModel;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let workload_name = args.first().map_or("omnetpp", String::as_str);
+    let method_name = args.get(1).map_or("lbr", String::as_str);
+    let machine_name = args.get(2).map_or("ivb", String::as_str);
+
+    let machine = match machine_name {
+        "wsm" | "westmere" => MachineModel::westmere(),
+        "amd" | "magny" => MachineModel::magny_cours(),
+        _ => MachineModel::ivy_bridge(),
+    };
+    let workloads = ct_workloads::all(0.5);
+    let Some(w) = workloads.iter().find(|w| w.name == workload_name) else {
+        eprintln!(
+            "unknown workload `{workload_name}`; available: {}",
+            workloads
+                .iter()
+                .map(|w| w.name.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        std::process::exit(1);
+    };
+    let Some(kind) = MethodKind::ALL
+        .iter()
+        .find(|k| k.label() == method_name)
+        .copied()
+    else {
+        eprintln!(
+            "unknown method `{method_name}`; available: {}",
+            MethodKind::ALL
+                .iter()
+                .map(|k| k.label())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        std::process::exit(1);
+    };
+    let Some(inst) = kind.instantiate(&machine, &MethodOptions::default()) else {
+        eprintln!(
+            "method `{method_name}` is not available on {}",
+            machine.name
+        );
+        std::process::exit(1);
+    };
+
+    println!(
+        "# perf-record: {} with {} on {}",
+        w.name,
+        inst.name(),
+        machine.name
+    );
+    let mut session = Session::with_run_config(&machine, &w.program, w.run_config.clone());
+    let reference = session.reference().expect("reference run").clone();
+    let run = session.run_method(&inst, 7).expect("profiling run");
+
+    println!(
+        "# {} samples, accuracy error {:.2}%, mean skid {:.1} instructions\n",
+        run.samples,
+        run.accuracy_error * 100.0,
+        run.mean_skid
+    );
+    println!("{:>9}  {:>9}  {:<24}", "est %", "exact %", "function");
+    let est_total: f64 = run.profile.function_mass.iter().sum();
+    let ref_total = reference.total_instructions() as f64;
+    for (name, mass) in run.profile.function_ranking().into_iter().take(12) {
+        let exact = reference
+            .function_names
+            .iter()
+            .position(|n| *n == name)
+            .map_or(0.0, |i| {
+                reference.function_instructions[i] as f64 / ref_total
+            });
+        println!(
+            "{:>8.2}%  {:>8.2}%  {:<24}",
+            mass / est_total * 100.0,
+            exact * 100.0,
+            name
+        );
+    }
+}
