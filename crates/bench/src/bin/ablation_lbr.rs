@@ -3,55 +3,110 @@
 //! resource" — is collided with call-stack mode by another consumer.
 //!
 //! ```text
-//! cargo run --release -p ct-bench --bin ablation_lbr [--scale F] [--repeats N]
+//! cargo run --release -p ct-bench --bin ablation_lbr \
+//!     [--scale F] [--repeats N] [--seed N] [--threads N]
 //! ```
+//!
+//! The depth sweep models each LBR depth as a distinct machine variant, so
+//! all depth × workload cells fan out on the grid engine in parallel (one
+//! shared reference profile per cell pair).
 
-use countertrust::evaluate::evaluate_method;
+use countertrust::grid::GridMethod;
 use countertrust::methods::{MethodKind, MethodOptions};
 use countertrust::report::{fmt_error_pm, Table};
-use countertrust::Session;
+use ct_bench::{grid_runner, workload_specs, CliOptions};
 use ct_pmu::LbrMode;
 use ct_sim::MachineModel;
 
+const DEPTHS: [usize; 4] = [4, 8, 16, 32];
+
+fn cell(eval: &countertrust::Evaluation, label: &str) -> String {
+    eval.methods.iter().find(|s| s.method == label).map_or_else(
+        || "err".to_string(),
+        |s| fmt_error_pm(s.stats.mean, s.stats.std_dev),
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let cli = ct_bench::CliOptions::parse(&args);
+    let cli = CliOptions::parse(&args);
     let opts = MethodOptions::default();
     let kernels = ct_workloads::kernel_set(cli.scale);
     let apps = ct_workloads::applications(cli.scale * 0.5);
-    let g4box = kernels.iter().find(|w| w.name == "g4box").unwrap();
-    let fullcms = apps.iter().find(|w| w.name == "fullcms").unwrap();
+    let workloads: Vec<_> = kernels
+        .into_iter()
+        .filter(|w| w.name == "g4box")
+        .chain(apps.into_iter().filter(|w| w.name == "fullcms"))
+        .collect();
+    assert_eq!(
+        workloads.len(),
+        2,
+        "registry must provide g4box and fullcms"
+    );
+    let specs = workload_specs(&workloads);
+    let runner = grid_runner(&cli);
 
     println!("LBR depth sweep (full-LBR method, Ivy Bridge, errors mean±sd)\n");
-    let mut t = Table::new(
-        "error vs LBR depth",
-        vec![
-            "workload".into(),
-            "depth 4".into(),
-            "depth 8".into(),
-            "depth 16".into(),
-            "depth 32".into(),
-        ],
-    );
-    for w in [g4box, fullcms] {
-        let mut row = vec![w.name.clone()];
-        for depth in [4usize, 8, 16, 32] {
+    let depth_machines: Vec<MachineModel> = DEPTHS
+        .iter()
+        .map(|&depth| {
             let mut machine = MachineModel::ivy_bridge();
             machine.pmu.lbr_depth = depth;
-            let inst = MethodKind::Lbr
-                .instantiate(&machine, &opts)
-                .expect("LBR method available on IVB");
-            let mut session = Session::with_run_config(&machine, &w.program, w.run_config.clone());
-            let cell = evaluate_method(&mut session, &inst, cli.repeats, cli.seed)
-                .map(|s| fmt_error_pm(s.stats.mean, s.stats.std_dev))
-                .unwrap_or_else(|e| format!("err: {e}"));
-            row.push(cell);
+            machine.name = format!("{} (LBR depth {depth})", machine.name);
+            machine
+        })
+        .collect();
+    let depth_evals = runner.run(
+        &depth_machines,
+        &specs,
+        |machine| {
+            vec![GridMethod {
+                label: "lbr".to_string(),
+                instance: MethodKind::Lbr
+                    .instantiate(machine, &opts)
+                    .expect("LBR method available on IVB"),
+            }]
+        },
+        cli.repeats,
+        cli.seed,
+    );
+    let mut header = vec!["workload".to_string()];
+    header.extend(DEPTHS.iter().map(|d| format!("depth {d}")));
+    let mut t = Table::new("error vs LBR depth", header);
+    for (w_idx, w) in workloads.iter().enumerate() {
+        let mut row = vec![w.name.clone()];
+        for d_idx in 0..DEPTHS.len() {
+            row.push(cell(&depth_evals[d_idx * workloads.len() + w_idx], "lbr"));
         }
         t.push_row(row);
     }
     println!("{}", t.render());
 
     println!("Call-stack-mode collision (same method, LBR hijacked by a stack unwinder)\n");
+    let machines = [MachineModel::ivy_bridge()];
+    let collision_evals = runner.run(
+        &machines,
+        &specs,
+        |machine| {
+            let ring = MethodKind::Lbr
+                .instantiate(machine, &opts)
+                .expect("LBR method available on IVB");
+            let mut collided = ring.clone();
+            collided.config.lbr_mode = LbrMode::CallStack;
+            vec![
+                GridMethod {
+                    label: "ring".to_string(),
+                    instance: ring,
+                },
+                GridMethod {
+                    label: "call-stack".to_string(),
+                    instance: collided,
+                },
+            ]
+        },
+        cli.repeats,
+        cli.seed,
+    );
     let mut t2 = Table::new(
         "error with LBR in ring vs call-stack mode",
         vec![
@@ -60,20 +115,12 @@ fn main() {
             "call-stack (collided)".into(),
         ],
     );
-    let machine = MachineModel::ivy_bridge();
-    for w in [g4box, fullcms] {
-        let ring = MethodKind::Lbr.instantiate(&machine, &opts).unwrap();
-        let mut collided = ring.clone();
-        collided.config.lbr_mode = LbrMode::CallStack;
-        let mut session = Session::with_run_config(&machine, &w.program, w.run_config.clone());
-        let cell = |inst, session: &mut Session| {
-            evaluate_method(session, inst, cli.repeats, cli.seed)
-                .map(|s| fmt_error_pm(s.stats.mean, s.stats.std_dev))
-                .unwrap_or_else(|e| format!("err: {e}"))
-        };
-        let a = cell(&ring, &mut session);
-        let b = cell(&collided, &mut session);
-        t2.push_row(vec![w.name.clone(), a, b]);
+    for (eval, w) in collision_evals.iter().zip(&workloads) {
+        t2.push_row(vec![
+            w.name.clone(),
+            cell(eval, "ring"),
+            cell(eval, "call-stack"),
+        ]);
     }
     println!("{}", t2.render());
     println!(

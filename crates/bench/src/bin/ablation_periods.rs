@@ -7,75 +7,115 @@
 //! benchmarks").
 //!
 //! ```text
-//! cargo run --release -p ct-bench --bin ablation_periods [--scale F] [--repeats N]
+//! cargo run --release -p ct-bench --bin ablation_periods \
+//!     [--scale F] [--repeats N] [--seed N] [--threads N]
 //! ```
+//!
+//! The 2 workloads × 16 period policies fan out on the grid engine as
+//! independent cells sharing one reference profile per workload.
 
-use countertrust::evaluate::evaluate_method;
+use countertrust::grid::GridMethod;
 use countertrust::methods::{Attribution, MethodInstance, MethodKind, MethodOptions};
 use countertrust::report::{fmt_error_pm, Table};
-use countertrust::Session;
+use ct_bench::{grid_runner, workload_specs, CliOptions};
 use ct_isa::prime::next_prime;
 use ct_pmu::{PeriodSpec, PmuEvent, Precision, Randomization, SamplerConfig};
 use ct_sim::MachineModel;
 
+const BASE_PERIODS: [u64; 4] = [1_000, 2_000, 4_000, 8_000];
+const POLICIES: [&str; 4] = [
+    "round fixed",
+    "round randomized",
+    "prime fixed",
+    "prime randomized",
+];
+
+fn policy_spec(base: u64, policy: &str) -> PeriodSpec {
+    let soft = Randomization::Software {
+        bits: MethodOptions::default().rand_bits,
+    };
+    let (nominal, randomization) = match policy {
+        "round fixed" => (base, Randomization::None),
+        "round randomized" => (base, soft),
+        "prime fixed" => (next_prime(base), Randomization::None),
+        "prime randomized" => (next_prime(base), soft),
+        other => unreachable!("unknown policy {other}"),
+    };
+    PeriodSpec {
+        nominal,
+        randomization,
+    }
+}
+
+fn cell_label(base: u64, policy: &str) -> String {
+    format!("{policy} @{base}")
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let cli = ct_bench::CliOptions::parse(&args);
-    let machine = MachineModel::ivy_bridge();
+    let cli = CliOptions::parse(&args);
+    let machines = [MachineModel::ivy_bridge()];
     // One resonance-prone kernel and one application for contrast.
     let kernels = ct_workloads::kernel_set(cli.scale);
-    let mut apps = ct_workloads::applications(cli.scale * 0.5);
-    let latency = kernels.iter().find(|w| w.name == "latency_biased").unwrap();
-    let omnetpp_pos = apps.iter().position(|w| w.name == "omnetpp").unwrap();
-    let omnetpp = apps.swap_remove(omnetpp_pos);
+    let apps = ct_workloads::applications(cli.scale * 0.5);
+    let workloads: Vec<_> = kernels
+        .into_iter()
+        .filter(|w| w.name == "latency_biased")
+        .chain(apps.into_iter().filter(|w| w.name == "omnetpp"))
+        .collect();
+    assert_eq!(
+        workloads.len(),
+        2,
+        "registry must provide latency_biased and omnetpp"
+    );
+    let specs = workload_specs(&workloads);
 
-    let base_periods: [u64; 4] = [1_000, 2_000, 4_000, 8_000];
     println!(
         "Period-policy ablation on {} (PDIR event, errors mean±sd)\n",
-        machine.name
+        machines[0].name
+    );
+    let evals = grid_runner(&cli).run(
+        &machines,
+        &specs,
+        |_machine| {
+            let mut methods = Vec::new();
+            for base in BASE_PERIODS {
+                for policy in POLICIES {
+                    methods.push(GridMethod {
+                        label: cell_label(base, policy),
+                        instance: MethodInstance {
+                            kind: MethodKind::Precise,
+                            config: SamplerConfig::new(
+                                PmuEvent::InstRetiredPrecDist,
+                                Precision::Pdir,
+                                policy_spec(base, policy),
+                            ),
+                            attribution: Attribution::Plain,
+                        },
+                    });
+                }
+            }
+            methods
+        },
+        cli.repeats,
+        cli.seed,
     );
 
-    for w in [latency, &omnetpp] {
-        let mut session = Session::with_run_config(&machine, &w.program, w.run_config.clone());
-        let mut t = Table::new(
-            format!("workload: {}", w.name),
-            vec![
-                "nominal period".into(),
-                "round fixed".into(),
-                "round randomized".into(),
-                "prime fixed".into(),
-                "prime randomized".into(),
-            ],
-        );
-        for base in base_periods {
-            let prime = next_prime(base);
-            let cell = |nominal: u64, randomization: Randomization, session: &mut Session| {
-                let inst = MethodInstance {
-                    kind: MethodKind::Precise,
-                    config: SamplerConfig::new(
-                        PmuEvent::InstRetiredPrecDist,
-                        Precision::Pdir,
-                        PeriodSpec {
-                            nominal,
-                            randomization,
-                        },
-                    ),
-                    attribution: Attribution::Plain,
-                };
-                evaluate_method(session, &inst, cli.repeats, cli.seed)
-                    .map(|s| fmt_error_pm(s.stats.mean, s.stats.std_dev))
-                    .unwrap_or_else(|e| format!("err: {e}"))
-            };
-            let soft = Randomization::Software {
-                bits: MethodOptions::default().rand_bits,
-            };
-            t.push_row(vec![
-                base.to_string(),
-                cell(base, Randomization::None, &mut session),
-                cell(base, soft, &mut session),
-                cell(prime, Randomization::None, &mut session),
-                cell(prime, soft, &mut session),
-            ]);
+    for (eval, w) in evals.iter().zip(&workloads) {
+        let mut header = vec!["nominal period".to_string()];
+        header.extend(POLICIES.iter().map(ToString::to_string));
+        let mut t = Table::new(format!("workload: {}", w.name), header);
+        for base in BASE_PERIODS {
+            let mut row = vec![base.to_string()];
+            for policy in POLICIES {
+                let label = cell_label(base, policy);
+                let cell = eval.methods.iter().find(|s| s.method == label).map_or_else(
+                    || "err".to_string(),
+                    |s| fmt_error_pm(s.stats.mean, s.stats.std_dev),
+                );
+                row.push(cell);
+            }
+            t.push_row(row);
         }
         println!("{}", t.render());
     }

@@ -7,37 +7,67 @@
 //! Kendall tau rank correlation.
 //!
 //! ```text
-//! cargo run --release -p ct-bench --bin function_rank [--scale F] [--seed N]
+//! cargo run --release -p ct-bench --bin function_rank \
+//!     [--scale F] [--seed N] [--threads N]
 //! ```
+//!
+//! Machines are evaluated in parallel on the grid engine; the reference
+//! profile (and the truth ranking derived from it) is collected once per
+//! machine and shared across all method runs.
 
+use countertrust::grid::cell_seed;
 use countertrust::methods::{MethodKind, MethodOptions};
 use countertrust::report::Table;
-use countertrust::{kendall_tau, top_n_exact_match, Session};
+use countertrust::{kendall_tau, top_n_exact_match};
+use ct_bench::{grid_runner, workload_specs, CliOptions};
 use ct_sim::MachineModel;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let cli = ct_bench::CliOptions::parse(&args);
+    let cli = CliOptions::parse(&args);
     let apps = ct_workloads::applications(cli.scale);
-    let fullcms = apps
-        .iter()
-        .find(|w| w.name == "fullcms")
-        .expect("registry has fullcms");
+    let fullcms: Vec<_> = apps
+        .into_iter()
+        .filter(|w| w.name == "fullcms")
+        .collect();
+    assert!(!fullcms.is_empty(), "registry has fullcms");
+    let specs = workload_specs(&fullcms);
+    let machines = MachineModel::paper_machines();
     let opts = MethodOptions::default();
 
     println!("FullCMS top-10 function ranking vs instrumented truth (§5.2)\n");
-    let mut any_exact = false;
-    for machine in MachineModel::paper_machines() {
-        let mut session =
-            Session::with_run_config(&machine, &fullcms.program, fullcms.run_config.clone());
-        let truth: Vec<String> = session
-            .reference()
-            .expect("reference run")
+    let results = grid_runner(&cli).map_pairs(&machines, &specs, |ctx| {
+        let truth: Vec<String> = ctx
+            .reference
             .function_ranking()
             .into_iter()
             .take(10)
             .map(|(n, _)| n)
             .collect();
+        let mut session = ctx.session();
+        let mut rows = Vec::new();
+        for (k, kind) in MethodKind::ALL.iter().enumerate() {
+            let Some(inst) = kind.instantiate(ctx.machine, &opts) else {
+                continue;
+            };
+            let seed = cell_seed(cli.seed, ctx.machine_index, ctx.workload_index, k, 0);
+            let run = match session.run_method(&inst, seed) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("warning: {kind:?} on {}: {e}", ctx.machine.name);
+                    continue;
+                }
+            };
+            let est = run.profile.top_functions(10);
+            let exact = top_n_exact_match(&est, &truth, 10);
+            let tau = kendall_tau(&est, &truth);
+            rows.push((kind.label().to_string(), exact, tau));
+        }
+        rows
+    });
+
+    let mut any_exact = false;
+    for (machine, rows) in machines.iter().zip(results) {
         let mut t = Table::new(
             format!("machine: {}", machine.name),
             vec![
@@ -46,23 +76,10 @@ fn main() {
                 "kendall tau".into(),
             ],
         );
-        for kind in MethodKind::ALL {
-            let Some(inst) = kind.instantiate(&machine, &opts) else {
-                continue;
-            };
-            let run = match session.run_method(&inst, cli.seed) {
-                Ok(r) => r,
-                Err(e) => {
-                    eprintln!("warning: {kind:?}: {e}");
-                    continue;
-                }
-            };
-            let est = run.profile.top_functions(10);
-            let exact = top_n_exact_match(&est, &truth, 10);
+        for (label, exact, tau) in rows.unwrap_or_default() {
             any_exact |= exact;
-            let tau = kendall_tau(&est, &truth);
             t.push_row(vec![
-                kind.label().to_string(),
+                label,
                 if exact { "YES" } else { "no" }.to_string(),
                 format!("{tau:.3}"),
             ]);

@@ -2,12 +2,16 @@
 //! application proxies, per machine (lower is better).
 //!
 //! ```text
-//! cargo run --release -p ct-bench --bin table2 [--scale F] [--repeats N] [--json PATH]
+//! cargo run --release -p ct-bench --bin table2 \
+//!     [--scale F] [--repeats N] [--seed N] [--threads N] [--json PATH]
 //! ```
+//!
+//! Cells run on the parallel grid engine; `--threads 1` and `--threads N`
+//! emit byte-identical output.
 
 use countertrust::methods::{MethodKind, MethodOptions};
 use countertrust::report::evaluation_table;
-use ct_bench::{maybe_write_json, run_grid, CliOptions};
+use ct_bench::{grid_runner, maybe_write_json, workload_specs, CliOptions};
 use ct_sim::MachineModel;
 
 fn main() {
@@ -21,7 +25,13 @@ fn main() {
         "Table 2: application accuracy errors (mean±sd over {} runs, % of net instructions; lower is better)\n",
         cli.repeats
     );
-    let evals = run_grid(&workloads, &machines, &opts, cli.repeats, cli.seed);
+    let evals = grid_runner(&cli).run_standard(
+        &machines,
+        &workload_specs(&workloads),
+        &opts,
+        cli.repeats,
+        cli.seed,
+    );
     let method_labels: Vec<&str> = MethodKind::ALL.iter().map(|k| k.label()).collect();
     for w in &workloads {
         let t = evaluation_table(&w.name, &evals, &method_labels);

@@ -3,15 +3,22 @@
 //! attribution of every method family.
 //!
 //! ```text
-//! cargo run --release -p ct-bench --bin table3
+//! cargo run --release -p ct-bench --bin table3 [--threads N]
 //! ```
+//!
+//! Table 3 is static (method taxonomy, no sampling runs), so there is
+//! nothing to fan out; the shared CLI flags are still accepted for
+//! interface uniformity with the other binaries.
 
 use countertrust::methods::{MethodKind, MethodOptions};
 use countertrust::report::Table;
+use ct_bench::CliOptions;
 use ct_pmu::Randomization;
 use ct_sim::MachineModel;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let _cli = CliOptions::parse(&args);
     let opts = MethodOptions::default();
     println!("Table 3: an overview of reviewed sampling methods\n");
     for machine in MachineModel::paper_machines() {

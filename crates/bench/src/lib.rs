@@ -11,24 +11,59 @@
 //! | `ablation_periods` | §6.1 — period policy sweep (round/prime/randomized) |
 //! | `ablation_lbr` | §6.2 — LBR depth sweep and call-stack-mode collision |
 //!
+//! All experiment binaries run on the parallel grid engine
+//! ([`countertrust::grid::GridRunner`]): cells fan out across worker
+//! threads, each `(machine, workload)` pair's reference profile is
+//! collected once and shared, and per-run seeds derive from grid
+//! coordinates — so `--threads 1` and `--threads N` produce byte-identical
+//! stdout/JSON.
+//!
 //! Criterion benches in `benches/` measure collection and post-processing
-//! overhead (the [38] aside) and simulator throughput.
+//! overhead (the \[38\] aside) and simulator throughput.
 
-use countertrust::evaluate::{evaluate_method, Evaluation};
-use countertrust::methods::{MethodKind, MethodOptions};
-use countertrust::Session;
+#![deny(rustdoc::broken_intra_doc_links)]
+
+use countertrust::evaluate::Evaluation;
+use countertrust::grid::{GridRunner, WorkloadSpec};
+use countertrust::methods::MethodOptions;
 use ct_sim::MachineModel;
 use ct_workloads::Workload;
+use std::io::IsTerminal;
 
 /// Number of repeated measurements per cell, matching §4.1 ("measured five
 /// times").
 pub const REPEATS: usize = 5;
 
+/// Borrows grid-engine workload specs out of registry workloads.
+#[must_use]
+pub fn workload_specs(workloads: &[Workload]) -> Vec<WorkloadSpec<'_>> {
+    workloads
+        .iter()
+        .map(|w| WorkloadSpec {
+            name: &w.name,
+            program: &w.program,
+            run_config: &w.run_config,
+        })
+        .collect()
+}
+
+/// A grid runner configured from CLI options: `--threads` (default:
+/// available parallelism), with per-cell progress on stderr when stderr is
+/// a terminal (never polluting redirected output).
+#[must_use]
+pub fn grid_runner(cli: &CliOptions) -> GridRunner {
+    GridRunner::new()
+        .threads(cli.threads.unwrap_or(0))
+        .progress(std::io::stderr().is_terminal())
+}
+
 /// Runs the full machine × method grid for one set of workloads,
 /// producing one [`Evaluation`] per (machine, workload) pair.
 ///
 /// Methods a machine cannot run are skipped (the paper's tables have the
-/// same holes).
+/// same holes). This is a convenience wrapper over
+/// [`GridRunner::run_standard`] with the default thread count; the
+/// binaries configure threads/progress via [`grid_runner`].
 #[must_use]
 pub fn run_grid(
     workloads: &[Workload],
@@ -37,39 +72,19 @@ pub fn run_grid(
     repeats: usize,
     base_seed: u64,
 ) -> Vec<Evaluation> {
-    let mut out = Vec::new();
-    for machine in machines {
-        for w in workloads {
-            let mut session = Session::with_run_config(machine, &w.program, w.run_config.clone());
-            let mut methods = Vec::new();
-            for kind in MethodKind::ALL {
-                let Some(instance) = kind.instantiate(machine, opts) else {
-                    continue;
-                };
-                match evaluate_method(&mut session, &instance, repeats, base_seed) {
-                    Ok(stats) => methods.push(stats),
-                    Err(e) => {
-                        eprintln!("warning: {} / {} / {:?}: {e}", machine.name, w.name, kind);
-                    }
-                }
-            }
-            out.push(Evaluation {
-                machine: machine.name.clone(),
-                workload: w.name.clone(),
-                methods,
-            });
-        }
-    }
-    out
+    GridRunner::new().run_standard(machines, &workload_specs(workloads), opts, repeats, base_seed)
 }
 
 /// Command-line conveniences shared by the binaries: `--scale F`,
-/// `--repeats N`, `--seed N`, `--json PATH`.
+/// `--repeats N`, `--seed N`, `--threads N`, `--json PATH`.
 #[derive(Debug, Clone)]
 pub struct CliOptions {
     pub scale: f64,
     pub repeats: usize,
     pub seed: u64,
+    /// Worker threads for the grid engine; `None` means available
+    /// hardware parallelism.
+    pub threads: Option<usize>,
     pub json_path: Option<String>,
 }
 
@@ -79,14 +94,30 @@ impl Default for CliOptions {
             scale: 1.0,
             repeats: REPEATS,
             seed: 1_000,
+            threads: None,
             json_path: None,
         }
     }
 }
 
+/// Parses a flag value, warning on stderr and keeping `fallback` when the
+/// value does not parse (a silently swallowed typo in `--scale 0..5`
+/// would otherwise run the full grid with the wrong configuration).
+fn parse_flag_value<T>(flag: &str, raw: &str, fallback: T) -> T
+where
+    T: std::str::FromStr + std::fmt::Display + Copy,
+{
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("warning: ignoring invalid value {raw:?} for {flag}; keeping {fallback}");
+        fallback
+    })
+}
+
 impl CliOptions {
     /// Parses `std::env::args()`-style arguments; unknown flags are
-    /// ignored so binaries can add their own.
+    /// ignored so binaries can add their own. Malformed values are
+    /// reported on stderr (naming the flag and the offending value) and
+    /// fall back to the current setting.
     #[must_use]
     pub fn parse(args: &[String]) -> Self {
         let mut opts = Self::default();
@@ -99,17 +130,28 @@ impl CliOptions {
             match args[i].as_str() {
                 "--scale" => {
                     if let Some(v) = take(&mut i) {
-                        opts.scale = v.parse().unwrap_or(opts.scale);
+                        opts.scale = parse_flag_value("--scale", v, opts.scale);
                     }
                 }
                 "--repeats" => {
                     if let Some(v) = take(&mut i) {
-                        opts.repeats = v.parse().unwrap_or(opts.repeats);
+                        opts.repeats = parse_flag_value("--repeats", v, opts.repeats);
                     }
                 }
                 "--seed" => {
                     if let Some(v) = take(&mut i) {
-                        opts.seed = v.parse().unwrap_or(opts.seed);
+                        opts.seed = parse_flag_value("--seed", v, opts.seed);
+                    }
+                }
+                "--threads" => {
+                    if let Some(v) = take(&mut i) {
+                        match v.parse::<usize>() {
+                            Ok(n) => opts.threads = Some(n),
+                            Err(_) => eprintln!(
+                                "warning: ignoring invalid value {v:?} for --threads; \
+                                 using available parallelism"
+                            ),
+                        }
                     }
                 }
                 "--json" => {
@@ -140,6 +182,7 @@ pub fn maybe_write_json(opts: &CliOptions, evals: &[Evaluation]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use countertrust::methods::MethodKind;
 
     #[test]
     fn cli_parses_flags() {
@@ -150,6 +193,8 @@ mod tests {
             "3",
             "--seed",
             "9",
+            "--threads",
+            "4",
             "--json",
             "/tmp/x.json",
         ]
@@ -160,6 +205,7 @@ mod tests {
         assert_eq!(o.scale, 0.5);
         assert_eq!(o.repeats, 3);
         assert_eq!(o.seed, 9);
+        assert_eq!(o.threads, Some(4));
         assert_eq!(o.json_path.as_deref(), Some("/tmp/x.json"));
     }
 
@@ -171,6 +217,22 @@ mod tests {
             .collect();
         let o = CliOptions::parse(&args);
         assert_eq!(o.scale, 2.0);
+    }
+
+    #[test]
+    fn cli_warns_and_keeps_defaults_on_malformed_values() {
+        let args: Vec<String> = [
+            "--scale", "0..5", "--repeats", "lots", "--seed", "0x12", "--threads", "-3",
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+        let o = CliOptions::parse(&args);
+        let d = CliOptions::default();
+        assert_eq!(o.scale, d.scale);
+        assert_eq!(o.repeats, d.repeats);
+        assert_eq!(o.seed, d.seed);
+        assert_eq!(o.threads, None);
     }
 
     #[test]

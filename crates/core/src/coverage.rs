@@ -1,7 +1,7 @@
 //! Sampled code coverage and FDO-input quality.
 //!
 //! §6.1: LBR-based methods "could serve as input to PGO, code coverage or
-//! other sensitive optimization techniques" (cf. THeME [33], which tests
+//! other sensitive optimization techniques" (cf. THeME \[33\], which tests
 //! by hardware monitoring). This module evaluates two consumers:
 //!
 //! * **coverage** — which basic blocks does a sampled profile believe
@@ -102,11 +102,11 @@ mod tests {
         let classic = session
             .run_method(
                 &MethodKind::Classic.instantiate(&machine, &opts).unwrap(),
-                8,
+                13,
             )
             .unwrap();
         let lbr = session
-            .run_method(&MethodKind::Lbr.instantiate(&machine, &opts).unwrap(), 8)
+            .run_method(&MethodKind::Lbr.instantiate(&machine, &opts).unwrap(), 13)
             .unwrap();
         let c = block_coverage(&classic.profile, &reference);
         let l = block_coverage(&lbr.profile, &reference);

@@ -22,7 +22,7 @@ pub struct Diagnosis {
     /// basic block than the trigger (the damage skid actually does to a
     /// block-level profile).
     pub cross_block_fraction: f64,
-    /// Synchronization score in [0,1]: 1 − (distinct trigger phases /
+    /// Synchronization score in \[0,1\]: 1 − (distinct trigger phases /
     /// min(samples, phase space)) over the dominant loop. 0 means triggers
     /// rotate freely; 1 means every trigger hit the same phase (full
     /// resonance).

@@ -39,18 +39,35 @@ pub fn evaluate_method(
     repeats: usize,
     base_seed: u64,
 ) -> Result<ErrorStats, CoreError> {
-    let mut runs = Vec::with_capacity(repeats);
+    let seeds: Vec<u64> = (0..repeats as u64).map(|i| base_seed + i).collect();
+    evaluate_method_with_seeds(session, method, method.kind.label(), &seeds)
+}
+
+/// Runs `method` once per seed in `seeds` and aggregates the accuracy
+/// errors under an explicit result label.
+///
+/// This is the primitive behind [`evaluate_method`] and the grid engine
+/// ([`crate::grid`]), which derives each cell's seeds from its grid
+/// coordinates so results do not depend on scheduling order, and labels
+/// ablation cells by their configuration rather than the method family.
+pub fn evaluate_method_with_seeds(
+    session: &mut Session<'_>,
+    method: &MethodInstance,
+    label: &str,
+    seeds: &[u64],
+) -> Result<ErrorStats, CoreError> {
+    let mut runs = Vec::with_capacity(seeds.len());
     let mut samples = 0usize;
     let mut skid = 0.0;
-    for i in 0..repeats {
-        let r = session.run_method(method, base_seed + i as u64)?;
+    for &seed in seeds {
+        let r = session.run_method(method, seed)?;
         runs.push(r.accuracy_error);
         samples += r.samples;
         skid += r.mean_skid;
     }
-    let n = repeats.max(1) as f64;
+    let n = seeds.len().max(1) as f64;
     Ok(ErrorStats {
-        method: method.kind.label().to_string(),
+        method: label.to_string(),
         stats: Stats::from_values(&runs),
         runs,
         mean_samples: samples as f64 / n,

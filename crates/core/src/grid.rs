@@ -1,0 +1,595 @@
+//! The parallel grid-evaluation engine behind the table harness.
+//!
+//! The paper's Tables 1 and 2 are a machine × workload × method × repeats
+//! grid. Evaluating it serially wastes both dimensions of hardware
+//! parallelism *and* re-drives the most expensive step — the instrumented
+//! reference execution — once per consumer. This module fixes both:
+//!
+//! * a [`GridRunner`] fans independent cells across
+//!   [`std::thread::scope`] workers pulling from a shared work queue;
+//! * each `(machine, workload)` pair's [`ReferenceProfile`] is collected
+//!   exactly once (phase 1, itself parallel) and shared via [`Arc`] with
+//!   every method evaluation of that pair (phase 2) through
+//!   [`Session::with_reference`];
+//! * per-run seeds derive from the cell coordinates via [`cell_seed`], so
+//!   results are a pure function of the grid shape and base seed — output
+//!   is byte-identical no matter how many threads run or how the queue
+//!   interleaves;
+//! * per-cell progress is reported on stderr when enabled, keeping stdout
+//!   (tables, JSON) deterministic.
+//!
+//! # Examples
+//!
+//! ```
+//! use countertrust::grid::{GridRunner, WorkloadSpec};
+//! use countertrust::methods::MethodOptions;
+//! use ct_isa::asm::assemble;
+//! use ct_sim::{MachineModel, RunConfig};
+//!
+//! let program = assemble(
+//!     "demo",
+//!     ".func main\n movi r1, 20000\ntop:\n addi r2, r2, 1\n subi r1, r1, 1\n brnz r1, top\n halt\n.endfunc",
+//! )
+//! .unwrap();
+//! let run_config = RunConfig::default();
+//! let workloads = [WorkloadSpec {
+//!     name: "demo",
+//!     program: &program,
+//!     run_config: &run_config,
+//! }];
+//! let machines = [MachineModel::ivy_bridge()];
+//! let evals = GridRunner::new().threads(2).run_standard(
+//!     &machines,
+//!     &workloads,
+//!     &MethodOptions::fast(),
+//!     2,
+//!     1_000,
+//! );
+//! assert_eq!(evals.len(), 1);
+//! assert!(!evals[0].methods.is_empty());
+//! ```
+
+use crate::error::CoreError;
+use crate::evaluate::{evaluate_method_with_seeds, ErrorStats, Evaluation};
+use crate::methods::{MethodInstance, MethodKind, MethodOptions};
+use crate::session::Session;
+use ct_instrument::ReferenceProfile;
+use ct_isa::{Cfg, Program};
+use ct_sim::{MachineModel, RunConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A borrowed workload: everything the engine needs to run one
+/// `(machine, workload)` pair.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadSpec<'a> {
+    /// Name used in [`Evaluation`] rows and progress lines.
+    pub name: &'a str,
+    /// The program to execute.
+    pub program: &'a Program,
+    /// Its run configuration (fuel, arguments).
+    pub run_config: &'a RunConfig,
+}
+
+/// A labeled, machine-resolved method — one column of the grid.
+///
+/// The label defaults to the method family's table label but ablations
+/// override it to describe the concrete configuration (e.g.
+/// `"prime randomized @4001"`), since they evaluate several variants of
+/// the same family side by side.
+#[derive(Debug, Clone)]
+pub struct GridMethod {
+    /// Result label, stored into [`ErrorStats::method`].
+    pub label: String,
+    /// The resolved sampler configuration and attribution rule.
+    pub instance: MethodInstance,
+}
+
+impl GridMethod {
+    /// The standard table columns: every family of [`MethodKind::ALL`]
+    /// the machine supports, labeled by family.
+    #[must_use]
+    pub fn standard(machine: &MachineModel, opts: &MethodOptions) -> Vec<GridMethod> {
+        MethodKind::ALL
+            .iter()
+            .filter_map(|kind| {
+                kind.instantiate(machine, opts).map(|instance| GridMethod {
+                    label: kind.label().to_string(),
+                    instance,
+                })
+            })
+            .collect()
+    }
+}
+
+/// Context handed to [`GridRunner::map_pairs`] closures: one
+/// `(machine, workload)` pair plus its shared CFG and reference profile.
+pub struct PairCtx<'a> {
+    /// The machine under test.
+    pub machine: &'a MachineModel,
+    /// Index of the machine in the `machines` slice.
+    pub machine_index: usize,
+    /// The workload under test.
+    pub workload: WorkloadSpec<'a>,
+    /// Index of the workload in the `workloads` slice.
+    pub workload_index: usize,
+    /// The workload's control-flow graph, built once and shared.
+    pub cfg: Arc<Cfg>,
+    /// The pair's reference profile, collected once and shared.
+    pub reference: Arc<ReferenceProfile>,
+}
+
+impl<'a> PairCtx<'a> {
+    /// A session over this pair that reuses the shared CFG and reference
+    /// profile (no instrumented re-execution, no CFG rebuild).
+    #[must_use]
+    pub fn session(&self) -> Session<'a> {
+        Session::with_shared_parts(
+            self.machine,
+            self.workload.program,
+            self.workload.run_config.clone(),
+            self.cfg.clone(),
+            Some(self.reference.clone()),
+        )
+    }
+}
+
+/// Derives the seed of one sampling run from its grid coordinates.
+///
+/// Seeds are a pure function of `(base_seed, machine, workload, method,
+/// repeat)` — never of scheduling order — which is what makes parallel
+/// grid output byte-identical to serial output.
+#[must_use]
+pub fn cell_seed(
+    base_seed: u64,
+    machine: usize,
+    workload: usize,
+    method: usize,
+    repeat: usize,
+) -> u64 {
+    let mut h = base_seed ^ 0xD6E8_FEB8_6659_FD93;
+    for v in [
+        machine as u64,
+        workload as u64,
+        method as u64,
+        repeat as u64,
+    ] {
+        h ^= v;
+        h = mix64(h);
+    }
+    h
+}
+
+/// One CFG per workload, shared by every session over that workload
+/// (the CFG depends only on the program, not the machine or method).
+fn workload_cfgs(workloads: &[WorkloadSpec<'_>]) -> Vec<Arc<Cfg>> {
+    workloads
+        .iter()
+        .map(|w| Arc::new(Cfg::build(w.program)))
+        .collect()
+}
+
+/// splitmix64 finalizer.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The parallel grid evaluator. Construct, configure with the builder
+/// methods, then call [`GridRunner::run_standard`], [`GridRunner::run`]
+/// or [`GridRunner::map_pairs`].
+#[derive(Debug, Clone)]
+pub struct GridRunner {
+    threads: usize,
+    progress: bool,
+}
+
+impl Default for GridRunner {
+    fn default() -> Self {
+        Self {
+            threads: default_threads(),
+            progress: false,
+        }
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+impl GridRunner {
+    /// A runner using all available hardware parallelism, progress off.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker-thread count; `0` restores the default (available
+    /// hardware parallelism).
+    #[must_use]
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = if n == 0 { default_threads() } else { n };
+        self
+    }
+
+    /// Enables or disables per-cell progress reporting on stderr.
+    #[must_use]
+    pub fn progress(mut self, on: bool) -> Self {
+        self.progress = on;
+        self
+    }
+
+    /// The configured worker-thread count.
+    #[must_use]
+    pub fn thread_count(&self) -> usize {
+        self.threads
+    }
+
+    /// Phase 1: collects every `(machine, workload)` pair's reference
+    /// profile in parallel, machine-major (`pair = machine * W + workload`).
+    ///
+    /// Failures are reported once here, on stderr; downstream consumers
+    /// skip failed pairs silently.
+    pub fn collect_references(
+        &self,
+        machines: &[MachineModel],
+        workloads: &[WorkloadSpec<'_>],
+    ) -> Vec<Result<Arc<ReferenceProfile>, CoreError>> {
+        self.collect_references_with_cfgs(machines, workloads, &workload_cfgs(workloads))
+    }
+
+    fn collect_references_with_cfgs(
+        &self,
+        machines: &[MachineModel],
+        workloads: &[WorkloadSpec<'_>],
+        cfgs: &[Arc<Cfg>],
+    ) -> Vec<Result<Arc<ReferenceProfile>, CoreError>> {
+        let total = machines.len() * workloads.len();
+        let slots: Vec<Mutex<Option<Result<Arc<ReferenceProfile>, CoreError>>>> =
+            (0..total).map(|_| Mutex::new(None)).collect();
+        let done = AtomicUsize::new(0);
+        self.for_each_index(total, |i| {
+            let (m, w) = (i / workloads.len(), i % workloads.len());
+            let machine = &machines[m];
+            let workload = &workloads[w];
+            let mut session = Session::with_shared_parts(
+                machine,
+                workload.program,
+                workload.run_config.clone(),
+                cfgs[w].clone(),
+                None,
+            );
+            let result = session.shared_reference();
+            if let Err(e) = &result {
+                eprintln!(
+                    "warning: {} / {}: reference collection failed: {e}",
+                    machine.name, workload.name
+                );
+            }
+            *slots[i].lock().expect("no poisoned slots") = Some(result);
+            if self.progress {
+                let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+                eprintln!(
+                    "  [ref {d}/{total}] {} / {}",
+                    machine.name, workload.name
+                );
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| {
+                s.into_inner()
+                    .expect("no poisoned slots")
+                    .expect("every index visited")
+            })
+            .collect()
+    }
+
+    /// Runs the full grid with the standard method columns
+    /// ([`GridMethod::standard`]) — the Table 1/2 workhorse.
+    #[must_use]
+    pub fn run_standard(
+        &self,
+        machines: &[MachineModel],
+        workloads: &[WorkloadSpec<'_>],
+        opts: &MethodOptions,
+        repeats: usize,
+        base_seed: u64,
+    ) -> Vec<Evaluation> {
+        self.run(machines, workloads, |m| GridMethod::standard(m, opts), repeats, base_seed)
+    }
+
+    /// Runs the full grid with custom method columns per machine.
+    ///
+    /// `resolve_methods` is called once per machine on the calling thread
+    /// (its output order defines the method order of every
+    /// [`Evaluation`]); the resulting `(machine, workload, method)` cells
+    /// are then evaluated in parallel. Methods whose evaluation fails are
+    /// skipped with a warning on stderr, matching the holes in the
+    /// paper's tables. Results come back machine-major, workload-minor —
+    /// independent of thread count and scheduling.
+    #[must_use]
+    pub fn run<F>(
+        &self,
+        machines: &[MachineModel],
+        workloads: &[WorkloadSpec<'_>],
+        resolve_methods: F,
+        repeats: usize,
+        base_seed: u64,
+    ) -> Vec<Evaluation>
+    where
+        F: Fn(&MachineModel) -> Vec<GridMethod>,
+    {
+        let methods: Vec<Vec<GridMethod>> = machines.iter().map(resolve_methods).collect();
+        let cfgs = workload_cfgs(workloads);
+        let references = self.collect_references_with_cfgs(machines, workloads, &cfgs);
+
+        // One task per (machine, workload, method) cell, in output order.
+        let mut tasks = Vec::new();
+        for m in 0..machines.len() {
+            for w in 0..workloads.len() {
+                for k in 0..methods[m].len() {
+                    tasks.push((m, w, k));
+                }
+            }
+        }
+        let total = tasks.len();
+        let done = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<ErrorStats>>> =
+            (0..total).map(|_| Mutex::new(None)).collect();
+
+        self.for_each_index(total, |t| {
+            let (m, w, k) = tasks[t];
+            let machine = &machines[m];
+            let workload = &workloads[w];
+            let grid_method = &methods[m][k];
+            // Reference failures were already reported by phase 1; the
+            // pair's cells are simply skipped.
+            if let Ok(reference) = &references[m * workloads.len() + w] {
+                let mut session = Session::with_shared_parts(
+                    machine,
+                    workload.program,
+                    workload.run_config.clone(),
+                    cfgs[w].clone(),
+                    Some(reference.clone()),
+                );
+                let seeds: Vec<u64> = (0..repeats)
+                    .map(|r| cell_seed(base_seed, m, w, k, r))
+                    .collect();
+                match evaluate_method_with_seeds(
+                    &mut session,
+                    &grid_method.instance,
+                    &grid_method.label,
+                    &seeds,
+                ) {
+                    Ok(stats) => {
+                        *slots[t].lock().expect("no poisoned slots") = Some(stats);
+                    }
+                    Err(e) => eprintln!(
+                        "warning: {} / {} / {}: {e}",
+                        machine.name, workload.name, grid_method.label
+                    ),
+                }
+            }
+            if self.progress {
+                let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+                eprintln!(
+                    "  [{d}/{total}] {} / {} / {}",
+                    machine.name, workload.name, grid_method.label
+                );
+            }
+        });
+
+        // Reassemble in deterministic machine-major order.
+        let mut slot_iter = slots.into_iter();
+        let mut out = Vec::with_capacity(machines.len() * workloads.len());
+        for (m, machine) in machines.iter().enumerate() {
+            for workload in workloads {
+                let methods = methods[m]
+                    .iter()
+                    .filter_map(|_| {
+                        slot_iter
+                            .next()
+                            .expect("one slot per task")
+                            .into_inner()
+                            .expect("no poisoned slots")
+                    })
+                    .collect();
+                out.push(Evaluation {
+                    machine: machine.name.clone(),
+                    workload: workload.name.to_string(),
+                    methods,
+                });
+            }
+        }
+        out
+    }
+
+    /// Parallel map over `(machine, workload)` pairs with the reference
+    /// profile pre-collected and shared — for experiments that need more
+    /// than [`ErrorStats`] per cell (e.g. function rankings).
+    ///
+    /// Returns one entry per pair, machine-major; `None` marks pairs whose
+    /// reference collection failed (warned on stderr).
+    #[must_use]
+    pub fn map_pairs<R, F>(
+        &self,
+        machines: &[MachineModel],
+        workloads: &[WorkloadSpec<'_>],
+        f: F,
+    ) -> Vec<Option<R>>
+    where
+        F: Fn(PairCtx<'_>) -> R + Sync,
+        R: Send,
+    {
+        let cfgs = workload_cfgs(workloads);
+        let references = self.collect_references_with_cfgs(machines, workloads, &cfgs);
+        let total = machines.len() * workloads.len();
+        let done = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<R>>> = (0..total).map(|_| Mutex::new(None)).collect();
+        self.for_each_index(total, |i| {
+            let (m, w) = (i / workloads.len(), i % workloads.len());
+            let machine = &machines[m];
+            let workload = workloads[w];
+            // Reference failures were already reported by phase 1.
+            if let Ok(reference) = &references[i] {
+                let result = f(PairCtx {
+                    machine,
+                    machine_index: m,
+                    workload,
+                    workload_index: w,
+                    cfg: cfgs[w].clone(),
+                    reference: reference.clone(),
+                });
+                *slots[i].lock().expect("no poisoned slots") = Some(result);
+            }
+            if self.progress {
+                let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+                eprintln!(
+                    "  [{d}/{total}] {} / {}",
+                    machine.name, workload.name
+                );
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("no poisoned slots"))
+            .collect()
+    }
+
+    /// Runs `f(0..total)` across the configured worker threads, pulling
+    /// indices from a shared atomic queue. Serial when one thread (or one
+    /// task) suffices — no thread is ever spawned in that case, keeping
+    /// `--threads 1` a true serial baseline.
+    fn for_each_index<F: Fn(usize) + Sync>(&self, total: usize, f: F) {
+        let workers = self.threads.min(total);
+        if workers <= 1 {
+            for i in 0..total {
+                f(i);
+            }
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    f(i);
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_isa::asm::assemble;
+
+    fn kernel() -> Program {
+        assemble(
+            "k",
+            r#"
+            .func main
+                movi r1, 30000
+            top:
+                addi r2, r2, 1
+                addi r3, r3, 1
+                subi r1, r1, 1
+                brnz r1, top
+                halt
+            .endfunc
+        "#,
+        )
+        .unwrap()
+    }
+
+    fn specs<'a>(program: &'a Program, run_config: &'a RunConfig) -> Vec<WorkloadSpec<'a>> {
+        vec![WorkloadSpec {
+            name: "k",
+            program,
+            run_config,
+        }]
+    }
+
+    #[test]
+    fn serial_and_parallel_agree_exactly() {
+        let program = kernel();
+        let run_config = RunConfig::default();
+        let workloads = specs(&program, &run_config);
+        let machines = [MachineModel::ivy_bridge(), MachineModel::westmere()];
+        let opts = MethodOptions::fast();
+        let serial =
+            GridRunner::new()
+                .threads(1)
+                .run_standard(&machines, &workloads, &opts, 3, 42);
+        let parallel =
+            GridRunner::new()
+                .threads(8)
+                .run_standard(&machines, &workloads, &opts, 3, 42);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.machine, b.machine);
+            assert_eq!(a.workload, b.workload);
+            assert_eq!(a.methods.len(), b.methods.len());
+            for (x, y) in a.methods.iter().zip(&b.methods) {
+                assert_eq!(x.method, y.method);
+                assert_eq!(x.runs, y.runs);
+                assert_eq!(x.mean_samples, y.mean_samples);
+            }
+        }
+    }
+
+    #[test]
+    fn cell_seeds_are_distinct_and_stable() {
+        let mut seen = std::collections::HashSet::new();
+        for m in 0..3 {
+            for w in 0..4 {
+                for k in 0..7 {
+                    for r in 0..5 {
+                        assert!(seen.insert(cell_seed(1_000, m, w, k, r)));
+                    }
+                }
+            }
+        }
+        assert_eq!(cell_seed(1, 2, 3, 4, 5), cell_seed(1, 2, 3, 4, 5));
+        assert_ne!(cell_seed(1, 2, 3, 4, 5), cell_seed(2, 2, 3, 4, 5));
+    }
+
+    // NOTE: the "reference collected exactly once per pair" guarantee is
+    // asserted via ct_instrument::collection_count() in
+    // tests/integration_grid.rs, which owns its whole test binary — the
+    // counter is process-global, so asserting exact deltas here would
+    // race against sibling unit tests collecting references in parallel.
+
+    #[test]
+    fn map_pairs_shares_references_and_keeps_order() {
+        let program = kernel();
+        let run_config = RunConfig::default();
+        let workloads = specs(&program, &run_config);
+        let machines = [MachineModel::ivy_bridge(), MachineModel::magny_cours()];
+        let results = GridRunner::new().threads(3).map_pairs(
+            &machines,
+            &workloads,
+            |ctx| {
+                (
+                    ctx.machine.name.clone(),
+                    ctx.reference.total_instructions(),
+                )
+            },
+        );
+        assert_eq!(results.len(), 2);
+        let (name0, total0) = results[0].as_ref().unwrap();
+        assert_eq!(name0, &machines[0].name);
+        assert!(*total0 > 0);
+        let (name1, _) = results[1].as_ref().unwrap();
+        assert_eq!(name1, &machines[1].name);
+    }
+}

@@ -18,6 +18,8 @@
 //! * [`metrics`] — the accuracy-error metric of §3.3;
 //! * [`session`] — a perf-record-like driver wiring CPU + PMU + collectors;
 //! * [`evaluate`] — the repeated-measurement harness behind Tables 1 and 2;
+//! * [`grid`] — the parallel machine × workload × method evaluation
+//!   engine, sharing one reference profile per (machine, workload) pair;
 //! * [`report`] — table formatting and JSON export for the bench binaries.
 //!
 //! # Examples
@@ -50,12 +52,15 @@
 //! assert!(run.accuracy_error < 0.5);
 //! ```
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod annotate;
 pub mod attrib;
 pub mod coverage;
 pub mod diagnostics;
 pub mod error;
 pub mod evaluate;
+pub mod grid;
 pub mod lbrwalk;
 pub mod methods;
 pub mod metrics;
@@ -65,7 +70,8 @@ pub mod session;
 pub mod tripcount;
 
 pub use error::CoreError;
-pub use evaluate::{evaluate_method, ErrorStats, Evaluation};
+pub use evaluate::{evaluate_method, evaluate_method_with_seeds, ErrorStats, Evaluation};
+pub use grid::{cell_seed, GridMethod, GridRunner, PairCtx, WorkloadSpec};
 pub use methods::{Attribution, MethodInstance, MethodKind, MethodOptions};
 pub use metrics::{accuracy_error, kendall_tau, top_n_exact_match};
 pub use profile::EstimatedProfile;

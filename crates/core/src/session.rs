@@ -4,6 +4,12 @@
 //! reference profile (the "REF" column), and runs sampling methods against
 //! the same workload, producing [`MethodRun`]s with estimated profiles and
 //! their accuracy errors.
+//!
+//! The reference profile is held behind an [`Arc`] so sessions over the
+//! same `(machine, workload)` pair can share one collection instead of
+//! re-driving the instrumented execution: the grid engine
+//! ([`crate::grid`]) collects each pair's reference once and fans it out
+//! to every per-method session via [`Session::with_reference`].
 
 use crate::attrib;
 use crate::error::CoreError;
@@ -14,6 +20,7 @@ use ct_instrument::ReferenceProfile;
 use ct_isa::{Cfg, Program};
 use ct_pmu::{Sampler, SamplerStats};
 use ct_sim::{Cpu, MachineModel, RunConfig, RunSummary};
+use std::sync::Arc;
 
 /// Result of running one sampling method once.
 #[derive(Debug, Clone)]
@@ -34,9 +41,9 @@ pub struct MethodRun {
 pub struct Session<'a> {
     machine: &'a MachineModel,
     program: &'a Program,
-    cfg: Cfg,
+    cfg: Arc<Cfg>,
     run_config: RunConfig,
-    reference: Option<ReferenceProfile>,
+    reference: Option<Arc<ReferenceProfile>>,
     reference_summary: Option<RunSummary>,
 }
 
@@ -54,12 +61,60 @@ impl<'a> Session<'a> {
         program: &'a Program,
         run_config: RunConfig,
     ) -> Self {
+        Self::with_shared_parts(
+            machine,
+            program,
+            run_config,
+            Arc::new(Cfg::build(program)),
+            None,
+        )
+    }
+
+    /// Creates a session that reuses an already-collected reference
+    /// profile instead of re-driving the instrumented execution.
+    ///
+    /// The caller must pass a profile collected for the same
+    /// `(machine, program, run_config)` triple; accuracy numbers are
+    /// meaningless otherwise. This is the constructor behind the grid
+    /// engine's reference sharing.
+    #[must_use]
+    pub fn with_reference(
+        machine: &'a MachineModel,
+        program: &'a Program,
+        run_config: RunConfig,
+        reference: Arc<ReferenceProfile>,
+    ) -> Self {
+        Self::with_shared_parts(
+            machine,
+            program,
+            run_config,
+            Arc::new(Cfg::build(program)),
+            Some(reference),
+        )
+    }
+
+    /// The most general constructor: shares both the program's CFG and
+    /// (optionally) the reference profile with other sessions.
+    ///
+    /// `cfg` must be built from `program` and `reference` (when given)
+    /// collected for the same `(machine, program, run_config)` triple.
+    /// The grid engine uses this to build one CFG per workload and one
+    /// reference per (machine, workload) pair, no matter how many method
+    /// cells consume them.
+    #[must_use]
+    pub fn with_shared_parts(
+        machine: &'a MachineModel,
+        program: &'a Program,
+        run_config: RunConfig,
+        cfg: Arc<Cfg>,
+        reference: Option<Arc<ReferenceProfile>>,
+    ) -> Self {
         Self {
             machine,
             program,
-            cfg: Cfg::build(program),
+            cfg,
             run_config,
-            reference: None,
+            reference,
             reference_summary: None,
         }
     }
@@ -79,6 +134,19 @@ impl<'a> Session<'a> {
     /// The exact reference profile, collected on first use (one extra
     /// instrumented execution, like the paper's Pin run).
     pub fn reference(&mut self) -> Result<&ReferenceProfile, CoreError> {
+        self.ensure_reference()?;
+        Ok(self.reference.as_deref().expect("just collected"))
+    }
+
+    /// Like [`Session::reference`], but returns the shareable handle so
+    /// other sessions over the same pair can reuse the collection via
+    /// [`Session::with_reference`].
+    pub fn shared_reference(&mut self) -> Result<Arc<ReferenceProfile>, CoreError> {
+        self.ensure_reference()?;
+        Ok(self.reference.clone().expect("just collected"))
+    }
+
+    fn ensure_reference(&mut self) -> Result<(), CoreError> {
         if self.reference.is_none() {
             let (reference, summary) = ReferenceProfile::collect_with_cfg(
                 self.machine,
@@ -86,10 +154,10 @@ impl<'a> Session<'a> {
                 &self.cfg,
                 &self.run_config,
             )?;
-            self.reference = Some(reference);
+            self.reference = Some(Arc::new(reference));
             self.reference_summary = Some(summary);
         }
-        Ok(self.reference.as_ref().expect("just collected"))
+        Ok(())
     }
 
     /// Runs one sampling method with the given seed and evaluates it
@@ -100,7 +168,7 @@ impl<'a> Session<'a> {
         seed: u64,
     ) -> Result<MethodRun, CoreError> {
         // Ensure the reference exists before the borrow below.
-        self.reference()?;
+        self.ensure_reference()?;
         let mut config = method.config.clone();
         config.seed = seed;
         let mut sampler = Sampler::new(self.machine, &config)?;
@@ -110,7 +178,7 @@ impl<'a> Session<'a> {
         let batch = sampler.into_batch();
         let bb_mass = attrib::attribute(&batch, &self.cfg, method.attribution, nominal);
         let profile = EstimatedProfile::from_bb_mass(bb_mass, self.program, &self.cfg);
-        let reference = self.reference.as_ref().expect("collected above");
+        let reference = self.reference.as_deref().expect("collected above");
         let err = accuracy_error(&profile.bb_mass, &reference.bb_instructions);
         Ok(MethodRun {
             profile,

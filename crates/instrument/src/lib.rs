@@ -25,6 +25,8 @@
 //! assert_eq!(reference.total_instructions(), 12);
 //! ```
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod bbcount;
 pub mod callgraph;
 pub mod edges;
@@ -35,4 +37,4 @@ pub use bbcount::BbCounter;
 pub use callgraph::CallGraphObserver;
 pub use edges::EdgeProfiler;
 pub use loops::LoopProfiler;
-pub use reference::ReferenceProfile;
+pub use reference::{collection_count, ReferenceProfile};

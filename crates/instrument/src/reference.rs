@@ -5,6 +5,23 @@ use crate::callgraph::CallGraphObserver;
 use ct_isa::{Cfg, Program};
 use ct_sim::{Cpu, MachineModel, RunConfig, RunSummary, SimError};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of instrumented reference executions.
+static COLLECTIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of instrumented reference executions performed by this process
+/// so far.
+///
+/// Reference collection is the most expensive single step of a grid cell
+/// (one full extra execution per `(machine, workload)` pair); callers that
+/// share profiles — the `countertrust` grid engine — use this counter to
+/// assert the sharing actually happened (each pair collected exactly
+/// once).
+#[must_use]
+pub fn collection_count() -> u64 {
+    COLLECTIONS.load(Ordering::Relaxed)
+}
 
 /// Exact per-block and per-function profile of one execution, used as the
 /// denominator of every accuracy comparison (the paper's "REF" method).
@@ -45,6 +62,7 @@ impl ReferenceProfile {
         cfg: &Cfg,
         config: &RunConfig,
     ) -> Result<(Self, RunSummary), SimError> {
+        COLLECTIONS.fetch_add(1, Ordering::Relaxed);
         let mut bb = BbCounter::new(cfg);
         let mut cg = CallGraphObserver::new(program);
         let summary = Cpu::new(machine).run(program, config, &mut [&mut bb, &mut cg])?;

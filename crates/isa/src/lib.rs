@@ -35,6 +35,8 @@
 //! assert_eq!(cfg.blocks().len(), 3);
 //! ```
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod asm;
 pub mod builder;
 pub mod cfg;

@@ -24,6 +24,8 @@
 //! * **period control**: round or prime nominal periods, software
 //!   randomization, and AMD's built-in 4-LSB hardware randomization.
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod counting;
 pub mod error;
 pub mod event;

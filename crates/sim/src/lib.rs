@@ -23,6 +23,8 @@
 //! this one stream, exactly as PMU, Pin and perf all observe one execution
 //! on real hardware.
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod bpred;
 pub mod cache;
 pub mod error;

@@ -19,6 +19,8 @@
 //! All generators are deterministic: the same parameters produce the same
 //! program and the same dynamic instruction stream.
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod apps;
 pub mod kernels;
 pub mod registry;

@@ -1,0 +1,281 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Keeps the API shape the workspace's benches use — [`Criterion`],
+//! benchmark groups, [`Bencher::iter`] / [`Bencher::iter_batched`],
+//! [`Throughput`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros — but measures with a deliberately simple protocol: a warm-up
+//! phase sizes the per-sample iteration count, then `sample_size` samples
+//! are timed and the mean / min / max per-iteration times are printed.
+//! There is no statistical analysis, HTML report or regression store.
+
+#![deny(rustdoc::broken_intra_doc_links)]
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`]; the real crate offers its own.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How [`Bencher::iter_batched`] amortizes setup cost. The stand-in
+/// always runs one setup per routine call, so the variants only document
+/// intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch in the real crate.
+    SmallInput,
+    /// Large inputs: few per batch in the real crate.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Times closures; handed to benchmark functions.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    /// Mean seconds per iteration, filled by `iter`/`iter_batched`.
+    mean_secs: f64,
+    min_secs: f64,
+    max_secs: f64,
+    iters_per_sample: u64,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, running it repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: estimate the per-call cost to size samples.
+        let warmup_deadline = Instant::now() + self.config.warm_up_time;
+        let mut calls = 0u64;
+        let warmup_start = Instant::now();
+        while Instant::now() < warmup_deadline {
+            black_box(routine());
+            calls += 1;
+        }
+        let per_call = warmup_start.elapsed().as_secs_f64() / calls.max(1) as f64;
+        let budget = self.config.measurement_time.as_secs_f64();
+        let per_sample = (budget / self.config.sample_size as f64 / per_call.max(1e-9))
+            .max(1.0)
+            .round() as u64;
+
+        let mut mean_sum = 0.0;
+        let mut min = f64::INFINITY;
+        let mut max = 0.0f64;
+        for _ in 0..self.config.sample_size {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            let secs = start.elapsed().as_secs_f64() / per_sample as f64;
+            mean_sum += secs;
+            min = min.min(secs);
+            max = max.max(secs);
+        }
+        self.mean_secs = mean_sum / self.config.sample_size as f64;
+        self.min_secs = min;
+        self.max_secs = max;
+        self.iters_per_sample = per_sample;
+    }
+
+    /// Times `routine` on fresh inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut samples = Vec::with_capacity(self.config.sample_size);
+        // One warm-up call.
+        black_box(routine(setup()));
+        for _ in 0..self.config.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            samples.push(start.elapsed().as_secs_f64());
+        }
+        let n = samples.len().max(1) as f64;
+        self.mean_secs = samples.iter().sum::<f64>() / n;
+        self.min_secs = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        self.max_secs = samples.iter().copied().fold(0.0, f64::max);
+        self.iters_per_sample = 1;
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Config {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug, Clone, Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement-time budget per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbench group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single free-standing benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(&self.config, &name.into(), None, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with a per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        run_one(&self.criterion.config, &id, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnOnce(&mut Bencher)>(
+    config: &Config,
+    id: &str,
+    throughput: Option<Throughput>,
+    f: F,
+) {
+    let mut b = Bencher {
+        config,
+        mean_secs: 0.0,
+        min_secs: 0.0,
+        max_secs: 0.0,
+        iters_per_sample: 0,
+    };
+    f(&mut b);
+    let mut line = format!(
+        "  {id:<40} mean {:>12}  [min {}, max {}]",
+        fmt_time(b.mean_secs),
+        fmt_time(b.min_secs),
+        fmt_time(b.max_secs),
+    );
+    if let Some(t) = throughput {
+        let (count, unit) = match t {
+            Throughput::Elements(n) => (n, "elem/s"),
+            Throughput::Bytes(n) => (n, "B/s"),
+        };
+        if b.mean_secs > 0.0 {
+            line.push_str(&format!(
+                "  {:.3e} {unit}",
+                count as f64 / b.mean_secs
+            ));
+        }
+    }
+    println!("{line}");
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Declares a benchmark group entry point, mirroring the real macro's two
+/// accepted forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares `main` for a benchmark binary built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,445 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the vendored `serde` crate's `Value` data model, by hand-parsing the
+//! item's token stream (no `syn`/`quote` — those are unavailable offline).
+//!
+//! Supported shapes — exactly what this workspace derives on:
+//!
+//! * structs with named fields;
+//! * tuple structs (newtype structs serialize as their inner value,
+//!   wider ones as sequences);
+//! * unit structs;
+//! * enums with unit, tuple and struct variants (externally tagged, like
+//!   real serde's JSON output: `"Unit"`, `{"Tuple": [..]}`,
+//!   `{"Struct": {..}}`).
+//!
+//! Generics and `#[serde(...)]` attributes are intentionally unsupported
+//! and produce a compile error naming this file.
+
+#![deny(rustdoc::broken_intra_doc_links)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum VariantData {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    data: VariantData,
+}
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Derives `serde::Serialize` for structs and enums (see crate docs for
+/// the supported shapes).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives `serde::Deserialize` for structs and enums (see crate docs for
+/// the supported shapes).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});").parse().unwrap();
+        }
+    };
+    let code = match mode {
+        Mode::Serialize => gen_serialize(&shape),
+        Mode::Deserialize => gen_deserialize(&shape),
+    };
+    code.parse().unwrap_or_else(|e| {
+        format!("compile_error!(\"serde_derive generated invalid code: {e}\");")
+            .parse()
+            .unwrap()
+    })
+}
+
+// --- token-stream parsing -------------------------------------------------
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let keyword = expect_ident(&tokens, &mut i)?;
+    let name = expect_ident(&tokens, &mut i)?;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive (vendored) does not support generic type `{name}`"
+        ));
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                Ok(Shape::NamedStruct { name, fields })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = split_top_level(g.stream()).len();
+                Ok(Shape::TupleStruct { name, arity })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Shape::UnitStruct { name }),
+            other => Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = parse_variants(g.stream())?;
+                Ok(Shape::Enum { name, variants })
+            }
+            other => Err(format!("unsupported enum body: {other:?}")),
+        },
+        kw => Err(format!("cannot derive serde traits for `{kw}` items")),
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            // `#[...]` attribute (doc comments arrive in this form too).
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                // `pub(crate)` and friends.
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> Result<String, String> {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            Ok(id.to_string())
+        }
+        other => Err(format!("expected identifier, found {other:?}")),
+    }
+}
+
+/// Splits a token stream at top-level commas, tracking `<...>` nesting so
+/// commas inside generic arguments do not split (grouped delimiters nest
+/// naturally because they arrive as single `Group` tokens).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                out.push(std::mem::take(&mut current));
+                continue;
+            }
+            _ => {}
+        }
+        current.push(tt);
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    for piece in split_top_level(stream) {
+        let mut i = 0;
+        skip_attrs_and_vis(&piece, &mut i);
+        if i >= piece.len() {
+            continue;
+        }
+        let name = expect_ident(&piece, &mut i)?;
+        match piece.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => fields.push(name),
+            other => return Err(format!("expected `:` after field `{name}`, found {other:?}")),
+        }
+    }
+    Ok(fields)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    for piece in split_top_level(stream) {
+        let mut i = 0;
+        skip_attrs_and_vis(&piece, &mut i);
+        if i >= piece.len() {
+            continue;
+        }
+        let name = expect_ident(&piece, &mut i)?;
+        let data = match piece.get(i) {
+            None => VariantData::Unit,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                VariantData::Tuple(split_top_level(g.stream()).len())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                VariantData::Named(parse_named_fields(g.stream())?)
+            }
+            other => {
+                return Err(format!(
+                    "unsupported data for variant `{name}`: {other:?} \
+                     (discriminants are not supported)"
+                ))
+            }
+        };
+        variants.push(Variant { name, data });
+    }
+    Ok(variants)
+}
+
+// --- code generation ------------------------------------------------------
+
+const V: &str = "::serde::Value";
+const STR_FROM: &str = "::std::string::String::from";
+
+fn map_literal(entries: &[String]) -> String {
+    if entries.is_empty() {
+        format!("{V}::Map(::std::vec::Vec::new())")
+    } else {
+        format!("{V}::Map(<[_]>::into_vec(::std::boxed::Box::new([{}])))", entries.join(", "))
+    }
+}
+
+fn seq_literal(entries: &[String]) -> String {
+    if entries.is_empty() {
+        format!("{V}::Seq(::std::vec::Vec::new())")
+    } else {
+        format!("{V}::Seq(<[_]>::into_vec(::std::boxed::Box::new([{}])))", entries.join(", "))
+    }
+}
+
+fn gen_serialize(shape: &Shape) -> String {
+    let (name, body) = match shape {
+        Shape::NamedStruct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("({STR_FROM}(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))")
+                })
+                .collect();
+            (name, map_literal(&entries))
+        }
+        Shape::TupleStruct { name, arity: 1 } => {
+            (name, "::serde::Serialize::to_value(&self.0)".to_string())
+        }
+        Shape::TupleStruct { name, arity } => {
+            let entries: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            (name, seq_literal(&entries))
+        }
+        Shape::UnitStruct { name } => (name, format!("{V}::Null")),
+        Shape::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.data {
+                    VariantData::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vname} => {V}::Str({STR_FROM}(\"{vname}\")),\n"
+                        ));
+                    }
+                    VariantData::Tuple(1) => {
+                        arms.push_str(&format!(
+                            "{name}::{vname}(f0) => {},\n",
+                            map_literal(&[format!(
+                                "({STR_FROM}(\"{vname}\"), ::serde::Serialize::to_value(f0))"
+                            )])
+                        ));
+                    }
+                    VariantData::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => {},\n",
+                            binds.join(", "),
+                            map_literal(&[format!(
+                                "({STR_FROM}(\"{vname}\"), {})",
+                                seq_literal(&elems)
+                            )])
+                        ));
+                    }
+                    VariantData::Named(fields) => {
+                        let inner_entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "({STR_FROM}(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {},\n",
+                            fields.join(", "),
+                            map_literal(&[format!(
+                                "({STR_FROM}(\"{vname}\"), {})",
+                                map_literal(&inner_entries)
+                            )])
+                        ));
+                    }
+                }
+            }
+            (name, format!("match self {{\n{arms}\n}}"))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    let err = |what: &str| {
+        format!("::std::result::Result::Err(::serde::DeError::expected(\"{what}\", v))")
+    };
+    let (name, body) = match shape {
+        Shape::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(v, \"{f}\")?"))
+                .collect();
+            (
+                name,
+                format!(
+                    "::std::result::Result::Ok(Self {{ {} }})",
+                    inits.join(", ")
+                ),
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => (
+            name,
+            "::std::result::Result::Ok(Self(::serde::Deserialize::from_value(v)?))".to_string(),
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let inits: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&seq[{i}])?"))
+                .collect();
+            (
+                name,
+                format!(
+                    "let seq = match v.as_seq() {{\n\
+                     ::std::option::Option::Some(s) if s.len() == {arity} => s,\n\
+                     _ => return {},\n\
+                     }};\n\
+                     ::std::result::Result::Ok(Self({}))",
+                    err(&format!("{arity}-element sequence")),
+                    inits.join(", ")
+                ),
+            )
+        }
+        Shape::UnitStruct { name } => (
+            name,
+            "let _ = v;\n::std::result::Result::Ok(Self)".to_string(),
+        ),
+        Shape::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.data {
+                    VariantData::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                        ));
+                    }
+                    VariantData::Tuple(1) => {
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_value(inner)?)),\n"
+                        ));
+                    }
+                    VariantData::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&seq[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let seq = match inner.as_seq() {{\n\
+                             ::std::option::Option::Some(s) if s.len() == {n} => s,\n\
+                             _ => return {},\n\
+                             }};\n\
+                             ::std::result::Result::Ok({name}::{vname}({}))\n\
+                             }},\n",
+                            err(&format!("{n}-element sequence for variant {vname}")),
+                            inits.join(", ")
+                        ));
+                    }
+                    VariantData::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::field(inner, \"{f}\")?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname} {{ {} }}),\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            let unknown = format!(
+                "_ => ::std::result::Result::Err(::serde::DeError(::std::format!(\
+                 \"unknown variant of {name}\")))"
+            );
+            (
+                name,
+                format!(
+                    "match v {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n{unit_arms}{unknown},\n}},\n\
+                     ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                     let (tag, inner) = &entries[0];\n\
+                     let _ = inner;\n\
+                     match tag.as_str() {{\n{data_arms}{unknown},\n}}\n\
+                     }},\n\
+                     _ => {},\n\
+                     }}",
+                    err("externally tagged variant")
+                ),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+         {body}\n}}\n\
+         }}"
+    )
+}
