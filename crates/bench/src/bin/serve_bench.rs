@@ -1,0 +1,229 @@
+//! Serving-mode benchmark: drives the batched evaluation service
+//! ([`countertrust::serve::EvalService`]) with a synthetic JSON-lines
+//! request stream and reports throughput, cache hit rate and latency
+//! percentiles.
+//!
+//! ```text
+//! cargo run --release -p ct-bench --bin serve_bench -- \
+//!     [--pattern hot|cold|zipfian] [--requests N] [--batch N] \
+//!     [--capacity N] [--runs N] [--scale F] [--seed N] [--threads N] \
+//!     [--smoke]
+//! ```
+//!
+//! Responses go to **stdout** as JSON lines (one per request, in request
+//! order) and are byte-identical for any `--threads N` and any
+//! `--capacity N`; all timing-dependent numbers (the summary) go to
+//! **stderr**. `--capacity 0` (the default) is an unbounded cache.
+//!
+//! `--smoke` runs a small stream twice — once single-threaded, once wide
+//! — and fails loudly if the two outputs differ, so CI exercises the
+//! whole serving path (stream generation, sharding, cache, JSON) on
+//! every push.
+
+use countertrust::methods::MethodOptions;
+use countertrust::serve::EvalService;
+use ct_bench::streams::{distinct_pairs, percentile, request_stream, StreamConfig, StreamPattern};
+use ct_bench::{workload_specs, CliOptions};
+use ct_instrument::CollectionAudit;
+use ct_sim::MachineModel;
+use std::time::Instant;
+
+struct ServeCli {
+    base: CliOptions,
+    pattern: StreamPattern,
+    requests: usize,
+    batch: usize,
+    capacity: usize,
+    runs: usize,
+    smoke: bool,
+}
+
+fn parse(args: &[String]) -> ServeCli {
+    let mut cli = ServeCli {
+        base: CliOptions::parse(args),
+        pattern: StreamPattern::Zipfian,
+        requests: 500,
+        batch: 64,
+        capacity: 0,
+        runs: 1,
+        smoke: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        // Consumes the flag's value, advancing past it (mirrors
+        // CliOptions::parse, so a value is never re-read as a flag).
+        let take = |i: &mut usize| -> Option<&String> {
+            *i += 1;
+            args.get(*i)
+        };
+        match args[i].as_str() {
+            "--pattern" => {
+                if let Some(v) = take(&mut i) {
+                    match StreamPattern::parse(v) {
+                        Some(p) => cli.pattern = p,
+                        None => eprintln!(
+                            "warning: unknown --pattern {v:?}; keeping {}",
+                            cli.pattern.name()
+                        ),
+                    }
+                }
+            }
+            "--requests" => {
+                if let Some(v) = take(&mut i) {
+                    match v.parse::<usize>() {
+                        Ok(n) if n > 0 => cli.requests = n,
+                        _ => eprintln!("warning: ignoring invalid --requests {v:?}"),
+                    }
+                }
+            }
+            "--batch" => {
+                if let Some(v) = take(&mut i) {
+                    match v.parse::<usize>() {
+                        Ok(n) if n > 0 => cli.batch = n,
+                        _ => eprintln!("warning: ignoring invalid --batch {v:?}"),
+                    }
+                }
+            }
+            "--capacity" => {
+                if let Some(v) = take(&mut i) {
+                    match v.parse::<usize>() {
+                        Ok(n) => cli.capacity = n,
+                        Err(_) => eprintln!("warning: ignoring invalid --capacity {v:?}"),
+                    }
+                }
+            }
+            "--runs" => {
+                if let Some(v) = take(&mut i) {
+                    match v.parse::<usize>() {
+                        Ok(n) if n > 0 => cli.runs = n,
+                        _ => eprintln!("warning: ignoring invalid --runs {v:?}"),
+                    }
+                }
+            }
+            "--smoke" => cli.smoke = true,
+            _ => {}
+        }
+        i += 1;
+    }
+    cli
+}
+
+/// Serves `requests` in batches, returning the JSONL output and the
+/// per-request wall-clock latencies (each request's latency is its
+/// batch's completion time — requests complete when their batch does).
+fn drive(service: &EvalService<'_>, requests: &[countertrust::serve::EvalRequest], batch: usize) -> (String, Vec<f64>) {
+    let mut jsonl = String::new();
+    let mut latencies_ms = Vec::with_capacity(requests.len());
+    for chunk in requests.chunks(batch) {
+        let t = Instant::now();
+        jsonl.push_str(&service.serve_jsonl(chunk));
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        latencies_ms.extend(std::iter::repeat(ms).take(chunk.len()));
+    }
+    (jsonl, latencies_ms)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cli = parse(&args);
+    let mut scale = cli.base.scale;
+    if cli.smoke {
+        cli.requests = cli.requests.min(24);
+        cli.batch = cli.batch.min(8);
+        scale = scale.min(0.01);
+    }
+
+    let machines = MachineModel::paper_machines();
+    let workloads = ct_workloads::all(scale);
+    let specs = workload_specs(&workloads);
+    let opts = if cli.smoke {
+        MethodOptions::fast()
+    } else {
+        MethodOptions::default()
+    };
+    let stream = request_stream(
+        &machines,
+        &workloads,
+        &opts,
+        &StreamConfig {
+            pattern: cli.pattern,
+            requests: cli.requests,
+            seed: cli.base.seed,
+            runs: cli.runs,
+        },
+    );
+
+    let service = EvalService::new(&machines, &specs)
+        .method_options(opts.clone())
+        .threads(cli.base.threads.unwrap_or(0))
+        .cache_capacity(cli.capacity);
+
+    let audit = CollectionAudit::begin();
+    let wall = Instant::now();
+    let (jsonl, mut latencies) = drive(&service, &stream, cli.batch);
+    let elapsed = wall.elapsed().as_secs_f64();
+    // Snapshot before the smoke re-serves below: the summary must
+    // describe the main run, not the verification replays.
+    let collections = audit.collections();
+
+    if cli.smoke {
+        // Re-serve the same stream on fresh single- and multi-threaded
+        // services: all three outputs must agree byte for byte.
+        let narrow = EvalService::new(&machines, &specs)
+            .method_options(opts.clone())
+            .threads(1)
+            .cache_capacity(cli.capacity);
+        let wide = EvalService::new(&machines, &specs)
+            .method_options(opts)
+            .threads(8)
+            .cache_capacity(1.max(cli.capacity / 2));
+        let (narrow_out, _) = drive(&narrow, &stream, cli.batch);
+        let (wide_out, _) = drive(&wide, &stream, stream.len());
+        assert_eq!(jsonl, narrow_out, "smoke: threads must not change output");
+        assert_eq!(jsonl, wide_out, "smoke: batching/capacity must not change output");
+        eprintln!("smoke: determinism contract holds across threads, batch size and capacity");
+    }
+
+    print!("{jsonl}");
+
+    let stats = service.stats();
+    let cache = service.cache_stats();
+    latencies.sort_by(f64::total_cmp);
+    eprintln!("serve_bench summary");
+    eprintln!("  pattern          {}", cli.pattern.name());
+    eprintln!(
+        "  requests         {} ({} distinct pairs, batch {})",
+        stream.len(),
+        distinct_pairs(&stream),
+        cli.batch
+    );
+    eprintln!("  threads          {}", service.thread_count());
+    eprintln!(
+        "  cache            capacity {} | resident {} | evictions {}",
+        if cli.capacity == 0 {
+            "unbounded".to_string()
+        } else {
+            cli.capacity.to_string()
+        },
+        cache.resident,
+        cache.evictions
+    );
+    eprintln!(
+        "  hit rate         {:.1}% ({} hits / {} builds / {} errors)",
+        stats.hit_rate() * 100.0,
+        stats.cache_hits,
+        stats.builds,
+        stats.errors
+    );
+    eprintln!("  reference runs   {collections} instrumented executions (audited)");
+    eprintln!(
+        "  throughput       {:.1} req/s ({:.3} s wall)",
+        stream.len() as f64 / elapsed.max(1e-9),
+        elapsed
+    );
+    eprintln!(
+        "  latency          p50 {:.2} ms | p99 {:.2} ms (per-request, batch-completion)",
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.99)
+    );
+}

@@ -10,6 +10,7 @@
 //! | `function_rank` | §5.2 — FullCMS top-10 function ordering check |
 //! | `ablation_periods` | §6.1 — period policy sweep (round/prime/randomized) |
 //! | `ablation_lbr` | §6.2 — LBR depth sweep and call-stack-mode collision |
+//! | `serve_bench` | serving-mode benchmark: batched request streams against the profile cache |
 //!
 //! All experiment binaries run on the parallel grid engine
 //! ([`countertrust::grid::GridRunner`]): cells fan out across worker
@@ -22,6 +23,8 @@
 //! overhead (the \[38\] aside) and simulator throughput.
 
 #![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod streams;
 
 use countertrust::evaluate::Evaluation;
 use countertrust::grid::{GridRunner, WorkloadSpec};
@@ -113,11 +116,33 @@ where
     })
 }
 
+/// Parses a `--threads` value. A zero or negative count is **rejected**
+/// and clamped to one worker (running a grid with no workers is never
+/// what the user meant); a non-numeric value yields `None` so the caller
+/// keeps its current setting. Both paths warn on stderr.
+fn parse_thread_count(raw: &str) -> Option<usize> {
+    match raw.parse::<i128>() {
+        Ok(n) if n <= 0 => {
+            eprintln!("warning: rejecting --threads {n} (must be >= 1); clamping to 1");
+            Some(1)
+        }
+        Ok(n) => Some(usize::try_from(n).unwrap_or(usize::MAX)),
+        Err(_) => {
+            eprintln!(
+                "warning: ignoring invalid value {raw:?} for --threads; \
+                 keeping the current setting"
+            );
+            None
+        }
+    }
+}
+
 impl CliOptions {
     /// Parses `std::env::args()`-style arguments; unknown flags are
     /// ignored so binaries can add their own. Malformed values are
     /// reported on stderr (naming the flag and the offending value) and
-    /// fall back to the current setting.
+    /// fall back to the current setting; a non-positive `--threads` is
+    /// rejected by clamping to one worker.
     #[must_use]
     pub fn parse(args: &[String]) -> Self {
         let mut opts = Self::default();
@@ -145,12 +170,8 @@ impl CliOptions {
                 }
                 "--threads" => {
                     if let Some(v) = take(&mut i) {
-                        match v.parse::<usize>() {
-                            Ok(n) => opts.threads = Some(n),
-                            Err(_) => eprintln!(
-                                "warning: ignoring invalid value {v:?} for --threads; \
-                                 using available parallelism"
-                            ),
+                        if let Some(n) = parse_thread_count(v) {
+                            opts.threads = Some(n);
                         }
                     }
                 }
@@ -221,18 +242,61 @@ mod tests {
 
     #[test]
     fn cli_warns_and_keeps_defaults_on_malformed_values() {
-        let args: Vec<String> = [
-            "--scale", "0..5", "--repeats", "lots", "--seed", "0x12", "--threads", "-3",
-        ]
-        .iter()
-        .map(ToString::to_string)
-        .collect();
+        let args: Vec<String> = ["--scale", "0..5", "--repeats", "lots", "--seed", "0x12"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
         let o = CliOptions::parse(&args);
         let d = CliOptions::default();
         assert_eq!(o.scale, d.scale);
         assert_eq!(o.repeats, d.repeats);
         assert_eq!(o.seed, d.seed);
         assert_eq!(o.threads, None);
+    }
+
+    #[test]
+    fn cli_rejects_zero_threads_by_clamping_to_one() {
+        let args: Vec<String> = ["--threads", "0"].iter().map(ToString::to_string).collect();
+        assert_eq!(CliOptions::parse(&args).threads, Some(1));
+    }
+
+    #[test]
+    fn cli_rejects_negative_threads_by_clamping_to_one() {
+        for raw in ["-1", "-3", "-9999999999999999999"] {
+            let args: Vec<String> =
+                ["--threads", raw].iter().map(ToString::to_string).collect();
+            assert_eq!(CliOptions::parse(&args).threads, Some(1), "--threads {raw}");
+        }
+    }
+
+    #[test]
+    fn cli_falls_back_on_non_numeric_threads() {
+        let args: Vec<String> = ["--threads", "lots"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        assert_eq!(CliOptions::parse(&args).threads, None);
+    }
+
+    #[test]
+    fn cli_keeps_earlier_threads_value_on_later_malformed_one() {
+        let args: Vec<String> = ["--threads", "4", "--threads", "bogus"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        assert_eq!(CliOptions::parse(&args).threads, Some(4));
+    }
+
+    #[test]
+    fn cli_ignores_trailing_threads_flag_without_value() {
+        let args: Vec<String> = ["--threads"].iter().map(ToString::to_string).collect();
+        assert_eq!(CliOptions::parse(&args).threads, None);
+    }
+
+    #[test]
+    fn cli_accepts_positive_threads() {
+        let args: Vec<String> = ["--threads", "7"].iter().map(ToString::to_string).collect();
+        assert_eq!(CliOptions::parse(&args).threads, Some(7));
     }
 
     #[test]

@@ -1,0 +1,301 @@
+//! Request-stream generation for the serving benchmarks.
+//!
+//! `serve_bench` (and the serving integration tests) drive the
+//! [`countertrust::serve::EvalService`] with synthetic JSON-lines request
+//! workloads whose pair-popularity distribution is the experiment knob:
+//!
+//! * [`StreamPattern::Hot`] — most requests hammer one pair (best case
+//!   for any cache);
+//! * [`StreamPattern::Cold`] — round-robin over every pair, never
+//!   re-touching one until all others were visited (worst case for a
+//!   bounded LRU);
+//! * [`StreamPattern::Zipfian`] — popularity `∝ 1/rank`, the classic
+//!   web-traffic shape and the benchmark's headline distribution.
+//!
+//! Streams are pure functions of their seed: the same
+//! [`StreamConfig`] always generates the same requests, so two services
+//! fed the same stream can be compared byte for byte.
+
+use countertrust::grid::GridMethod;
+use countertrust::methods::MethodOptions;
+use countertrust::serve::EvalRequest;
+use ct_sim::MachineModel;
+use ct_workloads::Workload;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Pair-popularity distribution of a generated request stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamPattern {
+    /// ~85% of requests hit the first pair, the rest spread uniformly.
+    Hot,
+    /// Round-robin over all pairs (no temporal locality at all).
+    Cold,
+    /// Zipf-distributed pair popularity with exponent 1 (`weight(rank) =
+    /// 1/(rank+1)`).
+    Zipfian,
+}
+
+impl StreamPattern {
+    /// Parses a CLI flag value (`hot` / `cold` / `zipfian`).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "hot" => Some(Self::Hot),
+            "cold" => Some(Self::Cold),
+            "zipfian" => Some(Self::Zipfian),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling of this pattern.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Hot => "hot",
+            Self::Cold => "cold",
+            Self::Zipfian => "zipfian",
+        }
+    }
+}
+
+/// Shape of a generated request stream.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamConfig {
+    /// Pair-popularity distribution.
+    pub pattern: StreamPattern,
+    /// Number of requests to generate.
+    pub requests: usize,
+    /// Stream seed: both the generator RNG and the per-request base
+    /// seeds derive from it.
+    pub seed: u64,
+    /// Measurement runs per request.
+    pub runs: usize,
+}
+
+/// Generates a request stream over the full `machines × workloads`
+/// catalog, naming only methods each machine supports (resolved through
+/// [`GridMethod::standard`], so AMD streams never ask for LBR).
+///
+/// The stream is a pure function of `config` and the catalog order.
+#[must_use]
+pub fn request_stream(
+    machines: &[MachineModel],
+    workloads: &[Workload],
+    opts: &MethodOptions,
+    config: &StreamConfig,
+) -> Vec<EvalRequest> {
+    assert!(!machines.is_empty() && !workloads.is_empty(), "empty catalog");
+    // Pair table, machine-major, with each machine's supported labels.
+    let labels: Vec<Vec<String>> = machines
+        .iter()
+        .map(|m| {
+            GridMethod::standard(m, opts)
+                .into_iter()
+                .map(|g| g.label)
+                .collect()
+        })
+        .collect();
+    let pairs: Vec<(usize, usize)> = (0..machines.len())
+        .flat_map(|m| (0..workloads.len()).map(move |w| (m, w)))
+        .collect();
+
+    // Integer cumulative weights (the vendored rand has no float ranges).
+    const SCALE: u64 = 1_000_000;
+    let weights: Vec<u64> = match config.pattern {
+        StreamPattern::Hot => {
+            let rest = if pairs.len() > 1 {
+                (SCALE * 15 / 100) / (pairs.len() as u64 - 1).max(1)
+            } else {
+                0
+            };
+            (0..pairs.len())
+                .map(|i| if i == 0 { SCALE * 85 / 100 } else { rest.max(1) })
+                .collect()
+        }
+        StreamPattern::Cold => vec![1; pairs.len()],
+        StreamPattern::Zipfian => (0..pairs.len())
+            .map(|i| (SCALE / (i as u64 + 1)).max(1))
+            .collect(),
+    };
+    let total: u64 = weights.iter().sum();
+
+    let mut rng = SmallRng::seed_from_u64(config.seed ^ 0x5EED_57EA_4D00_0AB1);
+    let mut out = Vec::with_capacity(config.requests);
+    for i in 0..config.requests {
+        let (m, w) = match config.pattern {
+            // Cold is strict round-robin; the weighted draw handles the rest.
+            StreamPattern::Cold => pairs[i % pairs.len()],
+            _ => {
+                let mut pick = rng.gen_range(0..total);
+                let mut chosen = pairs[pairs.len() - 1];
+                for (pair, weight) in pairs.iter().zip(&weights) {
+                    if pick < *weight {
+                        chosen = *pair;
+                        break;
+                    }
+                    pick -= weight;
+                }
+                chosen
+            }
+        };
+        let supported = &labels[m];
+        let method = supported[rng.gen_range(0..supported.len())].clone();
+        out.push(EvalRequest {
+            machine: machines[m].name.clone(),
+            workload: workloads[w].name.clone(),
+            method,
+            runs: config.runs,
+            seed: rng.gen_range(0u64..=u64::MAX / 2),
+        });
+    }
+    out
+}
+
+/// Number of distinct `(machine, workload)` pairs a stream touches.
+#[must_use]
+pub fn distinct_pairs(requests: &[EvalRequest]) -> usize {
+    let mut seen: Vec<(&str, &str)> = Vec::new();
+    for r in requests {
+        let key = (r.machine.as_str(), r.workload.as_str());
+        if !seen.contains(&key) {
+            seen.push(key);
+        }
+    }
+    seen.len()
+}
+
+/// The `p`-th percentile (0.0..=1.0) of an **ascending-sorted** slice,
+/// by the nearest-rank method.
+///
+/// # Panics
+///
+/// Panics when `sorted` is empty.
+#[must_use]
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of an empty sample");
+    let rank = (p.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> (Vec<MachineModel>, Vec<Workload>) {
+        (MachineModel::paper_machines(), ct_workloads::kernel_set(0.01))
+    }
+
+    fn config(pattern: StreamPattern) -> StreamConfig {
+        StreamConfig {
+            pattern,
+            requests: 200,
+            seed: 42,
+            runs: 1,
+        }
+    }
+
+    #[test]
+    fn streams_are_seed_deterministic() {
+        let (machines, workloads) = catalog();
+        let opts = MethodOptions::fast();
+        for pattern in [StreamPattern::Hot, StreamPattern::Cold, StreamPattern::Zipfian] {
+            let a = request_stream(&machines, &workloads, &opts, &config(pattern));
+            let b = request_stream(&machines, &workloads, &opts, &config(pattern));
+            assert_eq!(a, b, "{pattern:?} stream must be reproducible");
+            assert_eq!(a.len(), 200);
+        }
+        let mut reseeded = config(StreamPattern::Zipfian);
+        reseeded.seed = 43;
+        let (machines, workloads) = catalog();
+        let c = request_stream(&machines, &workloads, &opts, &reseeded);
+        let a = request_stream(&machines, &workloads, &opts, &config(StreamPattern::Zipfian));
+        assert_ne!(a, c, "seed must reach the stream");
+    }
+
+    #[test]
+    fn cold_streams_cycle_through_every_pair() {
+        let (machines, workloads) = catalog();
+        let stream = request_stream(
+            &machines,
+            &workloads,
+            &MethodOptions::fast(),
+            &config(StreamPattern::Cold),
+        );
+        let pairs = machines.len() * workloads.len();
+        assert_eq!(distinct_pairs(&stream), pairs);
+        // The first `pairs` requests visit each pair exactly once.
+        assert_eq!(distinct_pairs(&stream[..pairs]), pairs);
+    }
+
+    #[test]
+    fn hot_streams_concentrate_on_the_first_pair() {
+        let (machines, workloads) = catalog();
+        let stream = request_stream(
+            &machines,
+            &workloads,
+            &MethodOptions::fast(),
+            &config(StreamPattern::Hot),
+        );
+        let hot_hits = stream
+            .iter()
+            .filter(|r| r.machine == machines[0].name && r.workload == workloads[0].name)
+            .count();
+        assert!(
+            hot_hits > stream.len() * 7 / 10,
+            "hot pair got only {hot_hits}/{}",
+            stream.len()
+        );
+    }
+
+    #[test]
+    fn zipfian_streams_favor_low_ranks_but_spread() {
+        let (machines, workloads) = catalog();
+        let stream = request_stream(
+            &machines,
+            &workloads,
+            &MethodOptions::fast(),
+            &config(StreamPattern::Zipfian),
+        );
+        let first_pair = stream
+            .iter()
+            .filter(|r| r.machine == machines[0].name && r.workload == workloads[0].name)
+            .count();
+        assert!(first_pair > stream.len() / 10, "rank 0 must dominate");
+        assert!(
+            distinct_pairs(&stream) > 3,
+            "the tail must still be sampled"
+        );
+    }
+
+    #[test]
+    fn streams_only_name_supported_methods() {
+        let (machines, workloads) = catalog();
+        let opts = MethodOptions::fast();
+        let stream = request_stream(&machines, &workloads, &opts, &config(StreamPattern::Cold));
+        for r in &stream {
+            let machine = machines.iter().find(|m| m.name == r.machine).unwrap();
+            let supported: Vec<String> = GridMethod::standard(machine, &opts)
+                .into_iter()
+                .map(|g| g.label)
+                .collect();
+            assert!(
+                supported.contains(&r.method),
+                "{} does not support {}",
+                r.machine,
+                r.method
+            );
+        }
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let sorted = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+        assert_eq!(percentile(&sorted, 0.5), 2.0);
+        assert_eq!(percentile(&sorted, 0.51), 3.0);
+        assert_eq!(percentile(&sorted, 0.99), 4.0);
+        assert_eq!(percentile(&sorted, 1.0), 4.0);
+        assert_eq!(percentile(&[7.5], 0.5), 7.5);
+    }
+}

@@ -1,0 +1,428 @@
+//! The sharded reference-profile cache behind the serving layer.
+//!
+//! Building a pair's evaluation state — its CFG and, above all, its
+//! instrumented [`ReferenceProfile`] — is the most expensive step of any
+//! evaluation (one full extra execution of the workload). The grid engine
+//! ([`crate::grid`]) amortizes it across a *static* grid; this module
+//! amortizes it across *arbitrary request traffic*:
+//!
+//! * [`PairParts`] bundles the shareable per-pair state (CFG + reference)
+//!   and is the one place sessions over a pair are constructed from —
+//!   both [`crate::grid::PairCtx`] and the serving layer
+//!   ([`crate::serve`]) go through it;
+//! * [`ProfileCache`] is an LRU-bounded, thread-safe map from
+//!   `(machine, workload)` pair keys to [`PairParts`], so a profile is
+//!   built at most once per pair per cache residency.
+//!
+//! Cache contents are pure functions of the pair, so eviction and rebuild
+//! change *when* work happens, never *what* a response contains — the
+//! determinism contract of the grid engine extends to any cache capacity.
+
+use crate::error::CoreError;
+use crate::session::Session;
+use ct_instrument::ReferenceProfile;
+use ct_isa::{Cfg, Program};
+use ct_sim::{MachineModel, RunConfig};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Cache key: indices of the machine and workload in the owning catalog.
+pub type PairKey = (usize, usize);
+
+/// The shareable evaluation state of one `(machine, workload)` pair: the
+/// workload's CFG plus the pair's instrumented reference profile.
+///
+/// Every consumer of a pair — grid cells, serve requests — builds its
+/// [`Session`]s from one `PairParts` so the expensive state is collected
+/// once and shared, never rebuilt per consumer.
+#[derive(Debug, Clone)]
+pub struct PairParts {
+    /// The workload's control-flow graph.
+    pub cfg: Arc<Cfg>,
+    /// The pair's exact reference profile.
+    pub reference: Arc<ReferenceProfile>,
+}
+
+impl PairParts {
+    /// Collects the pair's reference profile (one instrumented execution)
+    /// against a prebuilt CFG.
+    pub fn collect(
+        machine: &MachineModel,
+        program: &Program,
+        run_config: &RunConfig,
+        cfg: Arc<Cfg>,
+    ) -> Result<Self, CoreError> {
+        let mut session = Session::with_shared_parts(
+            machine,
+            program,
+            run_config.clone(),
+            cfg.clone(),
+            None,
+        );
+        let reference = session.shared_reference()?;
+        Ok(Self { cfg, reference })
+    }
+
+    /// A session over the pair that shares this state (no instrumented
+    /// re-execution, no CFG rebuild).
+    #[must_use]
+    pub fn session<'a>(
+        &self,
+        machine: &'a MachineModel,
+        program: &'a Program,
+        run_config: RunConfig,
+    ) -> Session<'a> {
+        Session::with_shared_parts(
+            machine,
+            program,
+            run_config,
+            self.cfg.clone(),
+            Some(self.reference.clone()),
+        )
+    }
+}
+
+/// Cumulative [`ProfileCache`] counters.
+///
+/// One lookup is counted per [`ProfileCache::get_or_build`] call (the
+/// serving layer performs one per request shard, not one per request —
+/// see [`crate::serve::ServeStats`] for per-request accounting).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups satisfied by a resident entry.
+    pub hits: u64,
+    /// Lookups that found no resident entry.
+    pub misses: u64,
+    /// Successful builds inserted into the cache (≤ `misses`; failed
+    /// builds are not inserted).
+    pub builds: u64,
+    /// Entries evicted to respect the capacity bound.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub resident: usize,
+}
+
+/// A build in progress: waiters block on the condvar until the builder
+/// publishes its result.
+struct InFlight {
+    result: Mutex<Option<Result<Arc<PairParts>, CoreError>>>,
+    ready: Condvar,
+}
+
+struct CacheInner {
+    /// `0` means unbounded.
+    capacity: usize,
+    /// LRU order: front is least recently used, back is most recent.
+    entries: Vec<(PairKey, Arc<PairParts>)>,
+    /// Keys currently being built, so concurrent lookups of the same key
+    /// share one build instead of each running an instrumented execution.
+    in_flight: Vec<(PairKey, Arc<InFlight>)>,
+    hits: u64,
+    misses: u64,
+    builds: u64,
+    evictions: u64,
+}
+
+/// An LRU-bounded, thread-safe cache of [`PairParts`] keyed by
+/// `(machine, workload)` pair.
+///
+/// The map lock is held only for bookkeeping — builds run outside it, so
+/// distinct pairs build concurrently. Entries handed out are [`Arc`]s:
+/// eviction never invalidates state a consumer is still using, it only
+/// drops the cache's own reference.
+pub struct ProfileCache {
+    inner: Mutex<CacheInner>,
+}
+
+impl ProfileCache {
+    /// A cache that never evicts: every pair is built at most once per
+    /// cache lifetime.
+    #[must_use]
+    pub fn unbounded() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// A cache holding at most `capacity` pairs (LRU eviction); `0` means
+    /// unbounded.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(CacheInner {
+                capacity,
+                entries: Vec::new(),
+                in_flight: Vec::new(),
+                hits: 0,
+                misses: 0,
+                builds: 0,
+                evictions: 0,
+            }),
+        }
+    }
+
+    /// The configured capacity (`0` = unbounded).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.lock().capacity
+    }
+
+    /// Returns the resident entry for `key`, marking it most recently
+    /// used, or builds one with `build`, inserting it (and evicting the
+    /// least recently used entry when over capacity) on success.
+    ///
+    /// The boolean is `true` on a hit. Concurrent calls for the same
+    /// key share a single build: the first caller builds (outside the
+    /// map lock, so distinct pairs still build concurrently) and every
+    /// other caller blocks until the result is published, then counts as
+    /// a hit — the "at most one build per pair per residency" guarantee
+    /// holds even across concurrent batches on one cache. Build errors
+    /// are returned to the builder *and* its waiters and cache nothing,
+    /// so a later retry re-attempts the build.
+    pub fn get_or_build<F>(
+        &self,
+        key: PairKey,
+        build: F,
+    ) -> Result<(Arc<PairParts>, bool), CoreError>
+    where
+        F: FnOnce() -> Result<PairParts, CoreError>,
+    {
+        let flight: Arc<InFlight> = {
+            let mut inner = self.lock();
+            if let Some(pos) = inner.entries.iter().position(|(k, _)| *k == key) {
+                let entry = inner.entries.remove(pos);
+                let parts = entry.1.clone();
+                inner.entries.push(entry);
+                inner.hits += 1;
+                return Ok((parts, true));
+            }
+            if let Some(flight) = inner
+                .in_flight
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map(|(_, f)| f.clone())
+            {
+                // Another thread is already building this key: share its
+                // build (a hit — no additional instrumented execution).
+                inner.hits += 1;
+                drop(inner);
+                let mut result = flight
+                    .result
+                    .lock()
+                    .expect("in-flight lock never poisoned");
+                while result.is_none() {
+                    result = flight
+                        .ready
+                        .wait(result)
+                        .expect("in-flight lock never poisoned");
+                }
+                return result
+                    .clone()
+                    .expect("signaled after publication")
+                    .map(|parts| (parts, true));
+            }
+            inner.misses += 1;
+            let flight = Arc::new(InFlight {
+                result: Mutex::new(None),
+                ready: Condvar::new(),
+            });
+            inner.in_flight.push((key, flight.clone()));
+            flight
+        };
+
+        // Build outside the map lock so distinct pairs build concurrently;
+        // the in-flight entry above keeps same-key callers waiting.
+        let built = build().map(Arc::new);
+        {
+            let mut inner = self.lock();
+            inner.in_flight.retain(|(k, _)| *k != key);
+            if let Ok(parts) = &built {
+                // No same-key insert can have raced us: they all waited.
+                inner.entries.push((key, parts.clone()));
+                inner.builds += 1;
+                if inner.capacity > 0 {
+                    while inner.entries.len() > inner.capacity {
+                        inner.entries.remove(0);
+                        inner.evictions += 1;
+                    }
+                }
+            }
+        }
+        let mut result = flight
+            .result
+            .lock()
+            .expect("in-flight lock never poisoned");
+        *result = Some(built.clone());
+        flight.ready.notify_all();
+        drop(result);
+        built.map(|parts| (parts, false))
+    }
+
+    /// Whether `key` is currently resident (no LRU touch, no counters).
+    #[must_use]
+    pub fn contains(&self, key: PairKey) -> bool {
+        self.lock().entries.iter().any(|(k, _)| *k == key)
+    }
+
+    /// Number of resident entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().entries.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every resident entry (counters are kept).
+    pub fn clear(&self) {
+        self.lock().entries.clear();
+    }
+
+    /// A snapshot of the cumulative counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.lock();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            builds: inner.builds,
+            evictions: inner.evictions,
+            resident: inner.entries.len(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheInner> {
+        self.inner.lock().expect("cache lock never poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_isa::asm::assemble;
+
+    fn kernel() -> Program {
+        assemble(
+            "k",
+            r#"
+            .func main
+                movi r1, 5000
+            top:
+                addi r2, r2, 1
+                subi r1, r1, 1
+                brnz r1, top
+                halt
+            .endfunc
+        "#,
+        )
+        .unwrap()
+    }
+
+    fn parts_for(program: &Program) -> PairParts {
+        let machine = MachineModel::ivy_bridge();
+        let cfg = Arc::new(Cfg::build(program));
+        PairParts::collect(&machine, program, &RunConfig::default(), cfg).unwrap()
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let program = kernel();
+        let cache = ProfileCache::with_capacity(2);
+        let build = || Ok(parts_for(&program));
+        cache.get_or_build((0, 0), build).unwrap();
+        cache.get_or_build((0, 1), build).unwrap();
+        // Touch (0,0): it becomes most recently used.
+        let (_, hit) = cache.get_or_build((0, 0), build).unwrap();
+        assert!(hit);
+        // Inserting a third pair evicts (0,1), the LRU entry.
+        cache.get_or_build((0, 2), build).unwrap();
+        assert!(cache.contains((0, 0)));
+        assert!(!cache.contains((0, 1)));
+        assert!(cache.contains((0, 2)));
+        let s = cache.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 3);
+        assert_eq!(s.builds, 3);
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.resident, 2);
+    }
+
+    #[test]
+    fn capacity_one_thrashes_and_unbounded_does_not() {
+        let program = kernel();
+        let tiny = ProfileCache::with_capacity(1);
+        let big = ProfileCache::unbounded();
+        for cache in [&tiny, &big] {
+            for key in [(0, 0), (0, 1), (0, 0), (0, 1)] {
+                cache.get_or_build(key, || Ok(parts_for(&program))).unwrap();
+            }
+        }
+        assert_eq!(tiny.stats().builds, 4, "capacity 1 rebuilds on every alternation");
+        assert_eq!(big.stats().builds, 2, "unbounded builds once per pair");
+        assert_eq!(big.stats().hits, 2);
+    }
+
+    #[test]
+    fn build_errors_are_not_cached() {
+        let cache = ProfileCache::unbounded();
+        let err = cache.get_or_build((0, 0), || {
+            Err(CoreError::MethodUnavailable {
+                method: "injected".to_string(),
+                machine: "test".to_string(),
+            })
+        });
+        assert!(err.is_err());
+        assert!(!cache.contains((0, 0)));
+        // A later successful build proceeds normally.
+        let program = kernel();
+        let (_, hit) = cache
+            .get_or_build((0, 0), || Ok(parts_for(&program)))
+            .unwrap();
+        assert!(!hit);
+        assert!(cache.contains((0, 0)));
+    }
+
+    #[test]
+    fn concurrent_same_key_lookups_share_one_build() {
+        let program = kernel();
+        let cache = ProfileCache::unbounded();
+        // The barrier keeps the second lookup arriving while the first
+        // is still inside its build, exercising the in-flight wait path;
+        // if scheduling is unlucky the second simply hits the inserted
+        // entry — either way exactly one build must happen.
+        let barrier = std::sync::Barrier::new(2);
+        std::thread::scope(|scope| {
+            let a = scope.spawn(|| {
+                cache.get_or_build((0, 0), || {
+                    barrier.wait();
+                    Ok(parts_for(&program))
+                })
+            });
+            let b = scope.spawn(|| {
+                barrier.wait();
+                cache.get_or_build((0, 0), || Ok(parts_for(&program)))
+            });
+            let (parts_a, hit_a) = a.join().unwrap().unwrap();
+            let (parts_b, hit_b) = b.join().unwrap().unwrap();
+            assert!(Arc::ptr_eq(&parts_a.reference, &parts_b.reference));
+            assert!(!hit_a, "the registering thread is the builder");
+            assert!(hit_b, "the concurrent thread shares the build");
+        });
+        let s = cache.stats();
+        assert_eq!(s.builds, 1, "one build despite concurrent lookups");
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn shared_sessions_reuse_the_reference() {
+        let program = kernel();
+        let machine = MachineModel::ivy_bridge();
+        let cfg = Arc::new(Cfg::build(&program));
+        let parts =
+            PairParts::collect(&machine, &program, &RunConfig::default(), cfg).unwrap();
+        let mut session = parts.session(&machine, &program, RunConfig::default());
+        let total = session.reference().unwrap().total_instructions();
+        assert_eq!(total, parts.reference.total_instructions());
+    }
+}

@@ -49,6 +49,7 @@
 //! assert!(!evals[0].methods.is_empty());
 //! ```
 
+use crate::cache::PairParts;
 use crate::error::CoreError;
 use crate::evaluate::{evaluate_method_with_seeds, ErrorStats, Evaluation};
 use crate::methods::{MethodInstance, MethodKind, MethodOptions};
@@ -120,16 +121,43 @@ pub struct PairCtx<'a> {
 }
 
 impl<'a> PairCtx<'a> {
+    /// Builds a context from the pair's shared [`PairParts`] — the one
+    /// construction path for both the grid and serving layers.
+    #[must_use]
+    pub fn from_parts(
+        machine: &'a MachineModel,
+        machine_index: usize,
+        workload: WorkloadSpec<'a>,
+        workload_index: usize,
+        parts: &PairParts,
+    ) -> Self {
+        Self {
+            machine,
+            machine_index,
+            workload,
+            workload_index,
+            cfg: parts.cfg.clone(),
+            reference: parts.reference.clone(),
+        }
+    }
+
+    /// The pair's shared parts (CFG + reference profile).
+    #[must_use]
+    pub fn parts(&self) -> PairParts {
+        PairParts {
+            cfg: self.cfg.clone(),
+            reference: self.reference.clone(),
+        }
+    }
+
     /// A session over this pair that reuses the shared CFG and reference
     /// profile (no instrumented re-execution, no CFG rebuild).
     #[must_use]
     pub fn session(&self) -> Session<'a> {
-        Session::with_shared_parts(
+        self.parts().session(
             self.machine,
             self.workload.program,
             self.workload.run_config.clone(),
-            self.cfg.clone(),
-            Some(self.reference.clone()),
         )
     }
 }
@@ -170,7 +198,7 @@ fn workload_cfgs(workloads: &[WorkloadSpec<'_>]) -> Vec<Arc<Cfg>> {
 }
 
 /// splitmix64 finalizer.
-fn mix64(mut x: u64) -> u64 {
+pub(crate) fn mix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -195,10 +223,39 @@ impl Default for GridRunner {
     }
 }
 
-fn default_threads() -> usize {
+pub(crate) fn default_threads() -> usize {
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+/// Runs `f(0..total)` across `workers` scoped threads pulling indices
+/// from a shared atomic queue — the work-distribution primitive behind
+/// both the grid engine and the serving layer ([`crate::serve`]).
+///
+/// Serial when one worker (or one task) suffices — no thread is ever
+/// spawned in that case, keeping single-threaded runs a true serial
+/// baseline.
+pub(crate) fn for_each_index<F: Fn(usize) + Sync>(workers: usize, total: usize, f: F) {
+    let workers = workers.min(total);
+    if workers <= 1 {
+        for i in 0..total {
+            f(i);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                f(i);
+            });
+        }
+    });
 }
 
 impl GridRunner {
@@ -239,31 +296,35 @@ impl GridRunner {
         machines: &[MachineModel],
         workloads: &[WorkloadSpec<'_>],
     ) -> Vec<Result<Arc<ReferenceProfile>, CoreError>> {
-        self.collect_references_with_cfgs(machines, workloads, &workload_cfgs(workloads))
+        self.collect_pair_parts(machines, workloads, &workload_cfgs(workloads))
+            .into_iter()
+            .map(|r| r.map(|parts| parts.reference))
+            .collect()
     }
 
-    fn collect_references_with_cfgs(
+    /// Phase 1 internals: one [`PairParts`] per pair, machine-major. The
+    /// serving layer amortizes the same construction through its cache
+    /// instead of a one-shot vector.
+    fn collect_pair_parts(
         &self,
         machines: &[MachineModel],
         workloads: &[WorkloadSpec<'_>],
         cfgs: &[Arc<Cfg>],
-    ) -> Vec<Result<Arc<ReferenceProfile>, CoreError>> {
+    ) -> Vec<Result<PairParts, CoreError>> {
         let total = machines.len() * workloads.len();
-        let slots: Vec<Mutex<Option<Result<Arc<ReferenceProfile>, CoreError>>>> =
+        let slots: Vec<Mutex<Option<Result<PairParts, CoreError>>>> =
             (0..total).map(|_| Mutex::new(None)).collect();
         let done = AtomicUsize::new(0);
         self.for_each_index(total, |i| {
             let (m, w) = (i / workloads.len(), i % workloads.len());
             let machine = &machines[m];
             let workload = &workloads[w];
-            let mut session = Session::with_shared_parts(
+            let result = PairParts::collect(
                 machine,
                 workload.program,
-                workload.run_config.clone(),
+                workload.run_config,
                 cfgs[w].clone(),
-                None,
             );
-            let result = session.shared_reference();
             if let Err(e) = &result {
                 eprintln!(
                     "warning: {} / {}: reference collection failed: {e}",
@@ -326,7 +387,7 @@ impl GridRunner {
     {
         let methods: Vec<Vec<GridMethod>> = machines.iter().map(resolve_methods).collect();
         let cfgs = workload_cfgs(workloads);
-        let references = self.collect_references_with_cfgs(machines, workloads, &cfgs);
+        let pairs = self.collect_pair_parts(machines, workloads, &cfgs);
 
         // One task per (machine, workload, method) cell, in output order.
         let mut tasks = Vec::new();
@@ -349,14 +410,9 @@ impl GridRunner {
             let grid_method = &methods[m][k];
             // Reference failures were already reported by phase 1; the
             // pair's cells are simply skipped.
-            if let Ok(reference) = &references[m * workloads.len() + w] {
-                let mut session = Session::with_shared_parts(
-                    machine,
-                    workload.program,
-                    workload.run_config.clone(),
-                    cfgs[w].clone(),
-                    Some(reference.clone()),
-                );
+            if let Ok(parts) = &pairs[m * workloads.len() + w] {
+                let mut session =
+                    parts.session(machine, workload.program, workload.run_config.clone());
                 let seeds: Vec<u64> = (0..repeats)
                     .map(|r| cell_seed(base_seed, m, w, k, r))
                     .collect();
@@ -427,7 +483,7 @@ impl GridRunner {
         R: Send,
     {
         let cfgs = workload_cfgs(workloads);
-        let references = self.collect_references_with_cfgs(machines, workloads, &cfgs);
+        let pairs = self.collect_pair_parts(machines, workloads, &cfgs);
         let total = machines.len() * workloads.len();
         let done = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<R>>> = (0..total).map(|_| Mutex::new(None)).collect();
@@ -436,15 +492,8 @@ impl GridRunner {
             let machine = &machines[m];
             let workload = workloads[w];
             // Reference failures were already reported by phase 1.
-            if let Ok(reference) = &references[i] {
-                let result = f(PairCtx {
-                    machine,
-                    machine_index: m,
-                    workload,
-                    workload_index: w,
-                    cfg: cfgs[w].clone(),
-                    reference: reference.clone(),
-                });
+            if let Ok(parts) = &pairs[i] {
+                let result = f(PairCtx::from_parts(machine, m, workload, w, parts));
                 *slots[i].lock().expect("no poisoned slots") = Some(result);
             }
             if self.progress {
@@ -461,30 +510,10 @@ impl GridRunner {
             .collect()
     }
 
-    /// Runs `f(0..total)` across the configured worker threads, pulling
-    /// indices from a shared atomic queue. Serial when one thread (or one
-    /// task) suffices — no thread is ever spawned in that case, keeping
-    /// `--threads 1` a true serial baseline.
+    /// Runs `f(0..total)` across the configured worker threads — see
+    /// [`for_each_index`].
     fn for_each_index<F: Fn(usize) + Sync>(&self, total: usize, f: F) {
-        let workers = self.threads.min(total);
-        if workers <= 1 {
-            for i in 0..total {
-                f(i);
-            }
-            return;
-        }
-        let next = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= total {
-                        break;
-                    }
-                    f(i);
-                });
-            }
-        });
+        for_each_index(self.threads, total, f);
     }
 }
 
@@ -568,6 +597,52 @@ mod tests {
     // tests/integration_grid.rs, which owns its whole test binary — the
     // counter is process-global, so asserting exact deltas here would
     // race against sibling unit tests collecting references in parallel.
+
+    #[test]
+    fn map_pairs_with_no_machines_is_empty() {
+        let program = kernel();
+        let run_config = RunConfig::default();
+        let workloads = specs(&program, &run_config);
+        let results =
+            GridRunner::new()
+                .threads(4)
+                .map_pairs(&[], &workloads, |ctx| ctx.machine_index);
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn map_pairs_with_no_workloads_is_empty() {
+        let machines = [MachineModel::ivy_bridge()];
+        let results = GridRunner::new()
+            .threads(4)
+            .map_pairs(&machines, &[], |ctx| ctx.workload_index);
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn map_pairs_single_pair_runs_serially_and_in_place() {
+        let program = kernel();
+        let run_config = RunConfig::default();
+        let workloads = specs(&program, &run_config);
+        let machines = [MachineModel::westmere()];
+        // One pair with many threads: the engine must not spawn more
+        // workers than tasks, and indices must be (0, 0).
+        let results = GridRunner::new().threads(16).map_pairs(
+            &machines,
+            &workloads,
+            |ctx| {
+                (
+                    ctx.machine_index,
+                    ctx.workload_index,
+                    ctx.reference.total_instructions(),
+                )
+            },
+        );
+        assert_eq!(results.len(), 1);
+        let (m, w, total) = results[0].expect("single pair collects");
+        assert_eq!((m, w), (0, 0));
+        assert!(total > 0);
+    }
 
     #[test]
     fn map_pairs_shares_references_and_keeps_order() {

@@ -20,6 +20,12 @@
 //! * [`evaluate`] — the repeated-measurement harness behind Tables 1 and 2;
 //! * [`grid`] — the parallel machine × workload × method evaluation
 //!   engine, sharing one reference profile per (machine, workload) pair;
+//! * [`cache`] — the LRU-bounded reference-profile cache ([`cache::PairParts`]
+//!   + [`cache::ProfileCache`]) both the grid and serving layers build
+//!   sessions from;
+//! * [`serve`] — the batched evaluation service: ad-hoc [`serve::EvalRequest`]
+//!   streams sharded by pair across a worker pool and satisfied through
+//!   the cache, with byte-identical responses for any thread count;
 //! * [`report`] — table formatting and JSON export for the bench binaries.
 //!
 //! # Examples
@@ -56,6 +62,7 @@
 
 pub mod annotate;
 pub mod attrib;
+pub mod cache;
 pub mod coverage;
 pub mod diagnostics;
 pub mod error;
@@ -66,13 +73,16 @@ pub mod methods;
 pub mod metrics;
 pub mod profile;
 pub mod report;
+pub mod serve;
 pub mod session;
 pub mod tripcount;
 
+pub use cache::{CacheStats, PairKey, PairParts, ProfileCache};
 pub use error::CoreError;
 pub use evaluate::{evaluate_method, evaluate_method_with_seeds, ErrorStats, Evaluation};
 pub use grid::{cell_seed, GridMethod, GridRunner, PairCtx, WorkloadSpec};
 pub use methods::{Attribution, MethodInstance, MethodKind, MethodOptions};
 pub use metrics::{accuracy_error, kendall_tau, top_n_exact_match};
 pub use profile::EstimatedProfile;
+pub use serve::{request_seed, EvalRequest, EvalResponse, EvalService, ServeStats};
 pub use session::{MethodRun, Session};

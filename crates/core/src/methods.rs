@@ -73,6 +73,14 @@ impl MethodKind {
         }
     }
 
+    /// Looks a method family up by its table label — the inverse of
+    /// [`MethodKind::label`], used by the serving layer to resolve the
+    /// `method` field of a request.
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<MethodKind> {
+        MethodKind::ALL.iter().copied().find(|k| k.label() == label)
+    }
+
     /// Long description (Table 3 "comments" column).
     #[must_use]
     pub fn description(self) -> &'static str {

@@ -1,0 +1,663 @@
+//! The batched evaluation service: request-driven traffic on top of the
+//! grid machinery.
+//!
+//! The grid engine ([`crate::grid`]) evaluates a *static*
+//! machine × workload table. This module serves *ad-hoc* evaluation
+//! traffic: a stream of [`EvalRequest`]s naming a machine, workload and
+//! method by name. Each batch handed to [`EvalService::serve`] is
+//!
+//! 1. **resolved** against the service's catalog (unknown names become
+//!    per-request error responses, never panics);
+//! 2. **sharded** by `(machine, workload)` pair, so every request touching
+//!    a pair rides on the same expensive state;
+//! 3. fanned across a worker pool (the same scoped-thread queue the grid
+//!    uses) in two waves: shards first *attach* to their pair state
+//!    through the LRU-bounded [`ProfileCache`] (one task per shard — a
+//!    reference profile and CFG are built **at most once per pair per
+//!    cache residency**, and at most once per pair per batch regardless
+//!    of cache capacity, because the batch holds the attached parts for
+//!    its whole lifetime), then every request *evaluates* as its own
+//!    task, so even a fully skewed batch — all requests on one hot
+//!    pair — spreads across every worker;
+//! 4. answered **in request order**, with per-run seeds derived from the
+//!    request itself ([`request_seed`]), never from scheduling.
+//!
+//! # Determinism contract
+//!
+//! Identical request streams yield byte-identical responses for any
+//! worker-thread count and any cache capacity: cache contents are pure
+//! functions of the pair, so eviction and rebuild change *when* work
+//! happens, never *what* a response contains. Timing-dependent numbers
+//! (hit rates, latency) live in [`ServeStats`] and the cache counters,
+//! outside the response stream.
+//!
+//! # Examples
+//!
+//! A request round-trips through JSON (the service's wire format is
+//! JSON lines, one request or response per line):
+//!
+//! ```
+//! use countertrust::serve::EvalRequest;
+//!
+//! let request = EvalRequest {
+//!     machine: "Ivy Bridge (Xeon E3-1265L)".to_string(),
+//!     workload: "demo".to_string(),
+//!     method: "lbr".to_string(),
+//!     runs: 2,
+//!     seed: 7,
+//! };
+//! let json = serde_json::to_string(&request).unwrap();
+//! let back: EvalRequest = serde_json::from_str(&json).unwrap();
+//! assert_eq!(request, back);
+//! ```
+//!
+//! End to end — identical streams are byte-identical no matter how many
+//! threads serve them:
+//!
+//! ```
+//! use countertrust::grid::WorkloadSpec;
+//! use countertrust::methods::MethodOptions;
+//! use countertrust::serve::{EvalRequest, EvalService};
+//! use ct_isa::asm::assemble;
+//! use ct_sim::{MachineModel, RunConfig};
+//!
+//! let program = assemble(
+//!     "demo",
+//!     ".func main\n movi r1, 20000\ntop:\n addi r2, r2, 1\n subi r1, r1, 1\n brnz r1, top\n halt\n.endfunc",
+//! )
+//! .unwrap();
+//! let run_config = RunConfig::default();
+//! let workloads = [WorkloadSpec { name: "demo", program: &program, run_config: &run_config }];
+//! let machines = [MachineModel::ivy_bridge()];
+//! let requests = vec![
+//!     EvalRequest::new("Ivy Bridge (Xeon E3-1265L)", "demo", "classic", 1, 1),
+//!     EvalRequest::new("Ivy Bridge (Xeon E3-1265L)", "demo", "lbr", 1, 2),
+//! ];
+//!
+//! let serial = EvalService::new(&machines, &workloads)
+//!     .method_options(MethodOptions::fast())
+//!     .threads(1);
+//! let parallel = EvalService::new(&machines, &workloads)
+//!     .method_options(MethodOptions::fast())
+//!     .threads(8);
+//! assert_eq!(
+//!     serial.serve_jsonl(&requests),
+//!     parallel.serve_jsonl(&requests),
+//! );
+//! assert_eq!(serial.stats().cache_hits, 1); // second request shared the build
+//! ```
+
+use crate::cache::{CacheStats, PairKey, PairParts, ProfileCache};
+use crate::evaluate::{evaluate_method_with_seeds, ErrorStats};
+use crate::grid::{default_threads, for_each_index, mix64, WorkloadSpec};
+use crate::methods::{MethodInstance, MethodKind, MethodOptions};
+use ct_isa::Cfg;
+use ct_sim::MachineModel;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// One evaluation request: machine, workload and method by name, plus the
+/// measurement shape (`runs` repeats from base `seed`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvalRequest {
+    /// Machine name, matched exactly against the catalog.
+    pub machine: String,
+    /// Workload name, matched exactly against the catalog.
+    pub workload: String,
+    /// Method label as in [`MethodKind::label`] (e.g. `"lbr"`).
+    pub method: String,
+    /// Number of repeated measurements (`0` is served as `1`).
+    pub runs: usize,
+    /// Base seed; per-run seeds derive from it via [`request_seed`].
+    pub seed: u64,
+}
+
+impl EvalRequest {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(machine: &str, workload: &str, method: &str, runs: usize, seed: u64) -> Self {
+        Self {
+            machine: machine.to_string(),
+            workload: workload.to_string(),
+            method: method.to_string(),
+            runs,
+            seed,
+        }
+    }
+
+    /// The number of measurement runs actually performed (`runs`, with
+    /// `0` clamped to one run).
+    #[must_use]
+    pub fn effective_runs(&self) -> usize {
+        self.runs.max(1)
+    }
+}
+
+/// One evaluation response: the request echoed back plus either its error
+/// statistics or a failure description.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EvalResponse {
+    /// The request this response answers.
+    pub request: EvalRequest,
+    /// The evaluation result; `None` when the request failed.
+    pub stats: Option<ErrorStats>,
+    /// The failure description; `None` when the request succeeded.
+    pub error: Option<String>,
+}
+
+impl EvalResponse {
+    fn ok(request: EvalRequest, stats: ErrorStats) -> Self {
+        Self {
+            request,
+            stats: Some(stats),
+            error: None,
+        }
+    }
+
+    fn err(request: EvalRequest, error: String) -> Self {
+        Self {
+            request,
+            stats: None,
+            error: Some(error),
+        }
+    }
+
+    /// Whether the request succeeded.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        self.stats.is_some()
+    }
+}
+
+/// Derives the seed of one measurement run from a request's base seed.
+///
+/// Seeds are a pure function of `(base_seed, run)` — never of the
+/// catalog, the batch composition or scheduling — so the same request
+/// always produces the same response, on any service.
+#[must_use]
+pub fn request_seed(base_seed: u64, run: usize) -> u64 {
+    let mut h = mix64(base_seed ^ 0xA24B_AED4_963E_E407);
+    h ^= run as u64;
+    mix64(h)
+}
+
+/// Cumulative per-request counters of an [`EvalService`].
+///
+/// Unlike [`CacheStats`] (one lookup per shard), these count *requests*:
+/// a request is a cache hit when the pair state it rode on already
+/// existed — resident in the cache, or built moments earlier by another
+/// request of the same batch shard.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests received.
+    pub requests: u64,
+    /// Requests that reused existing pair state.
+    pub cache_hits: u64,
+    /// Requests whose pair state had to be built (one instrumented
+    /// reference execution each).
+    pub builds: u64,
+    /// Requests answered with an error (resolution, build or evaluation
+    /// failure).
+    pub errors: u64,
+}
+
+impl ServeStats {
+    /// Fraction of pair attachments served without a reference build.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let attached = self.cache_hits + self.builds;
+        if attached == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / attached as f64
+        }
+    }
+}
+
+/// A resolved request: catalog indices plus the instantiated method.
+struct Resolved {
+    machine: usize,
+    workload: usize,
+    label: String,
+    instance: MethodInstance,
+}
+
+/// The batched evaluation service. Construct with [`EvalService::new`],
+/// configure with the builder methods, then feed request batches to
+/// [`EvalService::serve`] (the cache persists across batches).
+pub struct EvalService<'a> {
+    machines: &'a [MachineModel],
+    workloads: &'a [WorkloadSpec<'a>],
+    opts: MethodOptions,
+    threads: usize,
+    cache: ProfileCache,
+    /// Per-workload CFGs, built lazily (a CFG depends only on the
+    /// program) and shared with every cached pair of that workload.
+    cfgs: Vec<OnceLock<Arc<Cfg>>>,
+    requests: AtomicU64,
+    cache_hits: AtomicU64,
+    builds: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl<'a> EvalService<'a> {
+    /// A service over the given catalog: default method options, all
+    /// available hardware parallelism, unbounded cache.
+    #[must_use]
+    pub fn new(machines: &'a [MachineModel], workloads: &'a [WorkloadSpec<'a>]) -> Self {
+        Self {
+            machines,
+            workloads,
+            opts: MethodOptions::default(),
+            threads: default_threads(),
+            cache: ProfileCache::unbounded(),
+            cfgs: (0..workloads.len()).map(|_| OnceLock::new()).collect(),
+            requests: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            builds: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        }
+    }
+
+    /// Sets the worker-thread count; `0` restores the default (available
+    /// hardware parallelism). Responses do not depend on this.
+    #[must_use]
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = if n == 0 { default_threads() } else { n };
+        self
+    }
+
+    /// Bounds the profile cache to `capacity` pairs (LRU eviction); `0`
+    /// means unbounded. Responses do not depend on this — only build
+    /// counts do.
+    #[must_use]
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache = ProfileCache::with_capacity(capacity);
+        self
+    }
+
+    /// Sets the method options requests are instantiated with.
+    #[must_use]
+    pub fn method_options(mut self, opts: MethodOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// The configured worker-thread count.
+    #[must_use]
+    pub fn thread_count(&self) -> usize {
+        self.threads
+    }
+
+    /// Serves one batch of requests, returning one response per request
+    /// **in request order**.
+    ///
+    /// Requests are sharded by `(machine, workload)` pair and shards run
+    /// in parallel; each shard attaches to its pair state through the
+    /// cache once and holds it for every member request, so a batch
+    /// performs at most one reference build per distinct pair no matter
+    /// how small the cache is.
+    pub fn serve(&self, requests: &[EvalRequest]) -> Vec<EvalResponse> {
+        let resolved: Vec<Result<Resolved, String>> =
+            requests.iter().map(|r| self.resolve(r)).collect();
+
+        // Shard resolvable requests by pair, in first-appearance order.
+        let mut shard_of: HashMap<PairKey, usize> = HashMap::new();
+        let mut shards: Vec<(PairKey, Vec<usize>)> = Vec::new();
+        for (i, r) in resolved.iter().enumerate() {
+            if let Ok(res) = r {
+                let key = (res.machine, res.workload);
+                let s = *shard_of.entry(key).or_insert_with(|| {
+                    shards.push((key, Vec::new()));
+                    shards.len() - 1
+                });
+                shards[s].1.push(i);
+            }
+        }
+
+        let slots: Vec<Mutex<Option<EvalResponse>>> =
+            requests.iter().map(|_| Mutex::new(None)).collect();
+
+        // Phase 1 — attach: one task per shard acquires (or builds) the
+        // pair state through the cache, so a batch performs at most one
+        // reference build per distinct pair whatever the capacity.
+        let attachments: Vec<Mutex<Option<Arc<PairParts>>>> =
+            shards.iter().map(|_| Mutex::new(None)).collect();
+        for_each_index(self.threads, shards.len(), |s| {
+            let (key, members) = &shards[s];
+            if let Some(parts) = self.attach_shard(*key, members, requests, &slots) {
+                *attachments[s].lock().expect("no poisoned slots") = Some(parts);
+            }
+        });
+
+        // Phase 2 — evaluate: one task per *request*, so skewed traffic
+        // (many requests on one hot pair) still spreads across every
+        // worker instead of serializing inside its shard.
+        let tasks: Vec<(usize, usize)> = shards
+            .iter()
+            .enumerate()
+            .filter(|(s, _)| {
+                attachments[*s].lock().expect("no poisoned slots").is_some()
+            })
+            .flat_map(|(s, (_, members))| members.iter().map(move |&i| (s, i)))
+            .collect();
+        for_each_index(self.threads, tasks.len(), |t| {
+            let (s, i) = tasks[t];
+            let parts = attachments[s]
+                .lock()
+                .expect("no poisoned slots")
+                .clone()
+                .expect("attached shards only");
+            let key = shards[s].0;
+            let res = resolved[i].as_ref().expect("sharded requests resolved");
+            let response = self.evaluate_request(&requests[i], res, key, &parts);
+            *slots[i].lock().expect("no poisoned slots") = Some(response);
+        });
+
+        self.requests
+            .fetch_add(requests.len() as u64, Ordering::Relaxed);
+
+        // Reassemble in request order; requests that never reached a
+        // shard failed resolution.
+        requests
+            .iter()
+            .zip(resolved)
+            .zip(slots)
+            .map(|((request, resolution), slot)| {
+                match slot.into_inner().expect("no poisoned slots") {
+                    Some(response) => response,
+                    None => {
+                        let error =
+                            resolution.err().expect("unfilled slots are unresolved");
+                        self.errors.fetch_add(1, Ordering::Relaxed);
+                        EvalResponse::err(request.clone(), error)
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Serves a single request — batching degenerates gracefully, and the
+    /// cache still amortizes builds across calls.
+    pub fn serve_one(&self, request: &EvalRequest) -> EvalResponse {
+        self.serve(std::slice::from_ref(request))
+            .pop()
+            .expect("one response per request")
+    }
+
+    /// Serves a batch and serializes each response as one JSON line —
+    /// the byte-identity unit of the determinism contract.
+    pub fn serve_jsonl(&self, requests: &[EvalRequest]) -> String {
+        let mut out = String::new();
+        for response in self.serve(requests) {
+            out.push_str(
+                &serde_json::to_string(&response).expect("responses always serialize"),
+            );
+            out.push('\n');
+        }
+        out
+    }
+
+    /// A snapshot of the cumulative per-request counters.
+    #[must_use]
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            builds: self.builds.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// A snapshot of the underlying cache counters (per-shard lookups,
+    /// evictions, residency).
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Attaches one pair shard to its (cached or freshly built) pair
+    /// state, recording per-request hit/build accounting. On build
+    /// failure, fills every member's slot with an error response and
+    /// returns `None`.
+    fn attach_shard(
+        &self,
+        key: PairKey,
+        members: &[usize],
+        requests: &[EvalRequest],
+        slots: &[Mutex<Option<EvalResponse>>],
+    ) -> Option<Arc<PairParts>> {
+        let machine = &self.machines[key.0];
+        let workload = &self.workloads[key.1];
+        let built = self.cache.get_or_build(key, || {
+            PairParts::collect(
+                machine,
+                workload.program,
+                workload.run_config,
+                self.workload_cfg(key.1),
+            )
+        });
+        let (parts, hit) = match built {
+            Ok(ok) => ok,
+            Err(e) => {
+                self.errors.fetch_add(members.len() as u64, Ordering::Relaxed);
+                for &i in members {
+                    *slots[i].lock().expect("no poisoned slots") = Some(EvalResponse::err(
+                        requests[i].clone(),
+                        format!("reference collection failed: {e}"),
+                    ));
+                }
+                return None;
+            }
+        };
+        // Per-request accounting: the build (if any) is charged to one
+        // member; every other member shared existing state.
+        let hits = if hit {
+            members.len() as u64
+        } else {
+            self.builds.fetch_add(1, Ordering::Relaxed);
+            members.len() as u64 - 1
+        };
+        self.cache_hits.fetch_add(hits, Ordering::Relaxed);
+        Some(parts)
+    }
+
+    /// Evaluates one request against its shard's shared pair state.
+    fn evaluate_request(
+        &self,
+        request: &EvalRequest,
+        res: &Resolved,
+        key: PairKey,
+        parts: &PairParts,
+    ) -> EvalResponse {
+        let machine = &self.machines[key.0];
+        let workload = &self.workloads[key.1];
+        let mut session =
+            parts.session(machine, workload.program, workload.run_config.clone());
+        let seeds: Vec<u64> = (0..request.effective_runs())
+            .map(|r| request_seed(request.seed, r))
+            .collect();
+        match evaluate_method_with_seeds(&mut session, &res.instance, &res.label, &seeds) {
+            Ok(stats) => EvalResponse::ok(request.clone(), stats),
+            Err(e) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                EvalResponse::err(request.clone(), format!("evaluation failed: {e}"))
+            }
+        }
+    }
+
+    /// Resolves a request's names against the catalog.
+    fn resolve(&self, request: &EvalRequest) -> Result<Resolved, String> {
+        let machine = self
+            .machines
+            .iter()
+            .position(|m| m.name == request.machine)
+            .ok_or_else(|| format!("unknown machine `{}`", request.machine))?;
+        let workload = self
+            .workloads
+            .iter()
+            .position(|w| w.name == request.workload)
+            .ok_or_else(|| format!("unknown workload `{}`", request.workload))?;
+        let kind = MethodKind::from_label(&request.method)
+            .ok_or_else(|| format!("unknown method `{}`", request.method))?;
+        let instance = kind.instantiate(&self.machines[machine], &self.opts).ok_or_else(|| {
+            format!(
+                "method `{}` unavailable on {}",
+                request.method, self.machines[machine].name
+            )
+        })?;
+        Ok(Resolved {
+            machine,
+            workload,
+            label: request.method.clone(),
+            instance,
+        })
+    }
+
+    /// The workload's CFG, built on first use and shared thereafter.
+    fn workload_cfg(&self, w: usize) -> Arc<Cfg> {
+        self.cfgs[w]
+            .get_or_init(|| Arc::new(Cfg::build(self.workloads[w].program)))
+            .clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_isa::asm::assemble;
+    use ct_isa::Program;
+    use ct_sim::RunConfig;
+
+    fn kernel(n: u64) -> Program {
+        assemble(
+            "k",
+            &format!(
+                r#"
+                .func main
+                    movi r1, {n}
+                top:
+                    addi r2, r2, 1
+                    subi r1, r1, 1
+                    brnz r1, top
+                    halt
+                .endfunc
+            "#
+            ),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn responses_come_back_in_request_order() {
+        let program = kernel(20_000);
+        let run_config = RunConfig::default();
+        let workloads = [WorkloadSpec {
+            name: "k",
+            program: &program,
+            run_config: &run_config,
+        }];
+        let machines = [MachineModel::ivy_bridge(), MachineModel::westmere()];
+        let requests = vec![
+            EvalRequest::new("Westmere (Xeon X5650)", "k", "classic", 1, 1),
+            EvalRequest::new("Ivy Bridge (Xeon E3-1265L)", "k", "lbr", 1, 2),
+            EvalRequest::new("Westmere (Xeon X5650)", "k", "precise", 2, 3),
+            EvalRequest::new("Ivy Bridge (Xeon E3-1265L)", "k", "classic", 1, 4),
+        ];
+        let service = EvalService::new(&machines, &workloads)
+            .method_options(MethodOptions::fast())
+            .threads(4);
+        let responses = service.serve(&requests);
+        assert_eq!(responses.len(), requests.len());
+        for (request, response) in requests.iter().zip(&responses) {
+            assert_eq!(&response.request, request);
+            assert!(response.is_ok(), "{:?}", response.error);
+        }
+        assert_eq!(responses[2].stats.as_ref().unwrap().runs.len(), 2);
+        // 4 requests over 2 pairs: 2 builds, 2 hits.
+        let stats = service.stats();
+        assert_eq!(stats.requests, 4);
+        assert_eq!(stats.builds, 2);
+        assert_eq!(stats.cache_hits, 2);
+        assert_eq!(stats.errors, 0);
+    }
+
+    #[test]
+    fn bad_requests_become_error_responses() {
+        let program = kernel(5_000);
+        let run_config = RunConfig::default();
+        let workloads = [WorkloadSpec {
+            name: "k",
+            program: &program,
+            run_config: &run_config,
+        }];
+        let machines = [MachineModel::magny_cours()];
+        let service = EvalService::new(&machines, &workloads)
+            .method_options(MethodOptions::fast())
+            .threads(2);
+        let requests = vec![
+            EvalRequest::new("No Such Machine", "k", "classic", 1, 1),
+            EvalRequest::new("Magny-Cours (Opteron 6164 HE)", "nope", "classic", 1, 1),
+            EvalRequest::new("Magny-Cours (Opteron 6164 HE)", "k", "frobnicate", 1, 1),
+            // LBR does not exist on AMD: resolvable names, unavailable method.
+            EvalRequest::new("Magny-Cours (Opteron 6164 HE)", "k", "lbr", 1, 1),
+            EvalRequest::new("Magny-Cours (Opteron 6164 HE)", "k", "classic", 1, 1),
+        ];
+        let responses = service.serve(&requests);
+        assert!(responses[0].error.as_ref().unwrap().contains("unknown machine"));
+        assert!(responses[1].error.as_ref().unwrap().contains("unknown workload"));
+        assert!(responses[2].error.as_ref().unwrap().contains("unknown method"));
+        assert!(responses[3].error.as_ref().unwrap().contains("unavailable"));
+        assert!(responses[4].is_ok());
+        assert_eq!(service.stats().errors, 4);
+    }
+
+    #[test]
+    fn request_seeds_are_stable_and_distinct() {
+        assert_eq!(request_seed(7, 0), request_seed(7, 0));
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..16 {
+            for run in 0..8 {
+                assert!(seen.insert(request_seed(seed, run)));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_runs_are_served_as_one() {
+        let program = kernel(5_000);
+        let run_config = RunConfig::default();
+        let workloads = [WorkloadSpec {
+            name: "k",
+            program: &program,
+            run_config: &run_config,
+        }];
+        let machines = [MachineModel::ivy_bridge()];
+        let service = EvalService::new(&machines, &workloads)
+            .method_options(MethodOptions::fast());
+        let response =
+            service.serve_one(&EvalRequest::new("Ivy Bridge (Xeon E3-1265L)", "k", "classic", 0, 9));
+        assert_eq!(response.stats.unwrap().runs.len(), 1);
+    }
+
+    #[test]
+    fn identical_requests_get_identical_responses_across_batches() {
+        let program = kernel(10_000);
+        let run_config = RunConfig::default();
+        let workloads = [WorkloadSpec {
+            name: "k",
+            program: &program,
+            run_config: &run_config,
+        }];
+        let machines = [MachineModel::westmere()];
+        let service = EvalService::new(&machines, &workloads)
+            .method_options(MethodOptions::fast())
+            .cache_capacity(1);
+        let request = EvalRequest::new("Westmere (Xeon X5650)", "k", "precise+prime+rand", 3, 11);
+        let a = serde_json::to_string(&service.serve_one(&request)).unwrap();
+        let b = serde_json::to_string(&service.serve_one(&request)).unwrap();
+        assert_eq!(a, b, "replayed request must be byte-identical");
+    }
+}

@@ -37,4 +37,4 @@ pub use bbcount::BbCounter;
 pub use callgraph::CallGraphObserver;
 pub use edges::EdgeProfiler;
 pub use loops::LoopProfiler;
-pub use reference::{collection_count, ReferenceProfile};
+pub use reference::{collection_count, CollectionAudit, ReferenceProfile};

@@ -23,6 +23,37 @@ pub fn collection_count() -> u64 {
     COLLECTIONS.load(Ordering::Relaxed)
 }
 
+/// A scoped view over [`collection_count`]: snapshots the counter at
+/// construction so cache-aware consumers can audit how many instrumented
+/// executions a region of work actually performed.
+///
+/// The `countertrust` serving layer's contract — "a reference profile is
+/// built at most once per (machine, workload) pair per batch, whatever
+/// the cache capacity" — is asserted against this delta by the
+/// integration and property suites. The counter is process-global, so
+/// audited regions must not run concurrently with unrelated collections
+/// (test binaries serialize audited tests or own their whole process).
+#[derive(Debug, Clone, Copy)]
+pub struct CollectionAudit {
+    start: u64,
+}
+
+impl CollectionAudit {
+    /// Starts an audit at the current counter value.
+    #[must_use]
+    pub fn begin() -> Self {
+        Self {
+            start: collection_count(),
+        }
+    }
+
+    /// Instrumented reference executions performed since [`CollectionAudit::begin`].
+    #[must_use]
+    pub fn collections(&self) -> u64 {
+        collection_count() - self.start
+    }
+}
+
 /// Exact per-block and per-function profile of one execution, used as the
 /// denominator of every accuracy comparison (the paper's "REF" method).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -161,6 +192,17 @@ mod tests {
         for w in rank.windows(2) {
             assert!(w[0].1 >= w[1].1);
         }
+    }
+
+    #[test]
+    fn audit_observes_collections() {
+        let p = assemble("t", ".func main\n halt\n.endfunc\n").unwrap();
+        let audit = CollectionAudit::begin();
+        ReferenceProfile::collect(&MachineModel::ivy_bridge(), &p, &RunConfig::default())
+            .unwrap();
+        // `>=`: sibling tests collect concurrently against the same
+        // process-global counter.
+        assert!(audit.collections() >= 1);
     }
 
     #[test]

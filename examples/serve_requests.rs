@@ -1,0 +1,74 @@
+//! Serving mode in miniature: parse JSON-lines evaluation requests,
+//! serve them as one batch through the profile cache, and print JSON-lines
+//! responses plus the cache accounting.
+//!
+//! ```text
+//! cargo run --release -p countertrust --example serve_requests
+//! ```
+
+use countertrust::methods::MethodOptions;
+use countertrust::serve::{EvalRequest, EvalService};
+use ct_bench_shim::workload_specs;
+use ct_sim::MachineModel;
+
+/// The bench crate owns the full stream generators; this example stays
+/// dependency-light and inlines the one helper it needs.
+mod ct_bench_shim {
+    use countertrust::grid::WorkloadSpec;
+    use ct_workloads::Workload;
+
+    pub fn workload_specs(workloads: &[Workload]) -> Vec<WorkloadSpec<'_>> {
+        workloads
+            .iter()
+            .map(|w| WorkloadSpec {
+                name: &w.name,
+                program: &w.program,
+                run_config: &w.run_config,
+            })
+            .collect()
+    }
+}
+
+fn main() {
+    let machines = MachineModel::paper_machines();
+    let workloads = ct_workloads::kernel_set(0.02);
+    let specs = workload_specs(&workloads);
+
+    // What a client would send over the wire: one JSON request per line.
+    // The third line is deliberately bad — errors come back as responses,
+    // they never take the service down.
+    let wire = r#"
+{"machine":"Ivy Bridge (Xeon E3-1265L)","workload":"callchain","method":"lbr","runs":3,"seed":7}
+{"machine":"Ivy Bridge (Xeon E3-1265L)","workload":"callchain","method":"classic","runs":3,"seed":7}
+{"machine":"Magny-Cours (Opteron 6164 HE)","workload":"callchain","method":"lbr","runs":1,"seed":7}
+{"machine":"Westmere (Xeon X5650)","workload":"g4box","method":"precise+prime+rand","runs":2,"seed":9}
+"#;
+    let requests: Vec<EvalRequest> = wire
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| serde_json::from_str(l).expect("well-formed request line"))
+        .collect();
+
+    let service = EvalService::new(&machines, &specs)
+        .method_options(MethodOptions::fast())
+        .cache_capacity(8);
+
+    println!("# responses");
+    print!("{}", service.serve_jsonl(&requests));
+
+    let stats = service.stats();
+    let cache = service.cache_stats();
+    println!("# accounting");
+    println!(
+        "requests {} | cache hits {} | builds {} | errors {} | hit rate {:.0}%",
+        stats.requests,
+        stats.cache_hits,
+        stats.builds,
+        stats.errors,
+        stats.hit_rate() * 100.0
+    );
+    println!(
+        "cache: {} resident / capacity 8, {} evictions",
+        cache.resident, cache.evictions
+    );
+}

@@ -1,0 +1,197 @@
+//! Property-based tests for the serving layer: for arbitrary request
+//! streams and cache capacities, responses depend only on the requests —
+//! never on worker-thread count, batch decomposition or cache eviction
+//! order — and a served batch never performs more reference collections
+//! than the number of distinct `(machine, workload)` pairs it touches.
+//!
+//! The reference-collection counter is process-global, so the audited
+//! properties serialize on [`GUARD`] (this file owns its whole test
+//! binary — see `crates/core/Cargo.toml`).
+
+use countertrust::grid::WorkloadSpec;
+use countertrust::methods::{MethodKind, MethodOptions};
+use countertrust::serve::{EvalRequest, EvalService};
+use ct_instrument::CollectionAudit;
+use ct_isa::asm::assemble;
+use ct_isa::Program;
+use ct_sim::{MachineModel, RunConfig};
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::sync::Mutex;
+
+static GUARD: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    GUARD.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn loop_kernel(iters: u64) -> Program {
+    assemble(
+        "k",
+        &format!(
+            r#"
+            .func main
+                movi r1, {iters}
+            top:
+                addi r2, r2, 1
+                subi r1, r1, 1
+                brnz r1, top
+                halt
+            .endfunc
+        "#
+        ),
+    )
+    .unwrap()
+}
+
+fn call_kernel(iters: u64) -> Program {
+    assemble(
+        "c",
+        &format!(
+            r#"
+            .func main
+                movi r1, {iters}
+            top:
+                call leaf
+                subi r1, r1, 1
+                brnz r1, top
+                halt
+            .endfunc
+            .func leaf
+                addi r3, r3, 1
+                addi r4, r4, 1
+                ret
+            .endfunc
+        "#
+        ),
+    )
+    .unwrap()
+}
+
+/// A generated request: catalog indices plus measurement shape, turned
+/// into names against the fixed two-machine, two-workload catalog.
+type RawRequest = (usize, usize, usize, usize, u64);
+
+fn materialize(raw: &[RawRequest], machines: &[MachineModel], names: [&str; 2]) -> Vec<EvalRequest> {
+    raw.iter()
+        .map(|&(m, w, k, runs, seed)| EvalRequest {
+            machine: machines[m].name.clone(),
+            workload: names[w].to_string(),
+            method: MethodKind::ALL[k].label().to_string(),
+            runs,
+            seed,
+        })
+        .collect()
+}
+
+fn distinct_pairs(raw: &[RawRequest]) -> u64 {
+    raw.iter()
+        .map(|&(m, w, ..)| (m, w))
+        .collect::<HashSet<_>>()
+        .len() as u64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Identical streams, served as one batch, produce byte-identical
+    /// JSONL for every thread count and cache capacity — and no service
+    /// collects more references than the stream touches pairs.
+    #[test]
+    fn serve_is_invariant_under_threads_and_capacity(
+        raw in prop::collection::vec((0usize..2, 0usize..2, 0usize..7, 1usize..=2, 0u64..1_000), 1..8),
+        capacity in 1usize..=8,
+    ) {
+        let _guard = lock();
+        let program_a = loop_kernel(6_000);
+        let program_b = call_kernel(1_500);
+        let run_config = RunConfig::default();
+        let workloads = [
+            WorkloadSpec { name: "loop", program: &program_a, run_config: &run_config },
+            WorkloadSpec { name: "call", program: &program_b, run_config: &run_config },
+        ];
+        // Two Intel machines: every method family resolves on both, so
+        // arbitrary method indices stay error-free.
+        let machines = [MachineModel::ivy_bridge(), MachineModel::westmere()];
+        let requests = materialize(&raw, &machines, ["loop", "call"]);
+        let pairs = distinct_pairs(&raw);
+        let opts = MethodOptions::fast();
+
+        let mut outputs = Vec::new();
+        for (threads, cap) in [(1, capacity), (5, capacity), (3, 0)] {
+            let service = EvalService::new(&machines, &workloads)
+                .method_options(opts)
+                .threads(threads)
+                .cache_capacity(cap);
+            let audit = CollectionAudit::begin();
+            outputs.push(service.serve_jsonl(&requests));
+            prop_assert!(
+                audit.collections() <= pairs,
+                "one batch: {} collections for {} distinct pairs (threads {}, capacity {})",
+                audit.collections(), pairs, threads, cap
+            );
+            prop_assert_eq!(service.stats().errors, 0);
+        }
+        prop_assert_eq!(&outputs[0], &outputs[1], "thread count changed responses");
+        prop_assert_eq!(&outputs[0], &outputs[2], "cache capacity changed responses");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The heavier tier (CI runs it via `--include-ignored`): batch
+    /// decomposition — one batch, per-request calls on a thrashing
+    /// capacity-1 cache, or chunked batches — never changes responses,
+    /// and every decomposition respects the per-batch collection bound.
+    #[test]
+    #[ignore = "heavier property tier, exercised by the CI --include-ignored step"]
+    fn serve_is_invariant_under_batch_decomposition(
+        raw in prop::collection::vec((0usize..2, 0usize..2, 0usize..7, 1usize..=2, 0u64..1_000), 1..14),
+        capacity in 1usize..=8,
+        chunk in 1usize..=5,
+    ) {
+        let _guard = lock();
+        let program_a = loop_kernel(6_000);
+        let program_b = call_kernel(1_500);
+        let run_config = RunConfig::default();
+        let workloads = [
+            WorkloadSpec { name: "loop", program: &program_a, run_config: &run_config },
+            WorkloadSpec { name: "call", program: &program_b, run_config: &run_config },
+        ];
+        let machines = [MachineModel::ivy_bridge(), MachineModel::westmere()];
+        let requests = materialize(&raw, &machines, ["loop", "call"]);
+        let pairs = distinct_pairs(&raw);
+        let opts = MethodOptions::fast();
+
+        let whole = EvalService::new(&machines, &workloads)
+            .method_options(opts)
+            .threads(4)
+            .cache_capacity(capacity);
+        let audit = CollectionAudit::begin();
+        let whole_out = whole.serve_jsonl(&requests);
+        prop_assert!(audit.collections() <= pairs);
+
+        let one_by_one = EvalService::new(&machines, &workloads)
+            .method_options(opts)
+            .threads(2)
+            .cache_capacity(1);
+        let mut single_out = String::new();
+        for request in &requests {
+            single_out.push_str(&one_by_one.serve_jsonl(std::slice::from_ref(request)));
+        }
+
+        let chunked = EvalService::new(&machines, &workloads)
+            .method_options(opts)
+            .threads(8)
+            .cache_capacity(capacity);
+        let mut chunked_out = String::new();
+        for batch in requests.chunks(chunk) {
+            chunked_out.push_str(&chunked.serve_jsonl(batch));
+        }
+
+        prop_assert_eq!(&whole_out, &single_out, "per-request serving changed responses");
+        prop_assert_eq!(&whole_out, &chunked_out, "batch chunking changed responses");
+        prop_assert_eq!(whole_out.lines().count(), requests.len());
+    }
+}
