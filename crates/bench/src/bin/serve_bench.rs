@@ -1,28 +1,38 @@
-//! Serving-mode benchmark: drives the batched evaluation service
+//! Serving-mode benchmark: drives the evaluation service
 //! ([`countertrust::serve::EvalService`]) with a synthetic JSON-lines
-//! request stream and reports throughput, cache hit rate and latency
-//! percentiles.
+//! request stream — batched or through the staged intake pipeline — and
+//! reports throughput, cache hit rate and latency percentiles.
 //!
 //! ```text
 //! cargo run --release -p ct-bench --bin serve_bench -- \
 //!     [--pattern hot|cold|zipfian] [--requests N] [--batch N] \
+//!     [--pipeline-depth N] [--chunk N] [--admission lru|freq] \
 //!     [--capacity N] [--runs N] [--scale F] [--seed N] [--threads N] \
 //!     [--smoke]
 //! ```
 //!
 //! Responses go to **stdout** as JSON lines (one per request, in request
-//! order) and are byte-identical for any `--threads N` and any
-//! `--capacity N`; all timing-dependent numbers (the summary) go to
-//! **stderr**. `--capacity 0` (the default) is an unbounded cache.
+//! order) and are byte-identical for any `--threads N`, `--capacity N`,
+//! `--admission`, `--pipeline-depth N` and `--chunk N`; all
+//! timing-dependent numbers (the summary) go to **stderr**.
+//! `--capacity 0` (the default) is an unbounded cache.
 //!
-//! `--smoke` runs a small stream twice — once single-threaded, once wide
-//! — and fails loudly if the two outputs differ, so CI exercises the
-//! whole serving path (stream generation, sharding, cache, JSON) on
-//! every push.
+//! `--pipeline-depth N` (N ≥ 1) switches from batch-synchronous serving
+//! to the staged pipeline: intake parses `--chunk`-sized chunks
+//! (default: `--batch`) while earlier chunks build references and
+//! evaluate, with at most N chunks buffered between stages.
+//!
+//! `--smoke` runs a small stream across batched, single-threaded, wide
+//! and pipelined services and fails loudly if any output differs, so CI
+//! exercises the whole serving path (stream generation, sharding, cache,
+//! pipeline, JSON) on every push.
 
+use countertrust::cache::AdmissionPolicy;
 use countertrust::methods::MethodOptions;
-use countertrust::serve::EvalService;
-use ct_bench::streams::{distinct_pairs, percentile, request_stream, StreamConfig, StreamPattern};
+use countertrust::serve::{EvalRequest, EvalService, PipelineOptions};
+use ct_bench::streams::{
+    distinct_pairs, percentile, request_stream, to_wire, StreamConfig, StreamPattern,
+};
 use ct_bench::{workload_specs, CliOptions};
 use ct_instrument::CollectionAudit;
 use ct_sim::MachineModel;
@@ -33,6 +43,11 @@ struct ServeCli {
     pattern: StreamPattern,
     requests: usize,
     batch: usize,
+    /// `Some(depth)` switches to the staged pipeline.
+    pipeline_depth: Option<usize>,
+    /// Pipeline chunk size; defaults to `--batch`.
+    chunk: Option<usize>,
+    admission: AdmissionPolicy,
     capacity: usize,
     runs: usize,
     smoke: bool,
@@ -44,6 +59,9 @@ fn parse(args: &[String]) -> ServeCli {
         pattern: StreamPattern::Zipfian,
         requests: 500,
         batch: 64,
+        pipeline_depth: None,
+        chunk: None,
+        admission: AdmissionPolicy::Lru,
         capacity: 0,
         runs: 1,
         smoke: false,
@@ -84,6 +102,33 @@ fn parse(args: &[String]) -> ServeCli {
                     }
                 }
             }
+            "--pipeline-depth" => {
+                if let Some(v) = take(&mut i) {
+                    match v.parse::<usize>() {
+                        Ok(n) if n > 0 => cli.pipeline_depth = Some(n),
+                        _ => eprintln!("warning: ignoring invalid --pipeline-depth {v:?}"),
+                    }
+                }
+            }
+            "--chunk" => {
+                if let Some(v) = take(&mut i) {
+                    match v.parse::<usize>() {
+                        Ok(n) if n > 0 => cli.chunk = Some(n),
+                        _ => eprintln!("warning: ignoring invalid --chunk {v:?}"),
+                    }
+                }
+            }
+            "--admission" => {
+                if let Some(v) = take(&mut i) {
+                    match AdmissionPolicy::parse(v) {
+                        Some(p) => cli.admission = p,
+                        None => eprintln!(
+                            "warning: unknown --admission {v:?}; keeping {}",
+                            cli.admission.name()
+                        ),
+                    }
+                }
+            }
             "--capacity" => {
                 if let Some(v) = take(&mut i) {
                     match v.parse::<usize>() {
@@ -111,7 +156,11 @@ fn parse(args: &[String]) -> ServeCli {
 /// Serves `requests` in batches, returning the JSONL output and the
 /// per-request wall-clock latencies (each request's latency is its
 /// batch's completion time — requests complete when their batch does).
-fn drive(service: &EvalService<'_>, requests: &[countertrust::serve::EvalRequest], batch: usize) -> (String, Vec<f64>) {
+fn drive(
+    service: &EvalService<'_>,
+    requests: &[EvalRequest],
+    batch: usize,
+) -> (String, Vec<f64>) {
     let mut jsonl = String::new();
     let mut latencies_ms = Vec::with_capacity(requests.len());
     for chunk in requests.chunks(batch) {
@@ -123,6 +172,29 @@ fn drive(service: &EvalService<'_>, requests: &[countertrust::serve::EvalRequest
     (jsonl, latencies_ms)
 }
 
+/// Serves `requests` through the staged pipeline: the stream is
+/// serialized to its JSON-lines wire form and read back incrementally,
+/// exactly as a network intake would deliver it.
+fn drive_pipelined(
+    service: &EvalService<'_>,
+    requests: &[EvalRequest],
+    options: &PipelineOptions,
+) -> String {
+    let wire = to_wire(requests);
+    let mut out = Vec::new();
+    let stats = service
+        .serve_pipelined(wire.as_bytes(), &mut out, options)
+        .expect("in-memory pipeline never hits I/O errors");
+    assert_eq!(stats.parse_errors, 0, "generated streams are well-formed");
+    String::from_utf8(out).expect("responses are UTF-8")
+}
+
+/// Formats an optional latency percentile (`None` when no requests ran
+/// or the mode has no per-batch timings).
+fn fmt_ms(p: Option<f64>) -> String {
+    p.map_or_else(|| "n/a".to_string(), |ms| format!("{ms:.2} ms"))
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cli = parse(&args);
@@ -132,6 +204,9 @@ fn main() {
         cli.batch = cli.batch.min(8);
         scale = scale.min(0.01);
     }
+    let pipeline = PipelineOptions::new()
+        .depth(cli.pipeline_depth.unwrap_or(2))
+        .chunk(cli.chunk.unwrap_or(cli.batch));
 
     let machines = MachineModel::paper_machines();
     let workloads = ct_workloads::all(scale);
@@ -156,32 +231,54 @@ fn main() {
     let service = EvalService::new(&machines, &specs)
         .method_options(opts.clone())
         .threads(cli.base.threads.unwrap_or(0))
-        .cache_capacity(cli.capacity);
+        .cache_capacity(cli.capacity)
+        .admission(cli.admission);
 
     let audit = CollectionAudit::begin();
     let wall = Instant::now();
-    let (jsonl, mut latencies) = drive(&service, &stream, cli.batch);
+    let (jsonl, mut latencies) = if cli.pipeline_depth.is_some() {
+        (drive_pipelined(&service, &stream, &pipeline), Vec::new())
+    } else {
+        drive(&service, &stream, cli.batch)
+    };
     let elapsed = wall.elapsed().as_secs_f64();
     // Snapshot before the smoke re-serves below: the summary must
     // describe the main run, not the verification replays.
     let collections = audit.collections();
 
     if cli.smoke {
-        // Re-serve the same stream on fresh single- and multi-threaded
-        // services: all three outputs must agree byte for byte.
+        // Re-serve the same stream on fresh single-threaded, wide and
+        // pipelined services: all outputs must agree byte for byte.
         let narrow = EvalService::new(&machines, &specs)
             .method_options(opts.clone())
             .threads(1)
             .cache_capacity(cli.capacity);
         let wide = EvalService::new(&machines, &specs)
-            .method_options(opts)
+            .method_options(opts.clone())
             .threads(8)
             .cache_capacity(1.max(cli.capacity / 2));
+        let piped = EvalService::new(&machines, &specs)
+            .method_options(opts)
+            .threads(4)
+            .cache_capacity(cli.capacity)
+            .admission(AdmissionPolicy::Frequency);
         let (narrow_out, _) = drive(&narrow, &stream, cli.batch);
         let (wide_out, _) = drive(&wide, &stream, stream.len());
+        let piped_out = drive_pipelined(
+            &piped,
+            &stream,
+            &PipelineOptions::new().depth(1).chunk(cli.batch),
+        );
         assert_eq!(jsonl, narrow_out, "smoke: threads must not change output");
         assert_eq!(jsonl, wide_out, "smoke: batching/capacity must not change output");
-        eprintln!("smoke: determinism contract holds across threads, batch size and capacity");
+        assert_eq!(
+            jsonl, piped_out,
+            "smoke: pipelining/admission must not change output"
+        );
+        eprintln!(
+            "smoke: determinism contract holds across threads, batch size, capacity, \
+             pipelining and admission policy"
+        );
     }
 
     print!("{jsonl}");
@@ -191,22 +288,32 @@ fn main() {
     latencies.sort_by(f64::total_cmp);
     eprintln!("serve_bench summary");
     eprintln!("  pattern          {}", cli.pattern.name());
+    if cli.pipeline_depth.is_some() {
+        eprintln!(
+            "  mode             pipelined (depth {}, chunk {})",
+            pipeline.depth.max(1),
+            pipeline.chunk.max(1)
+        );
+    } else {
+        eprintln!("  mode             batched (batch {})", cli.batch);
+    }
     eprintln!(
-        "  requests         {} ({} distinct pairs, batch {})",
+        "  requests         {} ({} distinct pairs)",
         stream.len(),
-        distinct_pairs(&stream),
-        cli.batch
+        distinct_pairs(&stream)
     );
     eprintln!("  threads          {}", service.thread_count());
     eprintln!(
-        "  cache            capacity {} | resident {} | evictions {}",
+        "  cache            capacity {} | policy {} | resident {} | evictions {} | rejected {}",
         if cli.capacity == 0 {
             "unbounded".to_string()
         } else {
             cli.capacity.to_string()
         },
+        cli.admission.name(),
         cache.resident,
-        cache.evictions
+        cache.evictions,
+        cache.rejected
     );
     eprintln!(
         "  hit rate         {:.1}% ({} hits / {} builds / {} errors)",
@@ -222,8 +329,8 @@ fn main() {
         elapsed
     );
     eprintln!(
-        "  latency          p50 {:.2} ms | p99 {:.2} ms (per-request, batch-completion)",
-        percentile(&latencies, 0.50),
-        percentile(&latencies, 0.99)
+        "  latency          p50 {} | p99 {} (per-request, batch-completion)",
+        fmt_ms(percentile(&latencies, 0.50)),
+        fmt_ms(percentile(&latencies, 0.99))
     );
 }

@@ -10,7 +10,7 @@
 //! | `function_rank` | §5.2 — FullCMS top-10 function ordering check |
 //! | `ablation_periods` | §6.1 — period policy sweep (round/prime/randomized) |
 //! | `ablation_lbr` | §6.2 — LBR depth sweep and call-stack-mode collision |
-//! | `serve_bench` | serving-mode benchmark: batched request streams against the profile cache |
+//! | `serve_bench` | serving-mode benchmark: batched or pipelined request streams against the profile cache |
 //!
 //! All experiment binaries run on the parallel grid engine
 //! ([`countertrust::grid::GridRunner`]): cells fan out across worker

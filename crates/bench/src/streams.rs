@@ -152,6 +152,17 @@ pub fn request_stream(
     out
 }
 
+/// Serializes requests to their JSON-lines wire form — the exact frame
+/// pipelined intake ([`countertrust::serve::EvalService::serve_pipelined`])
+/// reads back.
+#[must_use]
+pub fn to_wire(requests: &[EvalRequest]) -> String {
+    requests
+        .iter()
+        .map(|r| serde_json::to_string(r).expect("requests always serialize") + "\n")
+        .collect()
+}
+
 /// Number of distinct `(machine, workload)` pairs a stream touches.
 #[must_use]
 pub fn distinct_pairs(requests: &[EvalRequest]) -> usize {
@@ -166,16 +177,16 @@ pub fn distinct_pairs(requests: &[EvalRequest]) -> usize {
 }
 
 /// The `p`-th percentile (0.0..=1.0) of an **ascending-sorted** slice,
-/// by the nearest-rank method.
-///
-/// # Panics
-///
-/// Panics when `sorted` is empty.
+/// by the nearest-rank method. Returns `None` for an empty sample set —
+/// an empty benchmark run has no latency distribution to summarize, and
+/// a panic would take the whole report down with it.
 #[must_use]
-pub fn percentile(sorted: &[f64], p: f64) -> f64 {
-    assert!(!sorted.is_empty(), "percentile of an empty sample");
+pub fn percentile(sorted: &[f64], p: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
     let rank = (p.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+    Some(sorted[rank.saturating_sub(1).min(sorted.len() - 1)])
 }
 
 #[cfg(test)]
@@ -291,11 +302,24 @@ mod tests {
     #[test]
     fn percentile_nearest_rank() {
         let sorted = [1.0, 2.0, 3.0, 4.0];
-        assert_eq!(percentile(&sorted, 0.0), 1.0);
-        assert_eq!(percentile(&sorted, 0.5), 2.0);
-        assert_eq!(percentile(&sorted, 0.51), 3.0);
-        assert_eq!(percentile(&sorted, 0.99), 4.0);
-        assert_eq!(percentile(&sorted, 1.0), 4.0);
-        assert_eq!(percentile(&[7.5], 0.5), 7.5);
+        assert_eq!(percentile(&sorted, 0.0), Some(1.0));
+        assert_eq!(percentile(&sorted, 0.5), Some(2.0));
+        assert_eq!(percentile(&sorted, 0.51), Some(3.0));
+        assert_eq!(percentile(&sorted, 0.99), Some(4.0));
+        assert_eq!(percentile(&sorted, 1.0), Some(4.0));
+    }
+
+    #[test]
+    fn percentile_of_empty_sample_is_none() {
+        for p in [0.0, 0.5, 1.0] {
+            assert_eq!(percentile(&[], p), None);
+        }
+    }
+
+    #[test]
+    fn percentile_of_single_element_is_that_element() {
+        for p in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(percentile(&[7.5], p), Some(7.5));
+        }
     }
 }

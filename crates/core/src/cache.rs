@@ -12,11 +12,17 @@
 //!   ([`crate::serve`]) go through it;
 //! * [`ProfileCache`] is an LRU-bounded, thread-safe map from
 //!   `(machine, workload)` pair keys to [`PairParts`], so a profile is
-//!   built at most once per pair per cache residency.
+//!   built at most once per pair per cache residency;
+//! * [`AdmissionPolicy`] decides whether a freshly built pair may *enter*
+//!   a full cache at all: plain LRU admits everything, while the
+//!   frequency-aware variant rejects one-hit wonders so cold or zipfian
+//!   request streams cannot thrash the hot working set out of a small
+//!   cache.
 //!
-//! Cache contents are pure functions of the pair, so eviction and rebuild
-//! change *when* work happens, never *what* a response contains — the
-//! determinism contract of the grid engine extends to any cache capacity.
+//! Cache contents are pure functions of the pair, so eviction, rebuild
+//! and admission change *when* work happens, never *what* a response
+//! contains — the determinism contract of the grid engine extends to any
+//! cache capacity and any admission policy.
 
 use crate::error::CoreError;
 use crate::session::Session;
@@ -27,6 +33,47 @@ use std::sync::{Arc, Condvar, Mutex};
 
 /// Cache key: indices of the machine and workload in the owning catalog.
 pub type PairKey = (usize, usize);
+
+/// How a [`ProfileCache`] decides whether a freshly built entry may enter
+/// a full cache.
+///
+/// Admission is a *residency* knob, never a correctness knob: a rejected
+/// build is still returned to its caller, so responses are identical
+/// under every policy — only build counts differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// Admit every successful build, evicting the least recently used
+    /// entry to make room (classic LRU — the default).
+    #[default]
+    Lru,
+    /// Frequency-aware admission (TinyLFU-flavored): the cache keeps a
+    /// small access-frequency sketch per key (aged by periodic halving),
+    /// and a new entry displaces the LRU victim only when it has been
+    /// requested at least as often. One-hit wonders in a cold or zipfian
+    /// stream bounce off a full cache instead of evicting the hot set.
+    Frequency,
+}
+
+impl AdmissionPolicy {
+    /// Parses a CLI flag value (`lru` / `freq`).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "lru" => Some(Self::Lru),
+            "freq" | "frequency" => Some(Self::Frequency),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling of this policy.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Lru => "lru",
+            Self::Frequency => "freq",
+        }
+    }
+}
 
 /// The shareable evaluation state of one `(machine, workload)` pair: the
 /// workload's CFG plus the pair's instrumented reference profile.
@@ -92,11 +139,13 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that found no resident entry.
     pub misses: u64,
-    /// Successful builds inserted into the cache (≤ `misses`; failed
-    /// builds are not inserted).
+    /// Successful builds (≤ `misses`; failed builds are not counted).
     pub builds: u64,
     /// Entries evicted to respect the capacity bound.
     pub evictions: u64,
+    /// Successful builds denied residency by the admission policy (the
+    /// build result was still handed to its caller).
+    pub rejected: u64,
     /// Entries currently resident.
     pub resident: usize,
 }
@@ -108,18 +157,75 @@ struct InFlight {
     ready: Condvar,
 }
 
+/// Halve every frequency count after this many lookups, so stale
+/// popularity fades instead of pinning an entry forever.
+const FREQ_DECAY_INTERVAL: u64 = 1024;
+
 struct CacheInner {
     /// `0` means unbounded.
     capacity: usize,
+    policy: AdmissionPolicy,
     /// LRU order: front is least recently used, back is most recent.
     entries: Vec<(PairKey, Arc<PairParts>)>,
     /// Keys currently being built, so concurrent lookups of the same key
     /// share one build instead of each running an instrumented execution.
     in_flight: Vec<(PairKey, Arc<InFlight>)>,
+    /// Access-frequency sketch ([`AdmissionPolicy::Frequency`] only):
+    /// bumped on every lookup, aged by halving every
+    /// [`FREQ_DECAY_INTERVAL`] lookups.
+    freq: Vec<(PairKey, u64)>,
+    lookups: u64,
     hits: u64,
     misses: u64,
     builds: u64,
     evictions: u64,
+    rejected: u64,
+}
+
+impl CacheInner {
+    /// Records one lookup of `key` in the frequency sketch (no-op under
+    /// plain LRU, which never consults it).
+    fn note_access(&mut self, key: PairKey) {
+        if self.policy != AdmissionPolicy::Frequency {
+            return;
+        }
+        self.lookups += 1;
+        match self.freq.iter_mut().find(|(k, _)| *k == key) {
+            Some(entry) => entry.1 = entry.1.saturating_add(1),
+            None => self.freq.push((key, 1)),
+        }
+        if self.lookups % FREQ_DECAY_INTERVAL == 0 {
+            for entry in &mut self.freq {
+                entry.1 /= 2;
+            }
+            self.freq.retain(|(_, c)| *c > 0);
+        }
+    }
+
+    /// The sketch frequency of `key` (`0` when never seen or decayed out).
+    fn frequency(&self, key: PairKey) -> u64 {
+        self.freq
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map_or(0, |(_, c)| *c)
+    }
+
+    /// Whether a freshly built `key` may enter the cache right now.
+    fn admits(&self, key: PairKey) -> bool {
+        match self.policy {
+            AdmissionPolicy::Lru => true,
+            AdmissionPolicy::Frequency => {
+                if self.capacity == 0 || self.entries.len() < self.capacity {
+                    return true;
+                }
+                // Full cache: the candidate must be at least as popular
+                // as the LRU victim it would displace (ties favor the
+                // newcomer — recency breaks frequency ties).
+                let victim = self.entries[0].0;
+                self.frequency(key) >= self.frequency(victim)
+            }
+        }
+    }
 }
 
 /// An LRU-bounded, thread-safe cache of [`PairParts`] keyed by
@@ -141,19 +247,30 @@ impl ProfileCache {
         Self::with_capacity(0)
     }
 
-    /// A cache holding at most `capacity` pairs (LRU eviction); `0` means
-    /// unbounded.
+    /// A cache holding at most `capacity` pairs (LRU eviction, admit-all
+    /// policy); `0` means unbounded.
     #[must_use]
     pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_policy(capacity, AdmissionPolicy::Lru)
+    }
+
+    /// A cache holding at most `capacity` pairs (`0` = unbounded) with
+    /// the given [`AdmissionPolicy`] guarding entry into a full cache.
+    #[must_use]
+    pub fn with_policy(capacity: usize, policy: AdmissionPolicy) -> Self {
         Self {
             inner: Mutex::new(CacheInner {
                 capacity,
+                policy,
                 entries: Vec::new(),
                 in_flight: Vec::new(),
+                freq: Vec::new(),
+                lookups: 0,
                 hits: 0,
                 misses: 0,
                 builds: 0,
                 evictions: 0,
+                rejected: 0,
             }),
         }
     }
@@ -162,6 +279,12 @@ impl ProfileCache {
     #[must_use]
     pub fn capacity(&self) -> usize {
         self.lock().capacity
+    }
+
+    /// The configured admission policy.
+    #[must_use]
+    pub fn policy(&self) -> AdmissionPolicy {
+        self.lock().policy
     }
 
     /// Returns the resident entry for `key`, marking it most recently
@@ -186,6 +309,7 @@ impl ProfileCache {
     {
         let flight: Arc<InFlight> = {
             let mut inner = self.lock();
+            inner.note_access(key);
             if let Some(pos) = inner.entries.iter().position(|(k, _)| *k == key) {
                 let entry = inner.entries.remove(pos);
                 let parts = entry.1.clone();
@@ -234,14 +358,20 @@ impl ProfileCache {
             let mut inner = self.lock();
             inner.in_flight.retain(|(k, _)| *k != key);
             if let Ok(parts) = &built {
-                // No same-key insert can have raced us: they all waited.
-                inner.entries.push((key, parts.clone()));
                 inner.builds += 1;
-                if inner.capacity > 0 {
-                    while inner.entries.len() > inner.capacity {
-                        inner.entries.remove(0);
-                        inner.evictions += 1;
+                if inner.admits(key) {
+                    // No same-key insert can have raced us: they all waited.
+                    inner.entries.push((key, parts.clone()));
+                    if inner.capacity > 0 {
+                        while inner.entries.len() > inner.capacity {
+                            inner.entries.remove(0);
+                            inner.evictions += 1;
+                        }
                     }
+                } else {
+                    // Denied residency: the caller still gets the build,
+                    // the hot set keeps its cache slots.
+                    inner.rejected += 1;
                 }
             }
         }
@@ -287,6 +417,7 @@ impl ProfileCache {
             misses: inner.misses,
             builds: inner.builds,
             evictions: inner.evictions,
+            rejected: inner.rejected,
             resident: inner.entries.len(),
         }
     }
@@ -412,6 +543,72 @@ mod tests {
         assert_eq!(s.builds, 1, "one build despite concurrent lookups");
         assert_eq!(s.hits, 1);
         assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn frequency_admission_protects_hot_entries_from_one_hit_wonders() {
+        let program = kernel();
+        let cache = ProfileCache::with_policy(1, AdmissionPolicy::Frequency);
+        let build = || Ok(parts_for(&program));
+        // A becomes hot: three lookups, frequency 3.
+        for _ in 0..3 {
+            cache.get_or_build((0, 0), build).unwrap();
+        }
+        // A cold scan over B: under LRU each build would evict A; under
+        // frequency admission B bounces until it out-ranks A.
+        let (_, hit) = cache.get_or_build((0, 1), build).unwrap();
+        assert!(!hit, "B is built (the caller still gets its parts)");
+        assert!(cache.contains((0, 0)), "hot entry survives the first scan");
+        assert!(!cache.contains((0, 1)));
+        cache.get_or_build((0, 1), build).unwrap();
+        assert!(cache.contains((0, 0)), "freq(B)=2 < freq(A)=3 still bounces");
+        // Third B lookup ties A's frequency — ties favor the newcomer.
+        cache.get_or_build((0, 1), build).unwrap();
+        assert!(cache.contains((0, 1)), "B earned its slot");
+        assert!(!cache.contains((0, 0)));
+        let s = cache.stats();
+        assert_eq!(s.rejected, 2);
+        assert_eq!(s.builds, 4, "one for A, three for B's climb");
+        assert_eq!(s.evictions, 1);
+    }
+
+    #[test]
+    fn lru_policy_never_rejects() {
+        let program = kernel();
+        let cache = ProfileCache::with_capacity(1);
+        assert_eq!(cache.policy(), AdmissionPolicy::Lru);
+        let build = || Ok(parts_for(&program));
+        for key in [(0, 0), (0, 1), (0, 2)] {
+            cache.get_or_build(key, build).unwrap();
+        }
+        assert_eq!(cache.stats().rejected, 0);
+        assert!(cache.contains((0, 2)), "LRU admits every build");
+    }
+
+    #[test]
+    fn admission_policy_parses_flag_values() {
+        assert_eq!(AdmissionPolicy::parse("lru"), Some(AdmissionPolicy::Lru));
+        assert_eq!(AdmissionPolicy::parse("freq"), Some(AdmissionPolicy::Frequency));
+        assert_eq!(
+            AdmissionPolicy::parse("frequency"),
+            Some(AdmissionPolicy::Frequency)
+        );
+        assert_eq!(AdmissionPolicy::parse("arc"), None);
+        assert_eq!(AdmissionPolicy::Frequency.name(), "freq");
+        assert_eq!(AdmissionPolicy::default(), AdmissionPolicy::Lru);
+    }
+
+    #[test]
+    fn frequency_admission_fills_an_unsaturated_cache() {
+        let program = kernel();
+        let cache = ProfileCache::with_policy(3, AdmissionPolicy::Frequency);
+        let build = || Ok(parts_for(&program));
+        for key in [(0, 0), (0, 1), (0, 2)] {
+            cache.get_or_build(key, build).unwrap();
+        }
+        // Below capacity nothing is ever rejected.
+        assert_eq!(cache.stats().rejected, 0);
+        assert_eq!(cache.len(), 3);
     }
 
     #[test]

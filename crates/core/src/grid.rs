@@ -231,12 +231,24 @@ pub(crate) fn default_threads() -> usize {
 
 /// Runs `f(0..total)` across `workers` scoped threads pulling indices
 /// from a shared atomic queue — the work-distribution primitive behind
-/// both the grid engine and the serving layer ([`crate::serve`]).
+/// both the grid engine and the serving layer ([`crate::serve`]), and
+/// the hook for new parallel consumers that don't fit the grid shape.
 ///
 /// Serial when one worker (or one task) suffices — no thread is ever
 /// spawned in that case, keeping single-threaded runs a true serial
-/// baseline.
-pub(crate) fn for_each_index<F: Fn(usize) + Sync>(workers: usize, total: usize, f: F) {
+/// baseline. Every index in `0..total` is visited exactly once; nothing
+/// is guaranteed about ordering, so keep outputs index-addressed.
+///
+/// ```
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// let sum = AtomicUsize::new(0);
+/// countertrust::grid::for_each_index(4, 10, |i| {
+///     sum.fetch_add(i, Ordering::Relaxed);
+/// });
+/// assert_eq!(sum.into_inner(), 45);
+/// ```
+pub fn for_each_index<F: Fn(usize) + Sync>(workers: usize, total: usize, f: F) {
     let workers = workers.min(total);
     if workers <= 1 {
         for i in 0..total {

@@ -20,12 +20,14 @@
 //! * [`evaluate`] — the repeated-measurement harness behind Tables 1 and 2;
 //! * [`grid`] — the parallel machine × workload × method evaluation
 //!   engine, sharing one reference profile per (machine, workload) pair;
-//! * [`cache`] — the LRU-bounded reference-profile cache ([`cache::PairParts`]
-//!   + [`cache::ProfileCache`]) both the grid and serving layers build
-//!   sessions from;
-//! * [`serve`] — the batched evaluation service: ad-hoc [`serve::EvalRequest`]
+//! * [`cache`] — the bounded reference-profile cache ([`cache::PairParts`]
+//!   + [`cache::ProfileCache`], with pluggable [`cache::AdmissionPolicy`])
+//!   both the grid and serving layers build sessions from;
+//! * [`serve`] — the evaluation service: ad-hoc [`serve::EvalRequest`]
 //!   streams sharded by pair across a worker pool and satisfied through
-//!   the cache, with byte-identical responses for any thread count;
+//!   the cache, batched ([`serve::EvalService::serve`]) or as a staged
+//!   intake pipeline ([`serve::EvalService::serve_pipelined`]), with
+//!   byte-identical responses for any thread count;
 //! * [`report`] — table formatting and JSON export for the bench binaries.
 //!
 //! # Examples
@@ -77,12 +79,15 @@ pub mod serve;
 pub mod session;
 pub mod tripcount;
 
-pub use cache::{CacheStats, PairKey, PairParts, ProfileCache};
+pub use cache::{AdmissionPolicy, CacheStats, PairKey, PairParts, ProfileCache};
 pub use error::CoreError;
 pub use evaluate::{evaluate_method, evaluate_method_with_seeds, ErrorStats, Evaluation};
-pub use grid::{cell_seed, GridMethod, GridRunner, PairCtx, WorkloadSpec};
+pub use grid::{cell_seed, for_each_index, GridMethod, GridRunner, PairCtx, WorkloadSpec};
 pub use methods::{Attribution, MethodInstance, MethodKind, MethodOptions};
 pub use metrics::{accuracy_error, kendall_tau, top_n_exact_match};
 pub use profile::EstimatedProfile;
-pub use serve::{request_seed, EvalRequest, EvalResponse, EvalService, ServeStats};
+pub use serve::{
+    request_seed, EvalRequest, EvalResponse, EvalService, PipelineOptions, PipelineStats,
+    ServeStats,
+};
 pub use session::{MethodRun, Session};

@@ -22,14 +22,29 @@
 //! 4. answered **in request order**, with per-run seeds derived from the
 //!    request itself ([`request_seed`]), never from scheduling.
 //!
+//! # Pipelined intake
+//!
+//! [`EvalService::serve`] puts a full barrier between batches: reference
+//! builds for batch N+1 idle behind batch N's evaluation. For continuous
+//! streams, [`EvalService::serve_pipelined`] replaces the barrier with a
+//! staged pipeline — intake (incremental JSON-lines parsing), planning
+//! (pair sharding), build (cache warming) and evaluation each run on
+//! their own stage, connected by bounded queues
+//! ([`PipelineOptions::depth`] chunks of [`PipelineOptions::chunk`]
+//! requests) — so later chunks' reference builds overlap earlier chunks'
+//! evaluation while responses still come out in stream order. Malformed
+//! lines become in-order error responses; the pipeline keeps draining.
+//!
 //! # Determinism contract
 //!
 //! Identical request streams yield byte-identical responses for any
-//! worker-thread count and any cache capacity: cache contents are pure
-//! functions of the pair, so eviction and rebuild change *when* work
-//! happens, never *what* a response contains. Timing-dependent numbers
-//! (hit rates, latency) live in [`ServeStats`] and the cache counters,
-//! outside the response stream.
+//! worker-thread count, cache capacity, admission policy, queue depth and
+//! chunk size: cache contents are pure functions of the pair, so
+//! eviction, admission and rebuild change *when* work happens, never
+//! *what* a response contains — and for a well-formed stream the
+//! pipelined output is byte-identical to the batched output. Timing-
+//! dependent numbers (hit rates, latency) live in [`ServeStats`],
+//! [`PipelineStats`] and the cache counters, outside the response stream.
 //!
 //! # Examples
 //!
@@ -86,8 +101,43 @@
 //! );
 //! assert_eq!(serial.stats().cache_hits, 1); // second request shared the build
 //! ```
+//!
+//! Pipelined intake reads the same wire format straight from any
+//! [`std::io::BufRead`] — malformed lines answer in place instead of
+//! stopping the stream:
+//!
+//! ```
+//! use countertrust::grid::WorkloadSpec;
+//! use countertrust::methods::MethodOptions;
+//! use countertrust::serve::{EvalService, PipelineOptions};
+//! use ct_isa::asm::assemble;
+//! use ct_sim::{MachineModel, RunConfig};
+//!
+//! let program = assemble(
+//!     "demo",
+//!     ".func main\n movi r1, 20000\ntop:\n addi r2, r2, 1\n subi r1, r1, 1\n brnz r1, top\n halt\n.endfunc",
+//! )
+//! .unwrap();
+//! let run_config = RunConfig::default();
+//! let workloads = [WorkloadSpec { name: "demo", program: &program, run_config: &run_config }];
+//! let machines = [MachineModel::ivy_bridge()];
+//! let service = EvalService::new(&machines, &workloads)
+//!     .method_options(MethodOptions::fast());
+//!
+//! let wire = "\
+//! {\"machine\":\"Ivy Bridge (Xeon E3-1265L)\",\"workload\":\"demo\",\"method\":\"lbr\",\"runs\":1,\"seed\":7}\n\
+//! this is not json\n\
+//! {\"machine\":\"Ivy Bridge (Xeon E3-1265L)\",\"workload\":\"demo\",\"method\":\"classic\",\"runs\":1,\"seed\":8}\n";
+//! let mut out = Vec::new();
+//! let stats = service
+//!     .serve_pipelined(wire.as_bytes(), &mut out, &PipelineOptions::new().chunk(2))
+//!     .unwrap();
+//! assert_eq!((stats.requests, stats.parse_errors, stats.responses), (2, 1, 3));
+//! let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+//! assert!(lines[1].contains("parse error on line 2"));
+//! ```
 
-use crate::cache::{CacheStats, PairKey, PairParts, ProfileCache};
+use crate::cache::{AdmissionPolicy, CacheStats, PairKey, PairParts, ProfileCache};
 use crate::evaluate::{evaluate_method_with_seeds, ErrorStats};
 use crate::grid::{default_threads, for_each_index, mix64, WorkloadSpec};
 use crate::methods::{MethodInstance, MethodKind, MethodOptions};
@@ -95,7 +145,9 @@ use ct_isa::Cfg;
 use ct_sim::MachineModel;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::io::{BufRead, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::sync_channel;
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// One evaluation request: machine, workload and method by name, plus the
@@ -164,6 +216,23 @@ impl EvalResponse {
         }
     }
 
+    /// The response to an unparseable request line: an error response
+    /// echoing an empty request (there is no request to echo), emitted at
+    /// the line's original stream position.
+    fn parse_err(error: String) -> Self {
+        Self {
+            request: EvalRequest {
+                machine: String::new(),
+                workload: String::new(),
+                method: String::new(),
+                runs: 0,
+                seed: 0,
+            },
+            stats: None,
+            error: Some(error),
+        }
+    }
+
     /// Whether the request succeeded.
     #[must_use]
     pub fn is_ok(&self) -> bool {
@@ -191,15 +260,19 @@ pub fn request_seed(base_seed: u64, run: usize) -> u64 {
 /// request of the same batch shard.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServeStats {
-    /// Requests received.
+    /// Requests received. Malformed pipeline lines never parse into a
+    /// request and are **not** counted here (see
+    /// [`PipelineStats::parse_errors`]).
     pub requests: u64,
     /// Requests that reused existing pair state.
     pub cache_hits: u64,
     /// Requests whose pair state had to be built (one instrumented
     /// reference execution each).
     pub builds: u64,
-    /// Requests answered with an error (resolution, build or evaluation
-    /// failure).
+    /// Lines answered with an error response: request failures
+    /// (resolution, build or evaluation) plus, under pipelined intake,
+    /// parse errors — so this can exceed `requests` minus successes on
+    /// a malformed stream.
     pub errors: u64,
 }
 
@@ -222,6 +295,109 @@ struct Resolved {
     workload: usize,
     label: String,
     instance: MethodInstance,
+}
+
+/// One batch moving through the serve stages: planned requests, their
+/// pair shards, per-request response slots, and (after the build stage)
+/// the attached pair state each shard rides on.
+///
+/// Both [`EvalService::serve`] and the staged pipeline
+/// ([`EvalService::serve_pipelined`]) push batches through the same
+/// three steps — plan, attach, evaluate — so batched and pipelined
+/// responses are computed by identical code and stay byte-identical.
+struct Batch {
+    requests: Vec<EvalRequest>,
+    resolved: Vec<Result<Resolved, String>>,
+    /// Shards by `(machine, workload)` pair, in first-appearance order;
+    /// each holds the indices of its member requests.
+    shards: Vec<(PairKey, Vec<usize>)>,
+    /// One response slot per request, filled by the attach stage (build
+    /// failures) or the evaluate stage.
+    slots: Vec<Mutex<Option<EvalResponse>>>,
+    /// One attachment per shard (`None` until attached, or on build
+    /// failure — those members' slots already hold error responses).
+    attachments: Vec<Option<Arc<PairParts>>>,
+}
+
+/// Shape of the staged request pipeline behind
+/// [`EvalService::serve_pipelined`].
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineOptions {
+    /// Chunks each inter-stage queue may buffer before the upstream
+    /// stage blocks (values below 1 are served as 1). Depth 1 still
+    /// overlaps the stages — it only tightens how far intake may run
+    /// ahead of evaluation.
+    pub depth: usize,
+    /// Requests per pipeline chunk (values below 1 are served as 1): the
+    /// granularity at which reference builds for later requests overlap
+    /// the evaluation of earlier ones.
+    pub chunk: usize,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        Self { depth: 2, chunk: 64 }
+    }
+}
+
+impl PipelineOptions {
+    /// Default shape: depth 2, 64-request chunks.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the queue depth (clamped to at least 1 at use).
+    #[must_use]
+    pub fn depth(mut self, depth: usize) -> Self {
+        self.depth = depth;
+        self
+    }
+
+    /// Sets the chunk size (clamped to at least 1 at use).
+    #[must_use]
+    pub fn chunk(mut self, chunk: usize) -> Self {
+        self.chunk = chunk;
+        self
+    }
+}
+
+/// Counters of one [`EvalService::serve_pipelined`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Non-empty input lines consumed.
+    pub lines: u64,
+    /// Lines that parsed into an [`EvalRequest`].
+    pub requests: u64,
+    /// Lines answered with a parse-error response.
+    pub parse_errors: u64,
+    /// Chunks pushed through the pipeline.
+    pub chunks: u64,
+    /// Responses written (one per non-empty line).
+    pub responses: u64,
+}
+
+/// One non-empty intake line: a parsed request, or the parse failure
+/// that will be answered in place.
+enum LineItem {
+    /// The next entry of the chunk's `requests` vector.
+    Request,
+    /// A malformed line, answered by a parse-error response (naming the
+    /// line number) at its original stream position.
+    Bad { error: String },
+}
+
+/// A chunk mid-pipeline: the per-line layout (so responses interleave
+/// parse errors back in stream order) plus the batch being staged.
+struct Chunk {
+    layout: Vec<LineItem>,
+    batch: Batch,
+}
+
+/// Intake output: the parsed requests of one chunk plus its line layout.
+struct ParsedChunk {
+    layout: Vec<LineItem>,
+    requests: Vec<EvalRequest>,
 }
 
 /// The batched evaluation service. Construct with [`EvalService::new`],
@@ -269,12 +445,21 @@ impl<'a> EvalService<'a> {
         self
     }
 
-    /// Bounds the profile cache to `capacity` pairs (LRU eviction); `0`
-    /// means unbounded. Responses do not depend on this — only build
-    /// counts do.
+    /// Bounds the profile cache to `capacity` pairs (`0` means
+    /// unbounded), keeping the configured admission policy. Responses do
+    /// not depend on this — only build counts do.
     #[must_use]
     pub fn cache_capacity(mut self, capacity: usize) -> Self {
-        self.cache = ProfileCache::with_capacity(capacity);
+        self.cache = ProfileCache::with_policy(capacity, self.cache.policy());
+        self
+    }
+
+    /// Sets the cache admission policy (see [`AdmissionPolicy`]), keeping
+    /// the configured capacity. Responses do not depend on this — only
+    /// build counts do.
+    #[must_use]
+    pub fn admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.cache = ProfileCache::with_policy(self.cache.capacity(), policy);
         self
     }
 
@@ -300,10 +485,17 @@ impl<'a> EvalService<'a> {
     /// performs at most one reference build per distinct pair no matter
     /// how small the cache is.
     pub fn serve(&self, requests: &[EvalRequest]) -> Vec<EvalResponse> {
+        let mut batch = self.plan_batch(requests.to_vec());
+        self.attach_batch(&mut batch);
+        self.evaluate_batch(batch)
+    }
+
+    /// Plan stage: resolves every request against the catalog and shards
+    /// the resolvable ones by `(machine, workload)` pair, in
+    /// first-appearance order.
+    fn plan_batch(&self, requests: Vec<EvalRequest>) -> Batch {
         let resolved: Vec<Result<Resolved, String>> =
             requests.iter().map(|r| self.resolve(r)).collect();
-
-        // Shard resolvable requests by pair, in first-appearance order.
         let mut shard_of: HashMap<PairKey, usize> = HashMap::new();
         let mut shards: Vec<(PairKey, Vec<usize>)> = Vec::new();
         for (i, r) in resolved.iter().enumerate() {
@@ -316,53 +508,71 @@ impl<'a> EvalService<'a> {
                 shards[s].1.push(i);
             }
         }
+        let slots = requests.iter().map(|_| Mutex::new(None)).collect();
+        let attachments = shards.iter().map(|_| None).collect();
+        Batch {
+            requests,
+            resolved,
+            shards,
+            slots,
+            attachments,
+        }
+    }
 
-        let slots: Vec<Mutex<Option<EvalResponse>>> =
-            requests.iter().map(|_| Mutex::new(None)).collect();
-
-        // Phase 1 — attach: one task per shard acquires (or builds) the
-        // pair state through the cache, so a batch performs at most one
-        // reference build per distinct pair whatever the capacity.
+    /// Build stage: one task per shard acquires (or builds) the pair
+    /// state through the cache, so a batch performs at most one
+    /// reference build per distinct pair whatever the capacity. In the
+    /// pipeline this stage runs for chunk N+1 while chunk N evaluates.
+    fn attach_batch(&self, batch: &mut Batch) {
         let attachments: Vec<Mutex<Option<Arc<PairParts>>>> =
-            shards.iter().map(|_| Mutex::new(None)).collect();
-        for_each_index(self.threads, shards.len(), |s| {
-            let (key, members) = &shards[s];
-            if let Some(parts) = self.attach_shard(*key, members, requests, &slots) {
+            batch.shards.iter().map(|_| Mutex::new(None)).collect();
+        for_each_index(self.threads, batch.shards.len(), |s| {
+            let (key, members) = &batch.shards[s];
+            if let Some(parts) =
+                self.attach_shard(*key, members, &batch.requests, &batch.slots)
+            {
                 *attachments[s].lock().expect("no poisoned slots") = Some(parts);
             }
         });
+        batch.attachments = attachments
+            .into_iter()
+            .map(|a| a.into_inner().expect("no poisoned slots"))
+            .collect();
+    }
 
-        // Phase 2 — evaluate: one task per *request*, so skewed traffic
-        // (many requests on one hot pair) still spreads across every
-        // worker instead of serializing inside its shard.
+    /// Evaluate stage: one task per *request*, so skewed traffic (many
+    /// requests on one hot pair) still spreads across every worker
+    /// instead of serializing inside its shard. Responses come back in
+    /// request order; requests that never reached a shard failed
+    /// resolution and are answered here.
+    fn evaluate_batch(&self, batch: Batch) -> Vec<EvalResponse> {
+        let Batch {
+            requests,
+            resolved,
+            shards,
+            slots,
+            attachments,
+        } = batch;
         let tasks: Vec<(usize, usize)> = shards
             .iter()
             .enumerate()
-            .filter(|(s, _)| {
-                attachments[*s].lock().expect("no poisoned slots").is_some()
-            })
+            .filter(|(s, _)| attachments[*s].is_some())
             .flat_map(|(s, (_, members))| members.iter().map(move |&i| (s, i)))
             .collect();
         for_each_index(self.threads, tasks.len(), |t| {
             let (s, i) = tasks[t];
-            let parts = attachments[s]
-                .lock()
-                .expect("no poisoned slots")
-                .clone()
-                .expect("attached shards only");
+            let parts = attachments[s].as_ref().expect("attached shards only");
             let key = shards[s].0;
             let res = resolved[i].as_ref().expect("sharded requests resolved");
-            let response = self.evaluate_request(&requests[i], res, key, &parts);
+            let response = self.evaluate_request(&requests[i], res, key, parts);
             *slots[i].lock().expect("no poisoned slots") = Some(response);
         });
 
         self.requests
             .fetch_add(requests.len() as u64, Ordering::Relaxed);
 
-        // Reassemble in request order; requests that never reached a
-        // shard failed resolution.
         requests
-            .iter()
+            .into_iter()
             .zip(resolved)
             .zip(slots)
             .map(|((request, resolution), slot)| {
@@ -372,7 +582,7 @@ impl<'a> EvalService<'a> {
                         let error =
                             resolution.err().expect("unfilled slots are unresolved");
                         self.errors.fetch_add(1, Ordering::Relaxed);
-                        EvalResponse::err(request.clone(), error)
+                        EvalResponse::err(request, error)
                     }
                 }
             })
@@ -398,6 +608,175 @@ impl<'a> EvalService<'a> {
             out.push('\n');
         }
         out
+    }
+
+    /// Serves a JSON-lines request stream through the staged pipeline:
+    ///
+    /// ```text
+    /// reader ──intake──▶ plan ──▶ build ──▶ evaluate+emit ──▶ writer
+    ///          (parse)  (shard)  (warm cache)  (in order)
+    /// ```
+    ///
+    /// Each stage runs on its own scoped thread (evaluation on the
+    /// calling thread), connected by bounded queues holding at most
+    /// [`PipelineOptions::depth`] chunks of [`PipelineOptions::chunk`]
+    /// requests — so while chunk N evaluates, chunk N+1's reference
+    /// profiles are already building through the cache and chunk N+2 is
+    /// being parsed, instead of idling behind a batch barrier.
+    ///
+    /// Responses are written **in stream order**, one JSON line per
+    /// non-empty input line (blank lines are skipped). A malformed line
+    /// becomes an in-order error response naming its line number — the
+    /// pipeline keeps draining. For a well-formed stream the output is
+    /// byte-identical to [`EvalService::serve_jsonl`] over the same
+    /// requests, for any thread count, queue depth or chunk size.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error raised by `reader` or `writer`;
+    /// evaluation failures are never I/O errors (they are responses).
+    pub fn serve_pipelined<R, W>(
+        &self,
+        reader: R,
+        writer: &mut W,
+        options: &PipelineOptions,
+    ) -> std::io::Result<PipelineStats>
+    where
+        R: BufRead + Send,
+        W: Write,
+    {
+        let depth = options.depth.max(1);
+        let chunk_size = options.chunk.max(1);
+        let mut stats = PipelineStats::default();
+        let mut io_result: std::io::Result<()> = Ok(());
+        // A reader error surfaces here: the plan stage parks it and
+        // closes its pipe, draining the pipeline behind it.
+        let read_error: Mutex<Option<std::io::Error>> = Mutex::new(None);
+        let read_error_slot = &read_error;
+
+        std::thread::scope(|scope| {
+            let (parsed_tx, parsed_rx) =
+                sync_channel::<std::io::Result<ParsedChunk>>(depth);
+            let (planned_tx, planned_rx) = sync_channel::<Chunk>(depth);
+            let (built_tx, built_rx) = sync_channel::<Chunk>(depth);
+
+            // Stage 1 — intake: read and parse lines incrementally,
+            // cutting a chunk every `chunk_size` non-empty lines. An
+            // abandoned send means a downstream stage (or the caller)
+            // aborted; the stage just stops reading.
+            scope.spawn(move || {
+                let mut reader = reader;
+                let mut line = String::new();
+                let mut line_no: u64 = 0;
+                let mut layout = Vec::new();
+                let mut requests = Vec::new();
+                loop {
+                    line.clear();
+                    match reader.read_line(&mut line) {
+                        Ok(0) => break,
+                        Ok(_) => {}
+                        Err(e) => {
+                            let _ = parsed_tx.send(Err(e));
+                            return;
+                        }
+                    }
+                    line_no += 1;
+                    let trimmed = line.trim();
+                    if trimmed.is_empty() {
+                        continue;
+                    }
+                    match serde_json::from_str::<EvalRequest>(trimmed) {
+                        Ok(request) => {
+                            layout.push(LineItem::Request);
+                            requests.push(request);
+                        }
+                        Err(e) => layout.push(LineItem::Bad {
+                            error: format!("parse error on line {line_no}: {e}"),
+                        }),
+                    }
+                    if layout.len() == chunk_size {
+                        let parsed = ParsedChunk {
+                            layout: std::mem::take(&mut layout),
+                            requests: std::mem::take(&mut requests),
+                        };
+                        if parsed_tx.send(Ok(parsed)).is_err() {
+                            return;
+                        }
+                    }
+                }
+                if !layout.is_empty() {
+                    let _ = parsed_tx.send(Ok(ParsedChunk { layout, requests }));
+                }
+            });
+
+            // Stage 2 — plan: resolve names and shard by pair. An intake
+            // I/O error is forwarded by closing the pipe behind it.
+            scope.spawn(move || {
+                for parsed in parsed_rx {
+                    match parsed {
+                        Ok(p) => {
+                            let chunk = Chunk {
+                                layout: p.layout,
+                                batch: self.plan_batch(p.requests),
+                            };
+                            if planned_tx.send(chunk).is_err() {
+                                return;
+                            }
+                        }
+                        Err(e) => {
+                            *read_error_slot.lock().expect("no poisoned slots") =
+                                Some(e);
+                            return;
+                        }
+                    }
+                }
+            });
+
+            // Stage 3 — build: warm the profile cache for every distinct
+            // pair of the chunk. This is the stage that overlaps chunk
+            // N+1's reference builds with chunk N's evaluation.
+            scope.spawn(move || {
+                for mut chunk in planned_rx {
+                    self.attach_batch(&mut chunk.batch);
+                    if built_tx.send(chunk).is_err() {
+                        return;
+                    }
+                }
+            });
+
+            // Stage 4 — evaluate and emit, on the calling thread, in
+            // stream order.
+            'emit: for chunk in built_rx {
+                stats.chunks += 1;
+                let mut responses = self.evaluate_batch(chunk.batch).into_iter();
+                for item in chunk.layout {
+                    stats.lines += 1;
+                    let response = match item {
+                        LineItem::Request => {
+                            stats.requests += 1;
+                            responses.next().expect("one response per request")
+                        }
+                        LineItem::Bad { error } => {
+                            stats.parse_errors += 1;
+                            self.errors.fetch_add(1, Ordering::Relaxed);
+                            EvalResponse::parse_err(error)
+                        }
+                    };
+                    let json = serde_json::to_string(&response)
+                        .expect("responses always serialize");
+                    if let Err(e) = writeln!(writer, "{json}") {
+                        io_result = Err(e);
+                        break 'emit;
+                    }
+                    stats.responses += 1;
+                }
+            }
+        });
+
+        if let Some(e) = read_error.into_inner().expect("no poisoned slots") {
+            return Err(e);
+        }
+        io_result.map(|()| stats)
     }
 
     /// A snapshot of the cumulative per-request counters.
@@ -640,6 +1019,141 @@ mod tests {
         let response =
             service.serve_one(&EvalRequest::new("Ivy Bridge (Xeon E3-1265L)", "k", "classic", 0, 9));
         assert_eq!(response.stats.unwrap().runs.len(), 1);
+    }
+
+    #[test]
+    fn pipelined_output_matches_batched_output() {
+        let program = kernel(10_000);
+        let run_config = RunConfig::default();
+        let workloads = [WorkloadSpec {
+            name: "k",
+            program: &program,
+            run_config: &run_config,
+        }];
+        let machines = [MachineModel::ivy_bridge(), MachineModel::westmere()];
+        let requests = vec![
+            EvalRequest::new("Westmere (Xeon X5650)", "k", "classic", 1, 1),
+            EvalRequest::new("Ivy Bridge (Xeon E3-1265L)", "k", "lbr", 1, 2),
+            EvalRequest::new("Ivy Bridge (Xeon E3-1265L)", "k", "precise", 1, 3),
+            EvalRequest::new("Westmere (Xeon X5650)", "k", "precise", 2, 4),
+            EvalRequest::new("Westmere (Xeon X5650)", "k", "no such method", 1, 5),
+        ];
+        let wire: String = requests
+            .iter()
+            .map(|r| serde_json::to_string(r).unwrap() + "\n")
+            .collect();
+
+        let batched = EvalService::new(&machines, &workloads)
+            .method_options(MethodOptions::fast())
+            .threads(4);
+        let mut expected = String::new();
+        for chunk in requests.chunks(2) {
+            expected.push_str(&batched.serve_jsonl(chunk));
+        }
+
+        for (depth, chunk) in [(1, 2), (3, 2), (2, 1), (1, 64)] {
+            let service = EvalService::new(&machines, &workloads)
+                .method_options(MethodOptions::fast())
+                .threads(4);
+            let mut out = Vec::new();
+            let stats = service
+                .serve_pipelined(
+                    wire.as_bytes(),
+                    &mut out,
+                    &PipelineOptions::new().depth(depth).chunk(chunk),
+                )
+                .unwrap();
+            assert_eq!(stats.requests, 5);
+            assert_eq!(stats.parse_errors, 0);
+            assert_eq!(stats.responses, 5);
+            assert_eq!(
+                String::from_utf8(out).unwrap(),
+                expected,
+                "depth {depth} chunk {chunk} must match batched output"
+            );
+        }
+    }
+
+    #[test]
+    fn pipelined_empty_stream_is_empty_output() {
+        let program = kernel(5_000);
+        let run_config = RunConfig::default();
+        let workloads = [WorkloadSpec {
+            name: "k",
+            program: &program,
+            run_config: &run_config,
+        }];
+        let machines = [MachineModel::ivy_bridge()];
+        let service = EvalService::new(&machines, &workloads)
+            .method_options(MethodOptions::fast());
+        let mut out = Vec::new();
+        let stats = service
+            .serve_pipelined("".as_bytes(), &mut out, &PipelineOptions::default())
+            .unwrap();
+        assert_eq!(stats, PipelineStats::default());
+        assert!(out.is_empty());
+        // Blank lines are skipped, not answered.
+        let stats = service
+            .serve_pipelined("\n  \n\n".as_bytes(), &mut out, &PipelineOptions::default())
+            .unwrap();
+        assert_eq!(stats.responses, 0);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn pipelined_depth_and_chunk_zero_are_clamped() {
+        let program = kernel(5_000);
+        let run_config = RunConfig::default();
+        let workloads = [WorkloadSpec {
+            name: "k",
+            program: &program,
+            run_config: &run_config,
+        }];
+        let machines = [MachineModel::ivy_bridge()];
+        let service = EvalService::new(&machines, &workloads)
+            .method_options(MethodOptions::fast());
+        let request = EvalRequest::new("Ivy Bridge (Xeon E3-1265L)", "k", "classic", 1, 3);
+        let wire = serde_json::to_string(&request).unwrap() + "\n";
+        let mut out = Vec::new();
+        let stats = service
+            .serve_pipelined(
+                wire.as_bytes(),
+                &mut out,
+                &PipelineOptions::new().depth(0).chunk(0),
+            )
+            .unwrap();
+        assert_eq!(stats.requests, 1);
+        assert_eq!(stats.chunks, 1);
+        assert_eq!(out.iter().filter(|&&b| b == b'\n').count(), 1);
+    }
+
+    #[test]
+    fn pipelined_write_errors_surface() {
+        struct FailingWriter;
+        impl std::io::Write for FailingWriter {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::new(std::io::ErrorKind::Other, "sink full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let program = kernel(5_000);
+        let run_config = RunConfig::default();
+        let workloads = [WorkloadSpec {
+            name: "k",
+            program: &program,
+            run_config: &run_config,
+        }];
+        let machines = [MachineModel::ivy_bridge()];
+        let service = EvalService::new(&machines, &workloads)
+            .method_options(MethodOptions::fast());
+        let request = EvalRequest::new("Ivy Bridge (Xeon E3-1265L)", "k", "classic", 1, 3);
+        let wire = serde_json::to_string(&request).unwrap() + "\n";
+        let err = service
+            .serve_pipelined(wire.as_bytes(), &mut FailingWriter, &PipelineOptions::default())
+            .unwrap_err();
+        assert_eq!(err.to_string(), "sink full");
     }
 
     #[test]

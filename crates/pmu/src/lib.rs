@@ -23,6 +23,29 @@
 //!   with basic-block use (§6.2);
 //! * **period control**: round or prime nominal periods, software
 //!   randomization, and AMD's built-in 4-LSB hardware randomization.
+//!
+//! # Examples
+//!
+//! Period policy is the whole difference between Table 3's method
+//! families. A fixed (round or prime) period reloads exactly; a
+//! software-randomized one varies per reload but is reproducible for a
+//! given seed — which is what makes every sampling run in this workspace
+//! replayable:
+//!
+//! ```
+//! use ct_pmu::{PeriodGenerator, PeriodSpec};
+//!
+//! let mut prime = PeriodGenerator::new(PeriodSpec::fixed(2_000_003), 1);
+//! assert_eq!(prime.next_period(), 2_000_003);
+//! assert_eq!(prime.next_period(), 2_000_003);
+//!
+//! let spec = PeriodSpec::randomized(2_000_000, 12);
+//! let mut a = PeriodGenerator::new(spec, 7);
+//! let mut b = PeriodGenerator::new(spec, 7);
+//! let periods: Vec<u64> = (0..4).map(|_| a.next_period()).collect();
+//! assert!(periods.iter().any(|&p| p != 2_000_000), "randomization reaches the reload");
+//! assert_eq!(periods, (0..4).map(|_| b.next_period()).collect::<Vec<u64>>());
+//! ```
 
 #![deny(rustdoc::broken_intra_doc_links)]
 

@@ -22,6 +22,37 @@
 //! (`ct-instrument`) and the profiling session (`countertrust`) all observe
 //! this one stream, exactly as PMU, Pin and perf all observe one execution
 //! on real hardware.
+//!
+//! # Examples
+//!
+//! Run a small loop on a paper machine and observe its retirement
+//! stream — every retired instruction reaches every observer, once, in
+//! program order:
+//!
+//! ```
+//! use ct_isa::asm::assemble;
+//! use ct_sim::{Cpu, MachineModel, RetireEvent, RetireObserver, RunConfig, StopReason};
+//!
+//! struct Count(u64);
+//! impl RetireObserver for Count {
+//!     fn on_retire(&mut self, _ev: &RetireEvent) {
+//!         self.0 += 1;
+//!     }
+//! }
+//!
+//! let program = assemble(
+//!     "demo",
+//!     ".func main\n movi r1, 10\ntop:\n addi r2, r2, 1\n subi r1, r1, 1\n brnz r1, top\n halt\n.endfunc",
+//! )
+//! .unwrap();
+//! let mut count = Count(0);
+//! let summary = Cpu::new(&MachineModel::ivy_bridge())
+//!     .run(&program, &RunConfig::default(), &mut [&mut count])
+//!     .unwrap();
+//! assert_eq!(summary.stop, StopReason::Halted);
+//! assert_eq!(count.0, summary.instructions);
+//! assert!(summary.cycles > 0 && summary.ipc() > 0.0);
+//! ```
 
 #![deny(rustdoc::broken_intra_doc_links)]
 

@@ -18,6 +18,26 @@
 //!
 //! All generators are deterministic: the same parameters produce the same
 //! program and the same dynamic instruction stream.
+//!
+//! # Examples
+//!
+//! The registry hands out ready-to-run workloads at any scale (`1.0` ≈
+//! 1.5×10⁷ dynamic instructions each); the same scale always yields the
+//! same programs:
+//!
+//! ```
+//! let kernels = ct_workloads::kernel_set(0.01);
+//! let names: Vec<&str> = kernels.iter().map(|w| w.name.as_str()).collect();
+//! assert_eq!(names, ["latency_biased", "callchain", "g4box", "test40"]);
+//!
+//! let again = ct_workloads::kernel_set(0.01);
+//! assert_eq!(
+//!     kernels[0].program.insns.len(),
+//!     again[0].program.insns.len(),
+//!     "generators are deterministic"
+//! );
+//! assert_eq!(ct_workloads::all(0.01).len(), kernels.len() + 5);
+//! ```
 
 #![deny(rustdoc::broken_intra_doc_links)]
 

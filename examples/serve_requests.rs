@@ -1,13 +1,14 @@
-//! Serving mode in miniature: parse JSON-lines evaluation requests,
-//! serve them as one batch through the profile cache, and print JSON-lines
-//! responses plus the cache accounting.
+//! Serving mode in miniature: stream JSON-lines evaluation requests
+//! through the staged intake pipeline (intake → plan → build → evaluate)
+//! and print JSON-lines responses plus the cache accounting.
 //!
 //! ```text
 //! cargo run --release -p countertrust --example serve_requests
 //! ```
 
+use countertrust::cache::AdmissionPolicy;
 use countertrust::methods::MethodOptions;
-use countertrust::serve::{EvalRequest, EvalService};
+use countertrust::serve::{EvalService, PipelineOptions};
 use ct_bench_shim::workload_specs;
 use ct_sim::MachineModel;
 
@@ -35,30 +36,42 @@ fn main() {
     let specs = workload_specs(&workloads);
 
     // What a client would send over the wire: one JSON request per line.
-    // The third line is deliberately bad — errors come back as responses,
-    // they never take the service down.
+    // The third line is not even JSON and the fourth names a method AMD
+    // cannot run — both come back as in-order error responses, and the
+    // pipeline keeps draining; errors never take the service down.
     let wire = r#"
 {"machine":"Ivy Bridge (Xeon E3-1265L)","workload":"callchain","method":"lbr","runs":3,"seed":7}
 {"machine":"Ivy Bridge (Xeon E3-1265L)","workload":"callchain","method":"classic","runs":3,"seed":7}
+this line is not a request at all
 {"machine":"Magny-Cours (Opteron 6164 HE)","workload":"callchain","method":"lbr","runs":1,"seed":7}
 {"machine":"Westmere (Xeon X5650)","workload":"g4box","method":"precise+prime+rand","runs":2,"seed":9}
 "#;
-    let requests: Vec<EvalRequest> = wire
-        .lines()
-        .filter(|l| !l.trim().is_empty())
-        .map(|l| serde_json::from_str(l).expect("well-formed request line"))
-        .collect();
 
     let service = EvalService::new(&machines, &specs)
         .method_options(MethodOptions::fast())
-        .cache_capacity(8);
+        .cache_capacity(8)
+        .admission(AdmissionPolicy::Frequency);
 
+    // Requests flow straight from the reader: while one chunk evaluates,
+    // the next chunk's reference profiles are already building.
     println!("# responses");
-    print!("{}", service.serve_jsonl(&requests));
+    let mut stdout = std::io::stdout().lock();
+    let pipeline = service
+        .serve_pipelined(
+            wire.as_bytes(),
+            &mut stdout,
+            &PipelineOptions::new().depth(2).chunk(2),
+        )
+        .expect("stdout accepts responses");
+    drop(stdout);
 
     let stats = service.stats();
     let cache = service.cache_stats();
     println!("# accounting");
+    println!(
+        "lines {} | requests {} | parse errors {} | chunks {}",
+        pipeline.lines, pipeline.requests, pipeline.parse_errors, pipeline.chunks
+    );
     println!(
         "requests {} | cache hits {} | builds {} | errors {} | hit rate {:.0}%",
         stats.requests,
@@ -68,7 +81,10 @@ fn main() {
         stats.hit_rate() * 100.0
     );
     println!(
-        "cache: {} resident / capacity 8, {} evictions",
-        cache.resident, cache.evictions
+        "cache: {} resident / capacity 8 ({} admission), {} evictions, {} rejected",
+        cache.resident,
+        AdmissionPolicy::Frequency.name(),
+        cache.evictions,
+        cache.rejected
     );
 }

@@ -1,0 +1,190 @@
+//! Pipeline-intake guarantees: the staged pipeline
+//! ([`countertrust::serve::EvalService::serve_pipelined`]) degenerates
+//! gracefully (empty stream, single request), keeps draining past
+//! malformed lines (answering them in order), and — the acceptance
+//! contract — produces byte-identical output to the batched service for
+//! the same stream at any thread count, queue depth and chunk size.
+
+use countertrust::grid::WorkloadSpec;
+use countertrust::methods::MethodOptions;
+use countertrust::serve::{EvalRequest, EvalResponse, EvalService, PipelineOptions};
+use ct_isa::asm::assemble;
+use ct_isa::Program;
+use ct_sim::{MachineModel, RunConfig};
+
+fn kernel(n: u64) -> Program {
+    assemble(
+        "k",
+        &format!(
+            r#"
+            .func main
+                movi r1, {n}
+            top:
+                addi r2, r2, 1
+                subi r1, r1, 1
+                brnz r1, top
+                halt
+            .endfunc
+        "#
+        ),
+    )
+    .unwrap()
+}
+
+fn service<'a>(
+    machines: &'a [MachineModel],
+    workloads: &'a [WorkloadSpec<'a>],
+    threads: usize,
+) -> EvalService<'a> {
+    EvalService::new(machines, workloads)
+        .method_options(MethodOptions::fast())
+        .threads(threads)
+}
+
+/// The stream's JSON-lines wire form (mirrors
+/// `ct_bench::streams::to_wire`; this test binary is wired into
+/// countertrust, which cannot depend on ct-bench).
+fn wire(requests: &[EvalRequest]) -> String {
+    requests
+        .iter()
+        .map(|r| serde_json::to_string(r).unwrap() + "\n")
+        .collect()
+}
+
+fn sample_requests(machines: &[MachineModel]) -> Vec<EvalRequest> {
+    let mut requests = Vec::new();
+    for (i, (method, runs)) in [("classic", 1), ("lbr", 1), ("precise", 2), ("classic", 1)]
+        .iter()
+        .enumerate()
+    {
+        requests.push(EvalRequest::new(
+            &machines[i % machines.len()].name,
+            "k",
+            method,
+            *runs,
+            i as u64 + 1,
+        ));
+    }
+    requests
+}
+
+#[test]
+fn empty_stream_produces_no_output_and_no_work() {
+    let program = kernel(5_000);
+    let run_config = RunConfig::default();
+    let workloads = [WorkloadSpec { name: "k", program: &program, run_config: &run_config }];
+    let machines = [MachineModel::ivy_bridge()];
+    let svc = service(&machines, &workloads, 4);
+    let mut out = Vec::new();
+    let stats = svc
+        .serve_pipelined("".as_bytes(), &mut out, &PipelineOptions::default())
+        .unwrap();
+    assert!(out.is_empty());
+    assert_eq!(stats.responses, 0);
+    assert_eq!(stats.chunks, 0);
+    assert_eq!(svc.stats().requests, 0);
+}
+
+#[test]
+fn single_request_round_trips() {
+    let program = kernel(10_000);
+    let run_config = RunConfig::default();
+    let workloads = [WorkloadSpec { name: "k", program: &program, run_config: &run_config }];
+    let machines = [MachineModel::ivy_bridge()];
+    let request = EvalRequest::new("Ivy Bridge (Xeon E3-1265L)", "k", "lbr", 2, 9);
+
+    let svc = service(&machines, &workloads, 4);
+    let mut out = Vec::new();
+    let stats = svc
+        .serve_pipelined(wire(&[request.clone()]).as_bytes(), &mut out, &PipelineOptions::default())
+        .unwrap();
+    assert_eq!((stats.lines, stats.requests, stats.responses), (1, 1, 1));
+
+    let line = String::from_utf8(out).unwrap();
+    let response: EvalResponse = serde_json::from_str(line.trim()).unwrap();
+    assert_eq!(response.request, request);
+    assert!(response.is_ok(), "{:?}", response.error);
+    // And it matches what the batched path answers.
+    assert_eq!(
+        line,
+        service(&machines, &workloads, 1).serve_jsonl(&[request]),
+        "single pipelined request must match batched"
+    );
+}
+
+#[test]
+fn malformed_lines_answer_in_order_and_the_pipeline_keeps_draining() {
+    let program = kernel(10_000);
+    let run_config = RunConfig::default();
+    let workloads = [WorkloadSpec { name: "k", program: &program, run_config: &run_config }];
+    let machines = [MachineModel::ivy_bridge()];
+    let good = sample_requests(&machines);
+    let input = format!(
+        "{}{{\"oops\": true\n{}not even json\n{}",
+        serde_json::to_string(&good[0]).map(|s| s + "\n").unwrap(),
+        serde_json::to_string(&good[2]).map(|s| s + "\n").unwrap(),
+        serde_json::to_string(&good[3]).map(|s| s + "\n").unwrap(),
+    );
+
+    // Tiny chunks so the bad lines land mid-stream across chunk cuts.
+    let svc = service(&machines, &workloads, 4);
+    let mut out = Vec::new();
+    let stats = svc
+        .serve_pipelined(input.as_bytes(), &mut out, &PipelineOptions::new().depth(1).chunk(2))
+        .unwrap();
+    assert_eq!(stats.lines, 5);
+    assert_eq!(stats.requests, 3);
+    assert_eq!(stats.parse_errors, 2);
+    assert_eq!(stats.responses, 5);
+
+    let text = String::from_utf8(out).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 5, "one response per non-empty line");
+    let parsed: Vec<EvalResponse> = lines
+        .iter()
+        .map(|l| serde_json::from_str(l).unwrap())
+        .collect();
+    // Responses come back at the stream positions of their lines: good,
+    // bad, good, bad, good — the pipeline drains everything after errors.
+    assert!(parsed[0].is_ok());
+    assert!(parsed[1].error.as_ref().unwrap().contains("parse error on line 2"));
+    assert!(parsed[2].is_ok());
+    assert!(parsed[3].error.as_ref().unwrap().contains("parse error on line 4"));
+    assert!(parsed[4].is_ok());
+    assert_eq!(parsed[0].request, good[0]);
+    assert_eq!(parsed[2].request, good[2]);
+    assert_eq!(parsed[4].request, good[3]);
+    assert_eq!(svc.stats().errors, 2, "parse errors are counted as errors");
+}
+
+#[test]
+fn depth_one_pipeline_is_byte_identical_to_batched_chunks() {
+    let program = kernel(10_000);
+    let run_config = RunConfig::default();
+    let workloads = [WorkloadSpec { name: "k", program: &program, run_config: &run_config }];
+    let machines = [MachineModel::ivy_bridge(), MachineModel::westmere()];
+    let requests = sample_requests(&machines);
+
+    for chunk in [1, 2, 3, 64] {
+        let batched = service(&machines, &workloads, 4);
+        let mut expected = String::new();
+        for batch in requests.chunks(chunk) {
+            expected.push_str(&batched.serve_jsonl(batch));
+        }
+        for threads in [1, 8] {
+            let svc = service(&machines, &workloads, threads);
+            let mut out = Vec::new();
+            svc.serve_pipelined(
+                wire(&requests).as_bytes(),
+                &mut out,
+                &PipelineOptions::new().depth(1).chunk(chunk),
+            )
+            .unwrap();
+            assert_eq!(
+                String::from_utf8(out).unwrap(),
+                expected,
+                "depth-1 pipeline (chunk {chunk}, threads {threads}) diverged from batched"
+            );
+        }
+    }
+}

@@ -9,8 +9,8 @@
 //! see `crates/bench/Cargo.toml`).
 
 use countertrust::methods::MethodOptions;
-use countertrust::serve::{EvalRequest, EvalService};
-use ct_bench::streams::{distinct_pairs, request_stream, StreamConfig, StreamPattern};
+use countertrust::serve::{EvalRequest, EvalService, PipelineOptions};
+use ct_bench::streams::{distinct_pairs, request_stream, to_wire, StreamConfig, StreamPattern};
 use ct_bench::workload_specs;
 use ct_instrument::CollectionAudit;
 use ct_sim::MachineModel;
@@ -143,6 +143,37 @@ fn zipfian_500_stream_hits_cache_and_is_thread_invariant() {
         "--threads 1 and --threads 8 must produce byte-identical JSONL"
     );
     assert_eq!(serial_out.lines().count(), 500);
+
+    // The staged pipeline serves the same 500-request stream off its
+    // wire form and must agree byte for byte — at several thread counts,
+    // queue depths and chunk sizes.
+    let wire = to_wire(&stream);
+    for (threads, depth, chunk) in [(1, 1, 64), (8, 2, 64), (4, 3, 17), (8, 1, 500)] {
+        let service = EvalService::new(&machines, &specs)
+            .method_options(opts)
+            .threads(threads);
+        let mut out = Vec::new();
+        let pstats = service
+            .serve_pipelined(
+                wire.as_bytes(),
+                &mut out,
+                &PipelineOptions::new().depth(depth).chunk(chunk),
+            )
+            .expect("in-memory pipeline never hits I/O errors");
+        assert_eq!(pstats.requests, 500);
+        assert_eq!(pstats.parse_errors, 0);
+        assert_eq!(
+            String::from_utf8(out).unwrap(),
+            serial_out,
+            "pipelined (threads {threads}, depth {depth}, chunk {chunk}) \
+             must be byte-identical to batched"
+        );
+        assert!(
+            service.stats().hit_rate() > 0.8,
+            "pipelined zipfian hit rate {:.3} must exceed 0.8",
+            service.stats().hit_rate()
+        );
+    }
 
     for (label, stats, builds) in [
         ("serial", serial_stats, serial_builds),

@@ -1,16 +1,18 @@
 //! Property-based tests for the serving layer: for arbitrary request
 //! streams and cache capacities, responses depend only on the requests —
-//! never on worker-thread count, batch decomposition or cache eviction
-//! order — and a served batch never performs more reference collections
-//! than the number of distinct `(machine, workload)` pairs it touches.
+//! never on worker-thread count, batch decomposition, pipeline queue
+//! depth, chunk size, cache eviction order or admission policy — and a
+//! served batch never performs more reference collections than the
+//! number of distinct `(machine, workload)` pairs it touches.
 //!
 //! The reference-collection counter is process-global, so the audited
 //! properties serialize on [`GUARD`] (this file owns its whole test
 //! binary — see `crates/core/Cargo.toml`).
 
+use countertrust::cache::AdmissionPolicy;
 use countertrust::grid::WorkloadSpec;
 use countertrust::methods::{MethodKind, MethodOptions};
-use countertrust::serve::{EvalRequest, EvalService};
+use countertrust::serve::{EvalRequest, EvalService, PipelineOptions};
 use ct_instrument::CollectionAudit;
 use ct_isa::asm::assemble;
 use ct_isa::Program;
@@ -91,16 +93,30 @@ fn distinct_pairs(raw: &[RawRequest]) -> u64 {
         .len() as u64
 }
 
+/// The stream's JSON-lines wire form, as pipelined intake reads it
+/// (mirrors `ct_bench::streams::to_wire`; this test binary is wired
+/// into countertrust, which cannot depend on ct-bench).
+fn to_wire(requests: &[EvalRequest]) -> String {
+    requests
+        .iter()
+        .map(|r| serde_json::to_string(r).unwrap() + "\n")
+        .collect()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
     /// Identical streams, served as one batch, produce byte-identical
     /// JSONL for every thread count and cache capacity — and no service
-    /// collects more references than the stream touches pairs.
+    /// collects more references than the stream touches pairs. The
+    /// staged pipeline agrees byte for byte at any queue depth and chunk
+    /// size.
     #[test]
     fn serve_is_invariant_under_threads_and_capacity(
         raw in prop::collection::vec((0usize..2, 0usize..2, 0usize..7, 1usize..=2, 0u64..1_000), 1..8),
         capacity in 1usize..=8,
+        depth in 1usize..=3,
+        chunk in 1usize..=5,
     ) {
         let _guard = lock();
         let program_a = loop_kernel(6_000);
@@ -134,6 +150,27 @@ proptest! {
         }
         prop_assert_eq!(&outputs[0], &outputs[1], "thread count changed responses");
         prop_assert_eq!(&outputs[0], &outputs[2], "cache capacity changed responses");
+
+        // The staged pipeline reads the same stream off the wire and
+        // must emit the very same bytes, whatever its decomposition.
+        let pipelined = EvalService::new(&machines, &workloads)
+            .method_options(opts)
+            .threads(2)
+            .cache_capacity(capacity);
+        let mut piped = Vec::new();
+        let pstats = pipelined
+            .serve_pipelined(
+                to_wire(&requests).as_bytes(),
+                &mut piped,
+                &PipelineOptions::new().depth(depth).chunk(chunk),
+            )
+            .expect("in-memory pipeline never hits I/O errors");
+        prop_assert_eq!(pstats.requests as usize, requests.len());
+        prop_assert_eq!(pstats.parse_errors, 0);
+        prop_assert_eq!(
+            &String::from_utf8(piped).unwrap(), &outputs[0],
+            "pipelining (depth {}, chunk {}) changed responses", depth, chunk
+        );
     }
 }
 
@@ -142,8 +179,9 @@ proptest! {
 
     /// The heavier tier (CI runs it via `--include-ignored`): batch
     /// decomposition — one batch, per-request calls on a thrashing
-    /// capacity-1 cache, or chunked batches — never changes responses,
-    /// and every decomposition respects the per-batch collection bound.
+    /// capacity-1 cache, chunked batches, or the staged pipeline under a
+    /// frequency-admission cache — never changes responses, and every
+    /// batched decomposition respects the per-batch collection bound.
     #[test]
     #[ignore = "heavier property tier, exercised by the CI --include-ignored step"]
     fn serve_is_invariant_under_batch_decomposition(
@@ -190,8 +228,28 @@ proptest! {
             chunked_out.push_str(&chunked.serve_jsonl(batch));
         }
 
+        // A thrashing-prone pipeline: tiny chunks, capacity-1 cache,
+        // frequency-aware admission bouncing one-hit wonders.
+        let piped_service = EvalService::new(&machines, &workloads)
+            .method_options(opts)
+            .threads(4)
+            .cache_capacity(1)
+            .admission(AdmissionPolicy::Frequency);
+        let mut piped = Vec::new();
+        piped_service
+            .serve_pipelined(
+                to_wire(&requests).as_bytes(),
+                &mut piped,
+                &PipelineOptions::new().depth(2).chunk(chunk),
+            )
+            .expect("in-memory pipeline never hits I/O errors");
+
         prop_assert_eq!(&whole_out, &single_out, "per-request serving changed responses");
         prop_assert_eq!(&whole_out, &chunked_out, "batch chunking changed responses");
+        prop_assert_eq!(
+            &whole_out, &String::from_utf8(piped).unwrap(),
+            "pipelining with frequency admission changed responses"
+        );
         prop_assert_eq!(whole_out.lines().count(), requests.len());
     }
 }
