@@ -8,27 +8,51 @@
 //!     [--pattern hot|cold|zipfian] [--requests N] [--batch N] \
 //!     [--pipeline-depth N] [--chunk N] [--admission lru|freq] \
 //!     [--capacity N] [--runs N] [--scale F] [--seed N] [--threads N] \
-//!     [--smoke]
+//!     [--record-latency] [--listen ADDR] [--connect ADDR|self] \
+//!     [--connections N] [--smoke]
 //! ```
 //!
 //! Responses go to **stdout** as JSON lines (one per request, in request
 //! order) and are byte-identical for any `--threads N`, `--capacity N`,
 //! `--admission`, `--pipeline-depth N` and `--chunk N`; all
 //! timing-dependent numbers (the summary) go to **stderr**.
-//! `--capacity 0` (the default) is an unbounded cache.
+//! `--capacity 0` (the default) is an unbounded cache. Loopback mode is
+//! the one caveat to stdout ordering: the stream is split round-robin
+//! across connections and printed as whole per-connection groups, so
+//! stdout is a (deterministic) permutation of request order — the
+//! byte-identity contract holds *per connection*, against the offline
+//! pipelined run of that connection's sub-stream.
 //!
 //! `--pipeline-depth N` (N ≥ 1) switches from batch-synchronous serving
 //! to the staged pipeline: intake parses `--chunk`-sized chunks
 //! (default: `--batch`) while earlier chunks build references and
 //! evaluate, with at most N chunks buffered between stages.
+//! `--record-latency` additionally stamps each pipelined response with
+//! its queue/build/eval micros and reports p50/p99 per-request latency
+//! (opting out of byte-identity — latency is wall clock).
+//!
+//! Network modes (`countertrust::serve::net`):
+//!
+//! * `--listen ADDR --connect self` — loopback benchmark: binds ADDR
+//!   (port 0 for ephemeral), serves the catalog over TCP, and drives the
+//!   generated stream through `--connections N` concurrent client
+//!   connections against its own listener. Each connection's response
+//!   stream is verified byte-for-byte against a fresh offline pipelined
+//!   run of the same sub-stream (skipped under `--record-latency`).
+//! * `--listen ADDR` alone — serves forever (kill to stop).
+//! * `--connect ADDR` alone — client mode: streams the generated
+//!   requests to a remote server and prints its responses.
 //!
 //! `--smoke` runs a small stream across batched, single-threaded, wide
 //! and pipelined services and fails loudly if any output differs, so CI
 //! exercises the whole serving path (stream generation, sharding, cache,
-//! pipeline, JSON) on every push.
+//! pipeline, JSON — and with `--listen --connect self`, the TCP intake)
+//! on every push.
 
 use countertrust::cache::AdmissionPolicy;
+use countertrust::grid::WorkloadSpec;
 use countertrust::methods::MethodOptions;
+use countertrust::serve::net::{exchange, EvalServer, NetOptions};
 use countertrust::serve::{EvalRequest, EvalService, PipelineOptions};
 use ct_bench::streams::{
     distinct_pairs, percentile, request_stream, to_wire, StreamConfig, StreamPattern,
@@ -50,6 +74,14 @@ struct ServeCli {
     admission: AdmissionPolicy,
     capacity: usize,
     runs: usize,
+    record_latency: bool,
+    /// Bind address for TCP serving (`0` port = ephemeral).
+    listen: Option<String>,
+    /// Peer address for client mode, or `self` for loopback against our
+    /// own listener.
+    connect: Option<String>,
+    /// Concurrent client connections in loopback mode.
+    connections: usize,
     smoke: bool,
 }
 
@@ -64,6 +96,10 @@ fn parse(args: &[String]) -> ServeCli {
         admission: AdmissionPolicy::Lru,
         capacity: 0,
         runs: 1,
+        record_latency: false,
+        listen: None,
+        connect: None,
+        connections: 4,
         smoke: false,
     };
     let mut i = 0;
@@ -145,6 +181,25 @@ fn parse(args: &[String]) -> ServeCli {
                     }
                 }
             }
+            "--record-latency" => cli.record_latency = true,
+            "--listen" => {
+                if let Some(v) = take(&mut i) {
+                    cli.listen = Some(v.clone());
+                }
+            }
+            "--connect" => {
+                if let Some(v) = take(&mut i) {
+                    cli.connect = Some(v.clone());
+                }
+            }
+            "--connections" => {
+                if let Some(v) = take(&mut i) {
+                    match v.parse::<usize>() {
+                        Ok(n) if n > 0 => cli.connections = n,
+                        _ => eprintln!("warning: ignoring invalid --connections {v:?}"),
+                    }
+                }
+            }
             "--smoke" => cli.smoke = true,
             _ => {}
         }
@@ -195,6 +250,46 @@ fn fmt_ms(p: Option<f64>) -> String {
     p.map_or_else(|| "n/a".to_string(), |ms| format!("{ms:.2} ms"))
 }
 
+/// The summary tail every mode shares — cache, hit rate, throughput and
+/// latency lines, formatted once here so the batched, pipelined and
+/// loopback reports cannot drift apart. `batch_latencies_ms` is empty
+/// in modes without per-batch timings (the latency line then reads
+/// `n/a` unless `--record-latency` supplied per-request percentiles).
+fn print_summary_tail(
+    service: &EvalService<'_>,
+    requests: usize,
+    elapsed: f64,
+    record_latency: bool,
+    batch_latencies_ms: &[f64],
+) {
+    let stats = service.stats();
+    eprintln!("  cache            {}", service.cache_stats().summary());
+    eprintln!(
+        "  hit rate         {:.1}% ({} hits / {} builds / {} errors)",
+        stats.hit_rate() * 100.0,
+        stats.cache_hits,
+        stats.builds,
+        stats.errors
+    );
+    eprintln!(
+        "  throughput       {:.1} req/s ({:.3} s wall)",
+        requests as f64 / elapsed.max(1e-9),
+        elapsed
+    );
+    if record_latency && stats.timed_requests > 0 {
+        eprintln!(
+            "  latency          p50 {} µs | p99 {} µs (per-request, queue+build+eval, {} timed)",
+            stats.latency_p50_us, stats.latency_p99_us, stats.timed_requests
+        );
+    } else {
+        eprintln!(
+            "  latency          p50 {} | p99 {} (per-request, batch-completion)",
+            fmt_ms(percentile(batch_latencies_ms, 0.50)),
+            fmt_ms(percentile(batch_latencies_ms, 0.99))
+        );
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cli = parse(&args);
@@ -203,10 +298,17 @@ fn main() {
         cli.requests = cli.requests.min(24);
         cli.batch = cli.batch.min(8);
         scale = scale.min(0.01);
+        if cli.record_latency {
+            eprintln!(
+                "warning: --smoke byte-compares outputs; ignoring --record-latency"
+            );
+            cli.record_latency = false;
+        }
     }
     let pipeline = PipelineOptions::new()
         .depth(cli.pipeline_depth.unwrap_or(2))
-        .chunk(cli.chunk.unwrap_or(cli.batch));
+        .chunk(cli.chunk.unwrap_or(cli.batch))
+        .record_latency(cli.record_latency);
 
     let machines = MachineModel::paper_machines();
     let workloads = ct_workloads::all(scale);
@@ -227,6 +329,11 @@ fn main() {
             runs: cli.runs,
         },
     );
+
+    if cli.listen.is_some() || cli.connect.is_some() {
+        run_networked(&cli, &machines, &specs, &opts, &stream, &pipeline);
+        return;
+    }
 
     let service = EvalService::new(&machines, &specs)
         .method_options(opts.clone())
@@ -283,8 +390,6 @@ fn main() {
 
     print!("{jsonl}");
 
-    let stats = service.stats();
-    let cache = service.cache_stats();
     latencies.sort_by(f64::total_cmp);
     eprintln!("serve_bench summary");
     eprintln!("  pattern          {}", cli.pattern.name());
@@ -303,34 +408,148 @@ fn main() {
         distinct_pairs(&stream)
     );
     eprintln!("  threads          {}", service.thread_count());
-    eprintln!(
-        "  cache            capacity {} | policy {} | resident {} | evictions {} | rejected {}",
-        if cli.capacity == 0 {
-            "unbounded".to_string()
-        } else {
-            cli.capacity.to_string()
-        },
-        cli.admission.name(),
-        cache.resident,
-        cache.evictions,
-        cache.rejected
-    );
-    eprintln!(
-        "  hit rate         {:.1}% ({} hits / {} builds / {} errors)",
-        stats.hit_rate() * 100.0,
-        stats.cache_hits,
-        stats.builds,
-        stats.errors
-    );
     eprintln!("  reference runs   {collections} instrumented executions (audited)");
-    eprintln!(
-        "  throughput       {:.1} req/s ({:.3} s wall)",
-        stream.len() as f64 / elapsed.max(1e-9),
-        elapsed
-    );
-    eprintln!(
-        "  latency          p50 {} | p99 {} (per-request, batch-completion)",
-        fmt_ms(percentile(&latencies, 0.50)),
-        fmt_ms(percentile(&latencies, 0.99))
-    );
+    print_summary_tail(&service, stream.len(), elapsed, cli.record_latency, &latencies);
+}
+
+/// The TCP serving modes behind `--listen` / `--connect`.
+///
+/// * both flags — loopback benchmark: bind `--listen` (`--connect self`
+///   by convention; the operand is otherwise ignored), drive the stream
+///   through `--connections` concurrent client connections against our
+///   own listener, and verify each connection's bytes against a fresh
+///   offline pipelined run (unless `--record-latency` made responses
+///   wall-clock-dependent);
+/// * `--listen` alone — serve the catalog forever;
+/// * `--connect` alone — stream the generated requests to a peer.
+fn run_networked(
+    cli: &ServeCli,
+    machines: &[MachineModel],
+    specs: &[WorkloadSpec<'_>],
+    opts: &MethodOptions,
+    stream: &[EvalRequest],
+    pipeline: &PipelineOptions,
+) {
+    let service = || {
+        EvalService::new(machines, specs)
+            .method_options(opts.clone())
+            .threads(cli.base.threads.unwrap_or(0))
+            .cache_capacity(cli.capacity)
+            .admission(cli.admission)
+    };
+
+    match (&cli.listen, &cli.connect) {
+        (Some(addr), Some(_)) => {
+            let connections = cli.connections.max(1);
+            let served = service();
+            let server = EvalServer::listen(
+                addr.as_str(),
+                NetOptions::new()
+                    .pipeline(*pipeline)
+                    .max_connections(connections),
+            )
+            .expect("--listen address must bind");
+            let local = server.local_addr();
+            let handle = server.handle();
+            eprintln!(
+                "serve_bench: loopback on {local}, {connections} concurrent connections"
+            );
+            // Round-robin split: connection c carries requests c, c+N, …
+            let subs: Vec<Vec<EvalRequest>> = (0..connections)
+                .map(|c| stream.iter().skip(c).step_by(connections).cloned().collect())
+                .collect();
+            let wall = Instant::now();
+            let (outputs, net) = std::thread::scope(|scope| {
+                let serving = scope.spawn(|| server.serve(&served));
+                let clients: Vec<_> = subs
+                    .iter()
+                    .map(|sub| {
+                        scope.spawn(move || {
+                            exchange(local, &to_wire(sub)).expect("loopback exchange")
+                        })
+                    })
+                    .collect();
+                let outputs: Vec<String> = clients
+                    .into_iter()
+                    .map(|c| c.join().expect("client thread"))
+                    .collect();
+                handle.shutdown();
+                let net = serving.join().expect("server thread").expect("accept loop");
+                (outputs, net)
+            });
+            let elapsed = wall.elapsed().as_secs_f64();
+
+            if cli.record_latency {
+                eprintln!(
+                    "serve_bench: skipping byte-identity verification \
+                     (--record-latency stamps responses with wall-clock micros)"
+                );
+            } else {
+                for (c, (sub, got)) in subs.iter().zip(&outputs).enumerate() {
+                    let mut expected = Vec::new();
+                    service()
+                        .serve_pipelined(to_wire(sub).as_bytes(), &mut expected, pipeline)
+                        .expect("in-memory pipeline never hits I/O errors");
+                    assert_eq!(
+                        got.as_bytes(),
+                        expected.as_slice(),
+                        "connection {c}: TCP responses diverged from the offline pipelined run"
+                    );
+                }
+                eprintln!(
+                    "serve_bench: {} per-connection streams byte-identical to offline \
+                     pipelined runs",
+                    subs.len()
+                );
+            }
+            for output in &outputs {
+                print!("{output}");
+            }
+
+            eprintln!("serve_bench summary");
+            eprintln!("  pattern          {}", cli.pattern.name());
+            eprintln!(
+                "  mode             tcp loopback ({} connections, depth {}, chunk {})",
+                net.connections,
+                pipeline.depth.max(1),
+                pipeline.chunk.max(1)
+            );
+            eprintln!(
+                "  net              {} requests | {} responses | {} parse errors | {} io errors",
+                net.requests, net.responses, net.parse_errors, net.io_errors
+            );
+            print_summary_tail(&served, stream.len(), elapsed, cli.record_latency, &[]);
+        }
+        (Some(addr), None) => {
+            let served = service();
+            let server = EvalServer::listen(
+                addr.as_str(),
+                NetOptions::new()
+                    .pipeline(*pipeline)
+                    .max_connections(cli.connections.max(1)),
+            )
+            .expect("--listen address must bind");
+            eprintln!(
+                "serve_bench: serving on {} (kill to stop)",
+                server.local_addr()
+            );
+            let net = server.serve(&served).expect("accept loop");
+            eprintln!(
+                "serve_bench: served {} connections ({} responses, {} io errors)",
+                net.connections, net.responses, net.io_errors
+            );
+        }
+        (None, Some(addr)) => {
+            let wall = Instant::now();
+            let response =
+                exchange(addr.as_str(), &to_wire(stream)).expect("--connect exchange");
+            let elapsed = wall.elapsed().as_secs_f64();
+            print!("{response}");
+            eprintln!(
+                "serve_bench: {} responses from {addr} in {elapsed:.3} s",
+                response.lines().count()
+            );
+        }
+        (None, None) => unreachable!("networked mode requires --listen or --connect"),
+    }
 }

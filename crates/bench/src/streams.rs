@@ -147,6 +147,7 @@ pub fn request_stream(
             method,
             runs: config.runs,
             seed: rng.gen_range(0u64..=u64::MAX / 2),
+            catalog: None,
         });
     }
     out

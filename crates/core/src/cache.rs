@@ -11,8 +11,10 @@
 //!   both [`crate::grid::PairCtx`] and the serving layer
 //!   ([`crate::serve`]) go through it;
 //! * [`ProfileCache`] is an LRU-bounded, thread-safe map from
-//!   `(machine, workload)` pair keys to [`PairParts`], so a profile is
-//!   built at most once per pair per cache residency;
+//!   catalog-namespaced `(machine, workload)` pair keys ([`PairKey`]) to
+//!   [`PairParts`], so a profile is built at most once per pair per cache
+//!   residency — and every tenant of a multi-catalog service shares one
+//!   cache (and one admission policy) without key collisions;
 //! * [`AdmissionPolicy`] decides whether a freshly built pair may *enter*
 //!   a full cache at all: plain LRU admits everything, while the
 //!   frequency-aware variant rejects one-hit wonders so cold or zipfian
@@ -29,10 +31,39 @@ use crate::session::Session;
 use ct_instrument::ReferenceProfile;
 use ct_isa::{Cfg, Program};
 use ct_sim::{MachineModel, RunConfig};
+use std::fmt;
 use std::sync::{Arc, Condvar, Mutex};
 
-/// Cache key: indices of the machine and workload in the owning catalog.
-pub type PairKey = (usize, usize);
+/// Cache key: a `(machine, workload)` pair *namespaced by its catalog*.
+///
+/// The serving layer resolves requests through a
+/// [`crate::serve::CatalogRegistry`] holding several named catalogs, and
+/// every tenant shares one [`ProfileCache`]. Two catalogs may bind the
+/// same `(machine, workload)` indices to entirely different programs, so
+/// the catalog index is part of the key — without it, tenant B would be
+/// handed tenant A's reference profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PairKey {
+    /// Index of the catalog in the owning registry (`0` for a
+    /// single-catalog service).
+    pub catalog: usize,
+    /// Index of the machine in its catalog.
+    pub machine: usize,
+    /// Index of the workload in its catalog.
+    pub workload: usize,
+}
+
+impl PairKey {
+    /// A key for the `(machine, workload)` pair of one catalog.
+    #[must_use]
+    pub fn new(catalog: usize, machine: usize, workload: usize) -> Self {
+        Self {
+            catalog,
+            machine,
+            workload,
+        }
+    }
+}
 
 /// How a [`ProfileCache`] decides whether a freshly built entry may enter
 /// a full cache.
@@ -148,6 +179,37 @@ pub struct CacheStats {
     pub rejected: u64,
     /// Entries currently resident.
     pub resident: usize,
+    /// The cache's configured capacity (`0` = unbounded).
+    pub capacity: usize,
+    /// The cache's configured admission policy.
+    pub policy: AdmissionPolicy,
+}
+
+impl CacheStats {
+    /// One-line human summary of the residency knobs and their outcome —
+    /// the shape every consumer (`serve_bench`, examples) prints, so the
+    /// formatting lives here once.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let capacity = if self.capacity == 0 {
+            "unbounded".to_string()
+        } else {
+            self.capacity.to_string()
+        };
+        format!(
+            "capacity {capacity} | policy {} | resident {} | evictions {} | rejected {}",
+            self.policy.name(),
+            self.resident,
+            self.evictions,
+            self.rejected
+        )
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.summary())
+    }
 }
 
 /// A build in progress: waiters block on the condvar until the builder
@@ -419,6 +481,8 @@ impl ProfileCache {
             evictions: inner.evictions,
             rejected: inner.rejected,
             resident: inner.entries.len(),
+            capacity: inner.capacity,
+            policy: inner.policy,
         }
     }
 
@@ -431,6 +495,12 @@ impl ProfileCache {
 mod tests {
     use super::*;
     use ct_isa::asm::assemble;
+
+    /// Keys in the default catalog namespace, as a single-catalog service
+    /// would produce them.
+    fn key(machine: usize, workload: usize) -> PairKey {
+        PairKey::new(0, machine, workload)
+    }
 
     fn kernel() -> Program {
         assemble(
@@ -460,16 +530,16 @@ mod tests {
         let program = kernel();
         let cache = ProfileCache::with_capacity(2);
         let build = || Ok(parts_for(&program));
-        cache.get_or_build((0, 0), build).unwrap();
-        cache.get_or_build((0, 1), build).unwrap();
+        cache.get_or_build(key(0, 0), build).unwrap();
+        cache.get_or_build(key(0, 1), build).unwrap();
         // Touch (0,0): it becomes most recently used.
-        let (_, hit) = cache.get_or_build((0, 0), build).unwrap();
+        let (_, hit) = cache.get_or_build(key(0, 0), build).unwrap();
         assert!(hit);
         // Inserting a third pair evicts (0,1), the LRU entry.
-        cache.get_or_build((0, 2), build).unwrap();
-        assert!(cache.contains((0, 0)));
-        assert!(!cache.contains((0, 1)));
-        assert!(cache.contains((0, 2)));
+        cache.get_or_build(key(0, 2), build).unwrap();
+        assert!(cache.contains(key(0, 0)));
+        assert!(!cache.contains(key(0, 1)));
+        assert!(cache.contains(key(0, 2)));
         let s = cache.stats();
         assert_eq!(s.hits, 1);
         assert_eq!(s.misses, 3);
@@ -484,7 +554,7 @@ mod tests {
         let tiny = ProfileCache::with_capacity(1);
         let big = ProfileCache::unbounded();
         for cache in [&tiny, &big] {
-            for key in [(0, 0), (0, 1), (0, 0), (0, 1)] {
+            for key in [key(0, 0), key(0, 1), key(0, 0), key(0, 1)] {
                 cache.get_or_build(key, || Ok(parts_for(&program))).unwrap();
             }
         }
@@ -496,21 +566,21 @@ mod tests {
     #[test]
     fn build_errors_are_not_cached() {
         let cache = ProfileCache::unbounded();
-        let err = cache.get_or_build((0, 0), || {
+        let err = cache.get_or_build(key(0, 0), || {
             Err(CoreError::MethodUnavailable {
                 method: "injected".to_string(),
                 machine: "test".to_string(),
             })
         });
         assert!(err.is_err());
-        assert!(!cache.contains((0, 0)));
+        assert!(!cache.contains(key(0, 0)));
         // A later successful build proceeds normally.
         let program = kernel();
         let (_, hit) = cache
-            .get_or_build((0, 0), || Ok(parts_for(&program)))
+            .get_or_build(key(0, 0), || Ok(parts_for(&program)))
             .unwrap();
         assert!(!hit);
-        assert!(cache.contains((0, 0)));
+        assert!(cache.contains(key(0, 0)));
     }
 
     #[test]
@@ -524,14 +594,14 @@ mod tests {
         let barrier = std::sync::Barrier::new(2);
         std::thread::scope(|scope| {
             let a = scope.spawn(|| {
-                cache.get_or_build((0, 0), || {
+                cache.get_or_build(key(0, 0), || {
                     barrier.wait();
                     Ok(parts_for(&program))
                 })
             });
             let b = scope.spawn(|| {
                 barrier.wait();
-                cache.get_or_build((0, 0), || Ok(parts_for(&program)))
+                cache.get_or_build(key(0, 0), || Ok(parts_for(&program)))
             });
             let (parts_a, hit_a) = a.join().unwrap().unwrap();
             let (parts_b, hit_b) = b.join().unwrap().unwrap();
@@ -552,20 +622,20 @@ mod tests {
         let build = || Ok(parts_for(&program));
         // A becomes hot: three lookups, frequency 3.
         for _ in 0..3 {
-            cache.get_or_build((0, 0), build).unwrap();
+            cache.get_or_build(key(0, 0), build).unwrap();
         }
         // A cold scan over B: under LRU each build would evict A; under
         // frequency admission B bounces until it out-ranks A.
-        let (_, hit) = cache.get_or_build((0, 1), build).unwrap();
+        let (_, hit) = cache.get_or_build(key(0, 1), build).unwrap();
         assert!(!hit, "B is built (the caller still gets its parts)");
-        assert!(cache.contains((0, 0)), "hot entry survives the first scan");
-        assert!(!cache.contains((0, 1)));
-        cache.get_or_build((0, 1), build).unwrap();
-        assert!(cache.contains((0, 0)), "freq(B)=2 < freq(A)=3 still bounces");
+        assert!(cache.contains(key(0, 0)), "hot entry survives the first scan");
+        assert!(!cache.contains(key(0, 1)));
+        cache.get_or_build(key(0, 1), build).unwrap();
+        assert!(cache.contains(key(0, 0)), "freq(B)=2 < freq(A)=3 still bounces");
         // Third B lookup ties A's frequency — ties favor the newcomer.
-        cache.get_or_build((0, 1), build).unwrap();
-        assert!(cache.contains((0, 1)), "B earned its slot");
-        assert!(!cache.contains((0, 0)));
+        cache.get_or_build(key(0, 1), build).unwrap();
+        assert!(cache.contains(key(0, 1)), "B earned its slot");
+        assert!(!cache.contains(key(0, 0)));
         let s = cache.stats();
         assert_eq!(s.rejected, 2);
         assert_eq!(s.builds, 4, "one for A, three for B's climb");
@@ -578,11 +648,11 @@ mod tests {
         let cache = ProfileCache::with_capacity(1);
         assert_eq!(cache.policy(), AdmissionPolicy::Lru);
         let build = || Ok(parts_for(&program));
-        for key in [(0, 0), (0, 1), (0, 2)] {
+        for key in [key(0, 0), key(0, 1), key(0, 2)] {
             cache.get_or_build(key, build).unwrap();
         }
         assert_eq!(cache.stats().rejected, 0);
-        assert!(cache.contains((0, 2)), "LRU admits every build");
+        assert!(cache.contains(key(0, 2)), "LRU admits every build");
     }
 
     #[test]
@@ -603,12 +673,115 @@ mod tests {
         let program = kernel();
         let cache = ProfileCache::with_policy(3, AdmissionPolicy::Frequency);
         let build = || Ok(parts_for(&program));
-        for key in [(0, 0), (0, 1), (0, 2)] {
+        for key in [key(0, 0), key(0, 1), key(0, 2)] {
             cache.get_or_build(key, build).unwrap();
         }
         // Below capacity nothing is ever rejected.
         assert_eq!(cache.stats().rejected, 0);
         assert_eq!(cache.len(), 3);
+    }
+
+    // The aging-boundary tests below drive `CacheInner` directly: the
+    // sketch's interesting transitions sit at the decay interval and at
+    // counter saturation, and reaching either through `get_or_build`
+    // would cost thousands of instrumented executions.
+
+    #[test]
+    fn freq_sketch_halves_at_the_decay_interval_and_drops_zeroed_keys() {
+        let cache = ProfileCache::with_policy(2, AdmissionPolicy::Frequency);
+        let mut inner = cache.lock();
+        // 7 accesses for A, 1 for B, then pad lookups on A up to one
+        // short of the interval: counts survive untouched until then.
+        for _ in 0..7 {
+            inner.note_access(key(0, 0));
+        }
+        inner.note_access(key(0, 1));
+        while inner.lookups < FREQ_DECAY_INTERVAL - 1 {
+            inner.note_access(key(0, 0));
+        }
+        // Every lookup so far except B's single one went to A.
+        let a_before = inner.frequency(key(0, 0));
+        assert_eq!(a_before, FREQ_DECAY_INTERVAL - 2);
+        assert_eq!(inner.frequency(key(0, 1)), 1);
+
+        // Lookup number FREQ_DECAY_INTERVAL triggers the halving: A's
+        // count is (a_before + 1) / 2 rounded down, and B — halved from
+        // 1 to 0 — is dropped from the sketch entirely (`retain`), so a
+        // decayed-out key reads as frequency 0, not a stale 1.
+        inner.note_access(key(0, 0));
+        assert_eq!(inner.lookups, FREQ_DECAY_INTERVAL);
+        assert_eq!(inner.frequency(key(0, 0)), (a_before + 1) / 2);
+        assert_eq!(inner.frequency(key(0, 1)), 0);
+        assert!(
+            !inner.freq.iter().any(|(k, _)| *k == key(0, 1)),
+            "a count halved to zero must leave the sketch"
+        );
+    }
+
+    #[test]
+    fn freq_sketch_counters_saturate_instead_of_wrapping() {
+        let cache = ProfileCache::with_policy(2, AdmissionPolicy::Frequency);
+        let mut inner = cache.lock();
+        inner.note_access(key(0, 0));
+        // Force the counter to the brink; the next accesses must pin at
+        // u64::MAX (saturating_add), never wrap to a tiny frequency that
+        // would get the hottest key evicted.
+        inner.freq[0].1 = u64::MAX - 1;
+        inner.note_access(key(0, 0));
+        assert_eq!(inner.frequency(key(0, 0)), u64::MAX);
+        inner.note_access(key(0, 0));
+        assert_eq!(inner.frequency(key(0, 0)), u64::MAX, "must saturate, not wrap");
+        // And a saturated counter still ages: the next interval halving
+        // brings it back into comparable range.
+        while inner.lookups % FREQ_DECAY_INTERVAL != 0 {
+            inner.note_access(key(0, 1));
+        }
+        assert_eq!(inner.frequency(key(0, 0)), u64::MAX / 2);
+    }
+
+    #[test]
+    fn freq_sketch_admission_flips_across_a_halving() {
+        // A hot key that stops being requested fades: after one halving
+        // its count can tie with a steadily climbing newcomer, which then
+        // gets admitted (ties favor the newcomer).
+        let cache = ProfileCache::with_policy(1, AdmissionPolicy::Frequency);
+        let mut inner = cache.lock();
+        let program = kernel();
+        inner.entries.push((key(0, 0), Arc::new(parts_for(&program))));
+        for _ in 0..4 {
+            inner.note_access(key(0, 0));
+        }
+        for _ in 0..3 {
+            inner.note_access(key(0, 1));
+        }
+        assert!(!inner.admits(key(0, 1)), "freq 3 < 4 bounces pre-halving");
+        while inner.lookups % FREQ_DECAY_INTERVAL != 0 {
+            inner.note_access(key(0, 1));
+        }
+        // Post-halving, the resident key decayed with everything else
+        // while the newcomer kept accumulating — admission flips.
+        assert_eq!(inner.frequency(key(0, 0)), 2);
+        assert!(inner.frequency(key(0, 1)) >= 2);
+        assert!(inner.admits(key(0, 1)), "aged victim must lose its slot");
+    }
+
+    #[test]
+    fn cache_stats_summary_reports_knobs_and_outcome() {
+        let stats = CacheStats {
+            capacity: 3,
+            policy: AdmissionPolicy::Frequency,
+            resident: 2,
+            evictions: 4,
+            rejected: 5,
+            ..CacheStats::default()
+        };
+        assert_eq!(
+            stats.summary(),
+            "capacity 3 | policy freq | resident 2 | evictions 4 | rejected 5"
+        );
+        let unbounded = CacheStats::default();
+        assert!(unbounded.summary().starts_with("capacity unbounded | policy lru"));
+        assert_eq!(format!("{unbounded}"), unbounded.summary());
     }
 
     #[test]

@@ -35,6 +35,36 @@
 //! evaluation while responses still come out in stream order. Malformed
 //! lines become in-order error responses; the pipeline keeps draining.
 //!
+//! # Catalogs and tenants
+//!
+//! A [`Catalog`] is a named, registrable value: machines + workloads +
+//! the default [`MethodOptions`] requests against it are instantiated
+//! with. A service constructed with [`EvalService::new`] owns a single
+//! default catalog; [`EvalService::with_registry`] serves a whole
+//! [`CatalogRegistry`] of named catalogs behind **one** shared
+//! [`ProfileCache`] and admission policy. Requests pick their catalog
+//! with the optional `catalog` field ([`EvalRequest::catalog`]); absent
+//! means the default catalog, and the wire format without the field is
+//! byte-identical to the single-catalog service's. Cache keys are
+//! namespaced by catalog index ([`PairKey::catalog`]), so tenants never
+//! collide even when they bind the same names to different programs.
+//!
+//! # Network intake
+//!
+//! [`net::EvalServer`] is the TCP front door: it accepts loopback (or
+//! any) connections and drives each through [`EvalService::serve_pipelined`]
+//! on its own worker, with a connection cap, graceful shutdown and
+//! per-connection error isolation. See the [`net`] module docs.
+//!
+//! # Latency accounting
+//!
+//! [`PipelineOptions::record_latency`] (off by default) stamps every
+//! pipelined response with queue/build/eval microseconds
+//! ([`EvalResponse::latency`]) and feeds p50/p99 aggregates into
+//! [`ServeStats`]. It is opt-in precisely because timing is not
+//! deterministic: with it off — the default — the determinism contract
+//! below is untouched.
+//!
 //! # Determinism contract
 //!
 //! Identical request streams yield byte-identical responses for any
@@ -44,7 +74,9 @@
 //! *what* a response contains — and for a well-formed stream the
 //! pipelined output is byte-identical to the batched output. Timing-
 //! dependent numbers (hit rates, latency) live in [`ServeStats`],
-//! [`PipelineStats`] and the cache counters, outside the response stream.
+//! [`PipelineStats`] and the cache counters, outside the response stream
+//! — unless a request explicitly opts into latency stamping
+//! ([`PipelineOptions::record_latency`]).
 //!
 //! # Examples
 //!
@@ -60,10 +92,19 @@
 //!     method: "lbr".to_string(),
 //!     runs: 2,
 //!     seed: 7,
+//!     catalog: None,
 //! };
 //! let json = serde_json::to_string(&request).unwrap();
+//! // No catalog: the wire shape is the pre-registry five-field object.
+//! assert!(!json.contains("catalog"));
 //! let back: EvalRequest = serde_json::from_str(&json).unwrap();
 //! assert_eq!(request, back);
+//!
+//! let tenant = request.in_catalog("kernels");
+//! let json = serde_json::to_string(&tenant).unwrap();
+//! assert!(json.ends_with("\"catalog\":\"kernels\"}"));
+//! let back: EvalRequest = serde_json::from_str(&json).unwrap();
+//! assert_eq!(tenant, back);
 //! ```
 //!
 //! End to end — identical streams are byte-identical no matter how many
@@ -137,6 +178,8 @@
 //! assert!(lines[1].contains("parse error on line 2"));
 //! ```
 
+pub mod net;
+
 use crate::cache::{AdmissionPolicy, CacheStats, PairKey, PairParts, ProfileCache};
 use crate::evaluate::{evaluate_method_with_seeds, ErrorStats};
 use crate::grid::{default_threads, for_each_index, mix64, WorkloadSpec};
@@ -149,10 +192,18 @@ use std::io::{BufRead, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::sync_channel;
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 /// One evaluation request: machine, workload and method by name, plus the
-/// measurement shape (`runs` repeats from base `seed`).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// measurement shape (`runs` repeats from base `seed`) and an optional
+/// catalog (tenant) name.
+///
+/// Serialization is hand-written (not derived) for one wire-format
+/// reason: a request without a catalog must serialize to exactly the
+/// pre-registry five-field JSON object, so every existing stream — and
+/// every response echoing such a request — stays byte-identical. The
+/// `catalog` key only appears on the wire when it is `Some`.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EvalRequest {
     /// Machine name, matched exactly against the catalog.
     pub machine: String,
@@ -164,10 +215,13 @@ pub struct EvalRequest {
     pub runs: usize,
     /// Base seed; per-run seeds derive from it via [`request_seed`].
     pub seed: u64,
+    /// Catalog (tenant) name, resolved through the service's
+    /// [`CatalogRegistry`]; `None` means the default catalog.
+    pub catalog: Option<String>,
 }
 
 impl EvalRequest {
-    /// Convenience constructor.
+    /// Convenience constructor (default catalog).
     #[must_use]
     pub fn new(machine: &str, workload: &str, method: &str, runs: usize, seed: u64) -> Self {
         Self {
@@ -176,7 +230,15 @@ impl EvalRequest {
             method: method.to_string(),
             runs,
             seed,
+            catalog: None,
         }
+    }
+
+    /// Targets the request at a named catalog of the registry.
+    #[must_use]
+    pub fn in_catalog(mut self, catalog: &str) -> Self {
+        self.catalog = Some(catalog.to_string());
+        self
     }
 
     /// The number of measurement runs actually performed (`runs`, with
@@ -187,9 +249,71 @@ impl EvalRequest {
     }
 }
 
+impl Serialize for EvalRequest {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("machine".to_string(), self.machine.to_value()),
+            ("workload".to_string(), self.workload.to_value()),
+            ("method".to_string(), self.method.to_value()),
+            ("runs".to_string(), self.runs.to_value()),
+            ("seed".to_string(), self.seed.to_value()),
+        ];
+        if let Some(catalog) = &self.catalog {
+            fields.push(("catalog".to_string(), catalog.to_value()));
+        }
+        serde::Value::Map(fields)
+    }
+}
+
+impl Deserialize for EvalRequest {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(Self {
+            machine: serde::field(v, "machine")?,
+            workload: serde::field(v, "workload")?,
+            method: serde::field(v, "method")?,
+            runs: serde::field(v, "runs")?,
+            seed: serde::field(v, "seed")?,
+            // A missing key reads as `None`: pre-registry streams parse
+            // unchanged into default-catalog requests.
+            catalog: serde::field(v, "catalog")?,
+        })
+    }
+}
+
+/// Per-request latency breakdown, in microseconds, recorded only when
+/// [`PipelineOptions::record_latency`] is on.
+///
+/// Queue and build time are chunk-granular (every request of a pipeline
+/// chunk shares them); evaluation time is the request's own.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestLatency {
+    /// Intake-to-build-start: time the request's chunk spent queued
+    /// between pipeline stages (including planning).
+    pub queue_us: u64,
+    /// Build-stage wall time of the request's chunk (cache attachment /
+    /// reference builds).
+    pub build_us: u64,
+    /// This request's own evaluation wall time (`0` for requests that
+    /// never evaluated — resolution failures).
+    pub eval_us: u64,
+}
+
+impl RequestLatency {
+    /// Total intake-to-response latency.
+    #[must_use]
+    pub fn total_us(&self) -> u64 {
+        self.queue_us + self.build_us + self.eval_us
+    }
+}
+
 /// One evaluation response: the request echoed back plus either its error
 /// statistics or a failure description.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Like [`EvalRequest`], serialization is hand-written so the optional
+/// `latency` key is entirely absent — not `null` — when latency
+/// recording is off, keeping the default wire format byte-identical to
+/// the pre-latency one.
+#[derive(Debug, Clone)]
 pub struct EvalResponse {
     /// The request this response answers.
     pub request: EvalRequest,
@@ -197,6 +321,34 @@ pub struct EvalResponse {
     pub stats: Option<ErrorStats>,
     /// The failure description; `None` when the request succeeded.
     pub error: Option<String>,
+    /// The latency breakdown; `None` unless the serving mode recorded it
+    /// ([`PipelineOptions::record_latency`]).
+    pub latency: Option<RequestLatency>,
+}
+
+impl Serialize for EvalResponse {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("request".to_string(), self.request.to_value()),
+            ("stats".to_string(), self.stats.to_value()),
+            ("error".to_string(), self.error.to_value()),
+        ];
+        if let Some(latency) = &self.latency {
+            fields.push(("latency".to_string(), latency.to_value()));
+        }
+        serde::Value::Map(fields)
+    }
+}
+
+impl Deserialize for EvalResponse {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(Self {
+            request: serde::field(v, "request")?,
+            stats: serde::field(v, "stats")?,
+            error: serde::field(v, "error")?,
+            latency: serde::field(v, "latency")?,
+        })
+    }
 }
 
 impl EvalResponse {
@@ -205,6 +357,7 @@ impl EvalResponse {
             request,
             stats: Some(stats),
             error: None,
+            latency: None,
         }
     }
 
@@ -213,6 +366,7 @@ impl EvalResponse {
             request,
             stats: None,
             error: Some(error),
+            latency: None,
         }
     }
 
@@ -221,15 +375,10 @@ impl EvalResponse {
     /// the line's original stream position.
     fn parse_err(error: String) -> Self {
         Self {
-            request: EvalRequest {
-                machine: String::new(),
-                workload: String::new(),
-                method: String::new(),
-                runs: 0,
-                seed: 0,
-            },
+            request: EvalRequest::new("", "", "", 0, 0),
             stats: None,
             error: Some(error),
+            latency: None,
         }
     }
 
@@ -274,6 +423,16 @@ pub struct ServeStats {
     /// parse errors — so this can exceed `requests` minus successes on
     /// a malformed stream.
     pub errors: u64,
+    /// Requests that carried a latency stamp
+    /// ([`PipelineOptions::record_latency`]).
+    pub timed_requests: u64,
+    /// Median total (queue+build+eval) per-request latency in
+    /// microseconds, nearest-rank over the most recent
+    /// [`LATENCY_WINDOW`] timed requests (`0` when nothing was timed).
+    pub latency_p50_us: u64,
+    /// 99th-percentile total per-request latency in microseconds over
+    /// the same window (`0` when nothing was timed).
+    pub latency_p99_us: u64,
 }
 
 impl ServeStats {
@@ -289,8 +448,188 @@ impl ServeStats {
     }
 }
 
-/// A resolved request: catalog indices plus the instantiated method.
+/// The nearest-rank `p`-th percentile of an ascending-sorted sample.
+fn percentile_us(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// How many timed-request samples the latency window retains: old
+/// samples rotate out so a long-running server neither grows without
+/// bound nor pays more than a bounded sort per [`EvalService::stats`]
+/// snapshot.
+pub const LATENCY_WINDOW: usize = 4096;
+
+/// A bounded sliding window of per-request latency samples (ring buffer
+/// once full) plus the all-time count.
+#[derive(Default)]
+struct LatencyWindow {
+    samples: Vec<u64>,
+    /// Ring cursor: the slot the next sample overwrites once full.
+    next: usize,
+    /// All-time number of recorded samples (never truncated).
+    total: u64,
+}
+
+impl LatencyWindow {
+    fn record(&mut self, us: u64) {
+        self.total += 1;
+        if self.samples.len() < LATENCY_WINDOW {
+            self.samples.push(us);
+        } else {
+            self.samples[self.next] = us;
+            self.next = (self.next + 1) % LATENCY_WINDOW;
+        }
+    }
+}
+
+/// The name a single-catalog service registers its catalog under, and
+/// the catalog requests without a `catalog` field resolve to.
+pub const DEFAULT_CATALOG: &str = "default";
+
+/// A named, registrable evaluation catalog: the machines and workloads
+/// requests resolve their names against, plus the default
+/// [`MethodOptions`] those requests are instantiated with.
+///
+/// Catalogs borrow their machine and workload slices (like
+/// [`crate::grid::GridRunner`] does) and are registered into a
+/// [`CatalogRegistry`]; the registry index becomes the cache namespace
+/// ([`PairKey::catalog`]).
+pub struct Catalog<'a> {
+    machines: &'a [MachineModel],
+    workloads: &'a [WorkloadSpec<'a>],
+    opts: MethodOptions,
+    /// Per-workload CFGs, built lazily (a CFG depends only on the
+    /// program) and shared with every cached pair of that workload.
+    cfgs: Vec<OnceLock<Arc<Cfg>>>,
+}
+
+impl<'a> Catalog<'a> {
+    /// A catalog over the given machines and workloads, with default
+    /// method options.
+    #[must_use]
+    pub fn new(machines: &'a [MachineModel], workloads: &'a [WorkloadSpec<'a>]) -> Self {
+        Self {
+            machines,
+            workloads,
+            opts: MethodOptions::default(),
+            cfgs: (0..workloads.len()).map(|_| OnceLock::new()).collect(),
+        }
+    }
+
+    /// Sets the method options requests against this catalog are
+    /// instantiated with.
+    #[must_use]
+    pub fn method_options(mut self, opts: MethodOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// The catalog's machines.
+    #[must_use]
+    pub fn machines(&self) -> &'a [MachineModel] {
+        self.machines
+    }
+
+    /// The catalog's workloads.
+    #[must_use]
+    pub fn workloads(&self) -> &'a [WorkloadSpec<'a>] {
+        self.workloads
+    }
+
+    /// The workload's CFG, built on first use and shared thereafter.
+    fn workload_cfg(&self, w: usize) -> Arc<Cfg> {
+        self.cfgs[w]
+            .get_or_init(|| Arc::new(Cfg::build(self.workloads[w].program)))
+            .clone()
+    }
+}
+
+/// An ordered collection of named [`Catalog`]s — the resolution root of
+/// a multi-tenant [`EvalService`].
+///
+/// The first registered catalog is the **default**: requests without a
+/// `catalog` field resolve to it, whatever it is named. Registration
+/// order is the cache namespace order, so keep it stable across runs
+/// that share persisted expectations.
+pub struct CatalogRegistry<'a> {
+    catalogs: Vec<(String, Catalog<'a>)>,
+}
+
+impl<'a> CatalogRegistry<'a> {
+    /// A registry holding one default catalog under
+    /// [`DEFAULT_CATALOG`].
+    #[must_use]
+    pub fn new(default: Catalog<'a>) -> Self {
+        Self {
+            catalogs: vec![(DEFAULT_CATALOG.to_string(), default)],
+        }
+    }
+
+    /// Registers `catalog` under `name`, replacing any catalog already
+    /// registered under that name (re-registering the default's name
+    /// swaps the default in place).
+    #[must_use]
+    pub fn register(mut self, name: &str, catalog: Catalog<'a>) -> Self {
+        match self.catalogs.iter_mut().find(|(n, _)| n == name) {
+            Some(slot) => slot.1 = catalog,
+            None => self.catalogs.push((name.to_string(), catalog)),
+        }
+        self
+    }
+
+    /// The registered catalog names, default first.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.catalogs.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// The catalog registered under `name`.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&Catalog<'a>> {
+        self.catalogs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| c)
+    }
+
+    /// Number of registered catalogs (always ≥ 1).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.catalogs.len()
+    }
+
+    /// Whether the registry is empty (it never is — construction
+    /// requires a default catalog).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.catalogs.is_empty()
+    }
+
+    /// Resolves a request's catalog name to its index: `None` is the
+    /// default catalog (index 0), a name must be registered.
+    fn index_of(&self, name: Option<&str>) -> Result<usize, String> {
+        match name {
+            None => Ok(0),
+            Some(name) => self
+                .catalogs
+                .iter()
+                .position(|(n, _)| n == name)
+                .ok_or_else(|| format!("unknown catalog `{name}`")),
+        }
+    }
+
+    fn catalog(&self, index: usize) -> &Catalog<'a> {
+        &self.catalogs[index].1
+    }
+}
+
+/// A resolved request: registry + catalog indices plus the instantiated
+/// method.
 struct Resolved {
+    catalog: usize,
     machine: usize,
     workload: usize,
     label: String,
@@ -308,8 +647,9 @@ struct Resolved {
 struct Batch {
     requests: Vec<EvalRequest>,
     resolved: Vec<Result<Resolved, String>>,
-    /// Shards by `(machine, workload)` pair, in first-appearance order;
-    /// each holds the indices of its member requests.
+    /// Shards by catalog-namespaced `(machine, workload)` pair, in
+    /// first-appearance order; each holds the indices of its member
+    /// requests.
     shards: Vec<(PairKey, Vec<usize>)>,
     /// One response slot per request, filled by the attach stage (build
     /// failures) or the evaluate stage.
@@ -317,6 +657,50 @@ struct Batch {
     /// One attachment per shard (`None` until attached, or on build
     /// failure — those members' slots already hold error responses).
     attachments: Vec<Option<Arc<PairParts>>>,
+    /// Latency bookkeeping; `Some` only when the serving mode records
+    /// latency ([`PipelineOptions::record_latency`]).
+    timing: Option<BatchTiming>,
+}
+
+/// Wall-clock bookkeeping of one timed batch moving through the
+/// pipeline. Queue and build times are batch-granular (stages handle a
+/// chunk at a time); evaluation times are per-request.
+struct BatchTiming {
+    /// When intake finished parsing the chunk.
+    parsed_at: Instant,
+    /// Micros between `parsed_at` and the start of the build stage
+    /// (inter-stage queueing + planning), filled by the build stage.
+    queue_us: u64,
+    /// Micros the build stage spent attaching the chunk's shards.
+    build_us: u64,
+    /// Per-request evaluation micros, filled by the evaluate stage
+    /// (`0` for requests that never evaluated).
+    eval_us: Vec<AtomicU64>,
+}
+
+impl BatchTiming {
+    fn new(parsed_at: Instant, requests: usize) -> Self {
+        Self {
+            parsed_at,
+            queue_us: 0,
+            build_us: 0,
+            eval_us: (0..requests).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn latency_of(&self, request: usize) -> RequestLatency {
+        RequestLatency {
+            queue_us: self.queue_us,
+            build_us: self.build_us,
+            eval_us: self.eval_us[request].load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Saturating microseconds since `from` (latency accounting only — never
+/// part of a response's deterministic payload).
+fn micros_since(from: Instant) -> u64 {
+    u64::try_from(from.elapsed().as_micros()).unwrap_or(u64::MAX)
 }
 
 /// Shape of the staged request pipeline behind
@@ -332,16 +716,26 @@ pub struct PipelineOptions {
     /// granularity at which reference builds for later requests overlap
     /// the evaluation of earlier ones.
     pub chunk: usize,
+    /// Stamps every response with its queue/build/eval micros
+    /// ([`EvalResponse::latency`]) and feeds the [`ServeStats`] latency
+    /// percentiles. **Off by default**: latency values are wall-clock
+    /// measurements, so turning this on intentionally steps outside the
+    /// byte-identical determinism contract.
+    pub record_latency: bool,
 }
 
 impl Default for PipelineOptions {
     fn default() -> Self {
-        Self { depth: 2, chunk: 64 }
+        Self {
+            depth: 2,
+            chunk: 64,
+            record_latency: false,
+        }
     }
 }
 
 impl PipelineOptions {
-    /// Default shape: depth 2, 64-request chunks.
+    /// Default shape: depth 2, 64-request chunks, no latency recording.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
@@ -358,6 +752,13 @@ impl PipelineOptions {
     #[must_use]
     pub fn chunk(mut self, chunk: usize) -> Self {
         self.chunk = chunk;
+        self
+    }
+
+    /// Enables or disables per-request latency stamping.
+    #[must_use]
+    pub fn record_latency(mut self, on: bool) -> Self {
+        self.record_latency = on;
         self
     }
 }
@@ -394,47 +795,62 @@ struct Chunk {
     batch: Batch,
 }
 
-/// Intake output: the parsed requests of one chunk plus its line layout.
+/// Intake output: the parsed requests of one chunk plus its line layout
+/// and (when latency is recorded) the parse-completion timestamp.
 struct ParsedChunk {
     layout: Vec<LineItem>,
     requests: Vec<EvalRequest>,
+    parsed_at: Option<Instant>,
 }
 
-/// The batched evaluation service. Construct with [`EvalService::new`],
+/// The batched evaluation service. Construct with [`EvalService::new`]
+/// (single catalog) or [`EvalService::with_registry`] (multi-tenant),
 /// configure with the builder methods, then feed request batches to
-/// [`EvalService::serve`] (the cache persists across batches).
+/// [`EvalService::serve`] (the cache persists across batches and is
+/// shared by every catalog).
 pub struct EvalService<'a> {
-    machines: &'a [MachineModel],
-    workloads: &'a [WorkloadSpec<'a>],
-    opts: MethodOptions,
+    registry: CatalogRegistry<'a>,
     threads: usize,
     cache: ProfileCache,
-    /// Per-workload CFGs, built lazily (a CFG depends only on the
-    /// program) and shared with every cached pair of that workload.
-    cfgs: Vec<OnceLock<Arc<Cfg>>>,
     requests: AtomicU64,
     cache_hits: AtomicU64,
     builds: AtomicU64,
     errors: AtomicU64,
+    /// Sliding window of total (queue+build+eval) micros of
+    /// latency-stamped requests, aggregated into the [`ServeStats`]
+    /// percentiles.
+    latencies_us: Mutex<LatencyWindow>,
 }
 
 impl<'a> EvalService<'a> {
-    /// A service over the given catalog: default method options, all
-    /// available hardware parallelism, unbounded cache.
+    /// A service over a single default catalog: default method options,
+    /// all available hardware parallelism, unbounded cache.
     #[must_use]
     pub fn new(machines: &'a [MachineModel], workloads: &'a [WorkloadSpec<'a>]) -> Self {
+        Self::with_registry(CatalogRegistry::new(Catalog::new(machines, workloads)))
+    }
+
+    /// A service over a whole registry of named catalogs sharing one
+    /// cache and one admission policy. Requests pick their catalog with
+    /// the `catalog` field; absent means the registry's default.
+    #[must_use]
+    pub fn with_registry(registry: CatalogRegistry<'a>) -> Self {
         Self {
-            machines,
-            workloads,
-            opts: MethodOptions::default(),
+            registry,
             threads: default_threads(),
             cache: ProfileCache::unbounded(),
-            cfgs: (0..workloads.len()).map(|_| OnceLock::new()).collect(),
             requests: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             builds: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            latencies_us: Mutex::new(LatencyWindow::default()),
         }
+    }
+
+    /// The service's catalog registry.
+    #[must_use]
+    pub fn registry(&self) -> &CatalogRegistry<'a> {
+        &self.registry
     }
 
     /// Sets the worker-thread count; `0` restores the default (available
@@ -463,10 +879,13 @@ impl<'a> EvalService<'a> {
         self
     }
 
-    /// Sets the method options requests are instantiated with.
+    /// Sets the method options requests against the **default** catalog
+    /// are instantiated with. Other catalogs of a registry keep the
+    /// options they were registered with
+    /// ([`Catalog::method_options`]).
     #[must_use]
     pub fn method_options(mut self, opts: MethodOptions) -> Self {
-        self.opts = opts;
+        self.registry.catalogs[0].1.opts = opts;
         self
     }
 
@@ -485,22 +904,24 @@ impl<'a> EvalService<'a> {
     /// performs at most one reference build per distinct pair no matter
     /// how small the cache is.
     pub fn serve(&self, requests: &[EvalRequest]) -> Vec<EvalResponse> {
-        let mut batch = self.plan_batch(requests.to_vec());
+        let mut batch = self.plan_batch(requests.to_vec(), None);
         self.attach_batch(&mut batch);
         self.evaluate_batch(batch)
     }
 
-    /// Plan stage: resolves every request against the catalog and shards
-    /// the resolvable ones by `(machine, workload)` pair, in
-    /// first-appearance order.
-    fn plan_batch(&self, requests: Vec<EvalRequest>) -> Batch {
+    /// Plan stage: resolves every request through the catalog registry
+    /// and shards the resolvable ones by catalog-namespaced
+    /// `(machine, workload)` pair, in first-appearance order.
+    /// `parsed_at` carries the intake timestamp of a latency-recording
+    /// pipeline (`None` everywhere else).
+    fn plan_batch(&self, requests: Vec<EvalRequest>, parsed_at: Option<Instant>) -> Batch {
         let resolved: Vec<Result<Resolved, String>> =
             requests.iter().map(|r| self.resolve(r)).collect();
         let mut shard_of: HashMap<PairKey, usize> = HashMap::new();
         let mut shards: Vec<(PairKey, Vec<usize>)> = Vec::new();
         for (i, r) in resolved.iter().enumerate() {
             if let Ok(res) = r {
-                let key = (res.machine, res.workload);
+                let key = PairKey::new(res.catalog, res.machine, res.workload);
                 let s = *shard_of.entry(key).or_insert_with(|| {
                     shards.push((key, Vec::new()));
                     shards.len() - 1
@@ -510,12 +931,14 @@ impl<'a> EvalService<'a> {
         }
         let slots = requests.iter().map(|_| Mutex::new(None)).collect();
         let attachments = shards.iter().map(|_| None).collect();
+        let timing = parsed_at.map(|at| BatchTiming::new(at, requests.len()));
         Batch {
             requests,
             resolved,
             shards,
             slots,
             attachments,
+            timing,
         }
     }
 
@@ -552,6 +975,7 @@ impl<'a> EvalService<'a> {
             shards,
             slots,
             attachments,
+            timing,
         } = batch;
         let tasks: Vec<(usize, usize)> = shards
             .iter()
@@ -559,24 +983,30 @@ impl<'a> EvalService<'a> {
             .filter(|(s, _)| attachments[*s].is_some())
             .flat_map(|(s, (_, members))| members.iter().map(move |&i| (s, i)))
             .collect();
+        let timing_ref = timing.as_ref();
         for_each_index(self.threads, tasks.len(), |t| {
             let (s, i) = tasks[t];
             let parts = attachments[s].as_ref().expect("attached shards only");
             let key = shards[s].0;
             let res = resolved[i].as_ref().expect("sharded requests resolved");
+            let started = timing_ref.map(|_| Instant::now());
             let response = self.evaluate_request(&requests[i], res, key, parts);
+            if let (Some(tm), Some(at)) = (timing_ref, started) {
+                tm.eval_us[i].store(micros_since(at), Ordering::Relaxed);
+            }
             *slots[i].lock().expect("no poisoned slots") = Some(response);
         });
 
         self.requests
             .fetch_add(requests.len() as u64, Ordering::Relaxed);
 
-        requests
+        let responses: Vec<EvalResponse> = requests
             .into_iter()
             .zip(resolved)
             .zip(slots)
-            .map(|((request, resolution), slot)| {
-                match slot.into_inner().expect("no poisoned slots") {
+            .enumerate()
+            .map(|(i, ((request, resolution), slot))| {
+                let mut response = match slot.into_inner().expect("no poisoned slots") {
                     Some(response) => response,
                     None => {
                         let error =
@@ -584,9 +1014,21 @@ impl<'a> EvalService<'a> {
                         self.errors.fetch_add(1, Ordering::Relaxed);
                         EvalResponse::err(request, error)
                     }
+                };
+                if let Some(tm) = &timing {
+                    response.latency = Some(tm.latency_of(i));
                 }
+                response
             })
-            .collect()
+            .collect();
+
+        if timing.is_some() {
+            let mut window = self.latencies_us.lock().expect("no poisoned stats");
+            for us in responses.iter().filter_map(|r| r.latency.map(|l| l.total_us())) {
+                window.record(us);
+            }
+        }
+        responses
     }
 
     /// Serves a single request — batching degenerates gracefully, and the
@@ -647,6 +1089,7 @@ impl<'a> EvalService<'a> {
     {
         let depth = options.depth.max(1);
         let chunk_size = options.chunk.max(1);
+        let record_latency = options.record_latency;
         let mut stats = PipelineStats::default();
         let mut io_result: std::io::Result<()> = Ok(());
         // A reader error surfaces here: the plan stage parks it and
@@ -698,6 +1141,7 @@ impl<'a> EvalService<'a> {
                         let parsed = ParsedChunk {
                             layout: std::mem::take(&mut layout),
                             requests: std::mem::take(&mut requests),
+                            parsed_at: record_latency.then(Instant::now),
                         };
                         if parsed_tx.send(Ok(parsed)).is_err() {
                             return;
@@ -705,7 +1149,11 @@ impl<'a> EvalService<'a> {
                     }
                 }
                 if !layout.is_empty() {
-                    let _ = parsed_tx.send(Ok(ParsedChunk { layout, requests }));
+                    let _ = parsed_tx.send(Ok(ParsedChunk {
+                        layout,
+                        requests,
+                        parsed_at: record_latency.then(Instant::now),
+                    }));
                 }
             });
 
@@ -717,7 +1165,7 @@ impl<'a> EvalService<'a> {
                         Ok(p) => {
                             let chunk = Chunk {
                                 layout: p.layout,
-                                batch: self.plan_batch(p.requests),
+                                batch: self.plan_batch(p.requests, p.parsed_at),
                             };
                             if planned_tx.send(chunk).is_err() {
                                 return;
@@ -737,7 +1185,16 @@ impl<'a> EvalService<'a> {
             // N+1's reference builds with chunk N's evaluation.
             scope.spawn(move || {
                 for mut chunk in planned_rx {
+                    if let Some(timing) = &mut chunk.batch.timing {
+                        timing.queue_us = micros_since(timing.parsed_at);
+                    }
+                    let build_started = chunk.batch.timing.as_ref().map(|_| Instant::now());
                     self.attach_batch(&mut chunk.batch);
+                    if let (Some(timing), Some(at)) =
+                        (&mut chunk.batch.timing, build_started)
+                    {
+                        timing.build_us = micros_since(at);
+                    }
                     if built_tx.send(chunk).is_err() {
                         return;
                     }
@@ -779,14 +1236,26 @@ impl<'a> EvalService<'a> {
         io_result.map(|()| stats)
     }
 
-    /// A snapshot of the cumulative per-request counters.
+    /// A snapshot of the cumulative per-request counters. The latency
+    /// percentiles cover the most recent [`LATENCY_WINDOW`]
+    /// latency-stamped requests (zero when nothing opted into
+    /// [`PipelineOptions::record_latency`]), so snapshot cost stays
+    /// bounded on a long-running server.
     #[must_use]
     pub fn stats(&self) -> ServeStats {
+        let (mut timed, total) = {
+            let window = self.latencies_us.lock().expect("no poisoned stats");
+            (window.samples.clone(), window.total)
+        };
+        timed.sort_unstable();
         ServeStats {
             requests: self.requests.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             builds: self.builds.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            timed_requests: total,
+            latency_p50_us: percentile_us(&timed, 0.50),
+            latency_p99_us: percentile_us(&timed, 0.99),
         }
     }
 
@@ -808,14 +1277,15 @@ impl<'a> EvalService<'a> {
         requests: &[EvalRequest],
         slots: &[Mutex<Option<EvalResponse>>],
     ) -> Option<Arc<PairParts>> {
-        let machine = &self.machines[key.0];
-        let workload = &self.workloads[key.1];
+        let catalog = self.registry.catalog(key.catalog);
+        let machine = &catalog.machines[key.machine];
+        let workload = &catalog.workloads[key.workload];
         let built = self.cache.get_or_build(key, || {
             PairParts::collect(
                 machine,
                 workload.program,
                 workload.run_config,
-                self.workload_cfg(key.1),
+                catalog.workload_cfg(key.workload),
             )
         });
         let (parts, hit) = match built {
@@ -851,8 +1321,9 @@ impl<'a> EvalService<'a> {
         key: PairKey,
         parts: &PairParts,
     ) -> EvalResponse {
-        let machine = &self.machines[key.0];
-        let workload = &self.workloads[key.1];
+        let catalog = self.registry.catalog(key.catalog);
+        let machine = &catalog.machines[key.machine];
+        let workload = &catalog.workloads[key.workload];
         let mut session =
             parts.session(machine, workload.program, workload.run_config.clone());
         let seeds: Vec<u64> = (0..request.effective_runs())
@@ -867,39 +1338,41 @@ impl<'a> EvalService<'a> {
         }
     }
 
-    /// Resolves a request's names against the catalog.
+    /// Resolves a request's names through the registry: the catalog
+    /// first (absent = default), then machine, workload and method
+    /// within it. Every failure is a per-request error string — an
+    /// unknown catalog answers exactly like an unknown machine, in
+    /// order, never a panic.
     fn resolve(&self, request: &EvalRequest) -> Result<Resolved, String> {
-        let machine = self
+        let catalog_index = self.registry.index_of(request.catalog.as_deref())?;
+        let catalog = self.registry.catalog(catalog_index);
+        let machine = catalog
             .machines
             .iter()
             .position(|m| m.name == request.machine)
             .ok_or_else(|| format!("unknown machine `{}`", request.machine))?;
-        let workload = self
+        let workload = catalog
             .workloads
             .iter()
             .position(|w| w.name == request.workload)
             .ok_or_else(|| format!("unknown workload `{}`", request.workload))?;
         let kind = MethodKind::from_label(&request.method)
             .ok_or_else(|| format!("unknown method `{}`", request.method))?;
-        let instance = kind.instantiate(&self.machines[machine], &self.opts).ok_or_else(|| {
-            format!(
-                "method `{}` unavailable on {}",
-                request.method, self.machines[machine].name
-            )
-        })?;
+        let instance = kind
+            .instantiate(&catalog.machines[machine], &catalog.opts)
+            .ok_or_else(|| {
+                format!(
+                    "method `{}` unavailable on {}",
+                    request.method, catalog.machines[machine].name
+                )
+            })?;
         Ok(Resolved {
+            catalog: catalog_index,
             machine,
             workload,
             label: request.method.clone(),
             instance,
         })
-    }
-
-    /// The workload's CFG, built on first use and shared thereafter.
-    fn workload_cfg(&self, w: usize) -> Arc<Cfg> {
-        self.cfgs[w]
-            .get_or_init(|| Arc::new(Cfg::build(self.workloads[w].program)))
-            .clone()
     }
 }
 
@@ -991,6 +1464,20 @@ mod tests {
         assert!(responses[3].error.as_ref().unwrap().contains("unavailable"));
         assert!(responses[4].is_ok());
         assert_eq!(service.stats().errors, 4);
+    }
+
+    #[test]
+    fn latency_window_rotates_and_keeps_the_all_time_count() {
+        let mut window = LatencyWindow::default();
+        for us in 0..(LATENCY_WINDOW as u64 + 10) {
+            window.record(us);
+        }
+        assert_eq!(window.total, LATENCY_WINDOW as u64 + 10);
+        assert_eq!(window.samples.len(), LATENCY_WINDOW, "bounded retention");
+        // The oldest 10 samples rotated out; the newest 10 overwrote them.
+        assert!(!window.samples.contains(&0));
+        assert!(window.samples.contains(&(LATENCY_WINDOW as u64 + 9)));
+        assert_eq!(window.next, 10);
     }
 
     #[test]

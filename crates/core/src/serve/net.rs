@@ -1,0 +1,381 @@
+//! TCP network intake for the evaluation service.
+//!
+//! [`EvalServer`] is the socket front door of [`EvalService`]: it binds a
+//! [`TcpListener`], accepts connections and drives each one through
+//! [`EvalService::serve_pipelined`] on its own scoped worker thread —
+//! the wire format over the socket is exactly the offline JSON-lines
+//! format, so a connection's response stream is **byte-identical** to an
+//! offline pipelined run over the same request lines (same catalogs,
+//! same determinism contract; the shared [`crate::cache::ProfileCache`]
+//! only changes how often references are rebuilt across connections).
+//!
+//! Operational guarantees:
+//!
+//! * **Connection cap** ([`NetOptions::max_connections`]): when the cap
+//!   is reached, the server simply stops accepting until a slot frees —
+//!   pending clients wait in the OS backlog instead of being dropped.
+//! * **Graceful shutdown** ([`ServerHandle::shutdown`]): the accept loop
+//!   stops taking new connections, every in-flight connection drains to
+//!   completion, then [`EvalServer::serve`] returns its [`NetStats`].
+//! * **Per-connection error isolation**: a connection that fails mid-I/O
+//!   (client gone, socket reset) is counted in [`NetStats::io_errors`]
+//!   and logged to stderr; it never takes down the accept loop or any
+//!   sibling connection. Malformed request lines are not errors at this
+//!   layer at all — the pipeline answers them in-order, per its
+//!   contract.
+//!
+//! # Examples
+//!
+//! Serve a catalog over loopback and drive one client connection
+//! (networked and offline responses are byte-identical):
+//!
+//! ```
+//! use countertrust::grid::WorkloadSpec;
+//! use countertrust::methods::MethodOptions;
+//! use countertrust::serve::net::{EvalServer, NetOptions};
+//! use countertrust::serve::{EvalService, PipelineOptions};
+//! use ct_isa::asm::assemble;
+//! use ct_sim::{MachineModel, RunConfig};
+//! use std::io::{Read, Write};
+//!
+//! let program = assemble(
+//!     "demo",
+//!     ".func main\n movi r1, 20000\ntop:\n addi r2, r2, 1\n subi r1, r1, 1\n brnz r1, top\n halt\n.endfunc",
+//! )
+//! .unwrap();
+//! let run_config = RunConfig::default();
+//! let workloads = [WorkloadSpec { name: "demo", program: &program, run_config: &run_config }];
+//! let machines = [MachineModel::ivy_bridge()];
+//! let service = EvalService::new(&machines, &workloads)
+//!     .method_options(MethodOptions::fast());
+//! let wire = "{\"machine\":\"Ivy Bridge (Xeon E3-1265L)\",\"workload\":\"demo\",\"method\":\"classic\",\"runs\":1,\"seed\":7}\n";
+//!
+//! let server = EvalServer::listen("127.0.0.1:0", NetOptions::default()).unwrap();
+//! let addr = server.local_addr();
+//! let handle = server.handle();
+//! let served = std::thread::scope(|scope| {
+//!     let serving = scope.spawn(|| server.serve(&service));
+//!     let mut stream = std::net::TcpStream::connect(addr).unwrap();
+//!     stream.write_all(wire.as_bytes()).unwrap();
+//!     stream.shutdown(std::net::Shutdown::Write).unwrap();
+//!     let mut response = String::new();
+//!     stream.read_to_string(&mut response).unwrap();
+//!     handle.shutdown();
+//!     let stats = serving.join().unwrap().unwrap();
+//!     assert_eq!(stats.connections, 1);
+//!     response
+//! });
+//!
+//! let offline = EvalService::new(&machines, &workloads)
+//!     .method_options(MethodOptions::fast());
+//! let mut expected = Vec::new();
+//! offline
+//!     .serve_pipelined(wire.as_bytes(), &mut expected, &PipelineOptions::default())
+//!     .unwrap();
+//! assert_eq!(served.as_bytes(), expected.as_slice());
+//! ```
+
+use super::{EvalService, PipelineOptions};
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long the accept loop naps when there is nothing to accept (the
+/// listener is non-blocking so shutdown is always observed promptly).
+const ACCEPT_POLL: Duration = Duration::from_millis(1);
+
+/// Shape of a network-served evaluation tier.
+#[derive(Debug, Clone, Copy)]
+pub struct NetOptions {
+    /// The pipeline every connection is driven through.
+    pub pipeline: PipelineOptions,
+    /// Maximum concurrently served connections (values below 1 are
+    /// served as 1). The accept loop pauses at the cap; waiting clients
+    /// queue in the OS listen backlog.
+    pub max_connections: usize,
+}
+
+impl Default for NetOptions {
+    fn default() -> Self {
+        Self {
+            pipeline: PipelineOptions::default(),
+            max_connections: 8,
+        }
+    }
+}
+
+impl NetOptions {
+    /// Default shape: default pipeline, at most 8 concurrent connections.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the per-connection pipeline shape.
+    #[must_use]
+    pub fn pipeline(mut self, pipeline: PipelineOptions) -> Self {
+        self.pipeline = pipeline;
+        self
+    }
+
+    /// Sets the concurrent-connection cap (clamped to at least 1 at
+    /// use).
+    #[must_use]
+    pub fn max_connections(mut self, cap: usize) -> Self {
+        self.max_connections = cap;
+        self
+    }
+}
+
+/// Counters of one [`EvalServer::serve`] run. Connection-level I/O
+/// failures land in [`NetStats::io_errors`]; request-level failures are
+/// ordinary error responses inside their stream and are counted by the
+/// service's [`super::ServeStats`] as usual.
+///
+/// The line/request/response counters cover **cleanly completed**
+/// connections only: a connection that dies mid-stream contributes just
+/// its `io_errors` tick here (its partially served work is still
+/// visible in the service's cumulative [`super::ServeStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Non-empty request lines consumed across cleanly completed
+    /// connections.
+    pub lines: u64,
+    /// Lines that parsed into requests.
+    pub requests: u64,
+    /// Lines answered with parse-error responses.
+    pub parse_errors: u64,
+    /// Responses written across cleanly completed connections.
+    pub responses: u64,
+    /// Connections that ended in an I/O error (client disconnected
+    /// mid-stream, socket reset); each was isolated to its own worker.
+    pub io_errors: u64,
+}
+
+/// A handle that requests a graceful shutdown of a serving
+/// [`EvalServer`] from another thread.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    stop: Arc<AtomicBool>,
+}
+
+impl ServerHandle {
+    /// Asks the server to stop accepting connections and drain. Safe to
+    /// call from any thread, any number of times.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+}
+
+/// A bound TCP evaluation server. [`EvalServer::listen`] binds the
+/// socket; [`EvalServer::serve`] runs the accept loop against a service
+/// until a [`ServerHandle::shutdown`].
+pub struct EvalServer {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    options: NetOptions,
+    stop: Arc<AtomicBool>,
+    /// Connections accepted across this server's lifetime, observable
+    /// while [`EvalServer::serve`] runs (the per-run [`NetStats`] is
+    /// only available once it returns) — e.g. to shut down only after
+    /// known traffic was taken in.
+    accepted: AtomicU64,
+}
+
+impl EvalServer {
+    /// Binds `addr` (use port `0` for an ephemeral port — the resolved
+    /// address is [`EvalServer::local_addr`]) without serving yet.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind/configuration error when the address is
+    /// unavailable.
+    pub fn listen(addr: impl ToSocketAddrs, options: NetOptions) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        // Non-blocking accepts keep the loop responsive to shutdown.
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        Ok(Self {
+            listener,
+            local_addr,
+            options,
+            stop: Arc::new(AtomicBool::new(false)),
+            accepted: AtomicU64::new(0),
+        })
+    }
+
+    /// Connections accepted so far (live — readable from other threads
+    /// while the server runs).
+    #[must_use]
+    pub fn connections_accepted(&self) -> u64 {
+        self.accepted.load(Ordering::Acquire)
+    }
+
+    /// The address the server actually bound (resolves port `0`).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A shutdown handle for this server, cloneable across threads.
+    #[must_use]
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            stop: self.stop.clone(),
+        }
+    }
+
+    /// Accepts connections and serves each through
+    /// [`EvalService::serve_pipelined`] on its own scoped worker thread,
+    /// until the [`ServerHandle`] asks for shutdown; in-flight
+    /// connections drain before this returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first *listener* error (a failing `accept` that is
+    /// not just an empty backlog). Per-connection I/O errors never
+    /// surface here — they are counted in [`NetStats::io_errors`].
+    pub fn serve(&self, service: &EvalService<'_>) -> std::io::Result<NetStats> {
+        let cap = self.options.max_connections.max(1);
+        let pipeline = self.options.pipeline;
+        let active = AtomicUsize::new(0);
+        let connections = AtomicU64::new(0);
+        let lines = AtomicU64::new(0);
+        let requests = AtomicU64::new(0);
+        let parse_errors = AtomicU64::new(0);
+        let responses = AtomicU64::new(0);
+        let io_errors = AtomicU64::new(0);
+        let mut accept_error: Option<std::io::Error> = None;
+
+        std::thread::scope(|scope| {
+            while !self.stop.load(Ordering::Acquire) {
+                if active.load(Ordering::Acquire) >= cap {
+                    // At the cap: let in-flight connections drain before
+                    // accepting more (backpressure via the OS backlog).
+                    std::thread::sleep(ACCEPT_POLL);
+                    continue;
+                }
+                let stream = match self.listener.accept() {
+                    Ok((stream, _peer)) => stream,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(ACCEPT_POLL);
+                        continue;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e) => {
+                        accept_error = Some(e);
+                        break;
+                    }
+                };
+                connections.fetch_add(1, Ordering::Relaxed);
+                self.accepted.fetch_add(1, Ordering::Release);
+                active.fetch_add(1, Ordering::AcqRel);
+                let active = &active;
+                let lines = &lines;
+                let requests = &requests;
+                let parse_errors = &parse_errors;
+                let responses = &responses;
+                let io_errors = &io_errors;
+                scope.spawn(move || {
+                    match serve_connection(service, &stream, &pipeline) {
+                        Ok(stats) => {
+                            lines.fetch_add(stats.lines, Ordering::Relaxed);
+                            requests.fetch_add(stats.requests, Ordering::Relaxed);
+                            parse_errors.fetch_add(stats.parse_errors, Ordering::Relaxed);
+                            responses.fetch_add(stats.responses, Ordering::Relaxed);
+                        }
+                        Err(e) => {
+                            // Isolation: this connection's failure stays
+                            // its own; the server keeps serving.
+                            io_errors.fetch_add(1, Ordering::Relaxed);
+                            eprintln!("warning: connection failed: {e}");
+                        }
+                    }
+                    let _ = stream.shutdown(Shutdown::Both);
+                    active.fetch_sub(1, Ordering::AcqRel);
+                });
+            }
+            // Leaving the scope joins every connection worker: graceful
+            // drain of all in-flight streams.
+        });
+
+        match accept_error {
+            Some(e) => Err(e),
+            None => Ok(NetStats {
+                connections: connections.into_inner(),
+                lines: lines.into_inner(),
+                requests: requests.into_inner(),
+                parse_errors: parse_errors.into_inner(),
+                responses: responses.into_inner(),
+                io_errors: io_errors.into_inner(),
+            }),
+        }
+    }
+}
+
+/// Drives one accepted connection through the staged pipeline: requests
+/// in, responses out, on the same socket.
+fn serve_connection(
+    service: &EvalService<'_>,
+    stream: &TcpStream,
+    pipeline: &PipelineOptions,
+) -> std::io::Result<super::PipelineStats> {
+    // Accepted sockets may inherit the listener's non-blocking mode on
+    // some platforms; the pipeline wants plain blocking reads.
+    stream.set_nonblocking(false)?;
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let stats = service.serve_pipelined(reader, &mut writer, pipeline)?;
+    writer.flush()?;
+    // Half-close tells well-behaved clients the response stream is done
+    // even if they keep their write side open.
+    let _ = stream.shutdown(Shutdown::Write);
+    Ok(stats)
+}
+
+/// Client-side convenience: sends a JSON-lines request stream over one
+/// TCP connection and returns the full response stream. Used by the
+/// bench/client tooling; servers never call this.
+///
+/// # Errors
+///
+/// Returns any connect/write/read error.
+pub fn exchange(addr: impl ToSocketAddrs, wire: &str) -> std::io::Result<String> {
+    use std::io::Read;
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(wire.as_bytes())?;
+    stream.shutdown(Shutdown::Write)?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    Ok(response)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn net_options_clamp_and_build() {
+        let options = NetOptions::new()
+            .max_connections(0)
+            .pipeline(PipelineOptions::new().depth(3).chunk(5));
+        assert_eq!(options.max_connections, 0, "stored raw, clamped at use");
+        assert_eq!(options.pipeline.depth, 3);
+        assert_eq!(options.pipeline.chunk, 5);
+        assert_eq!(NetOptions::default().max_connections, 8);
+    }
+
+    #[test]
+    fn listen_resolves_ephemeral_ports_and_shutdown_is_idempotent() {
+        let server = EvalServer::listen("127.0.0.1:0", NetOptions::default()).unwrap();
+        assert_ne!(server.local_addr().port(), 0);
+        let handle = server.handle();
+        handle.shutdown();
+        handle.shutdown();
+        assert!(server.stop.load(Ordering::Acquire));
+    }
+}

@@ -233,6 +233,15 @@ impl MachineModel {
         vec![Self::magny_cours(), Self::westmere(), Self::ivy_bridge()]
     }
 
+    /// The Intel subset of the matrix (Westmere, Ivy Bridge) — every
+    /// method family of the taxonomy resolves on both, which makes this
+    /// the natural catalog for tenants that must never see
+    /// `method unavailable` holes (the AMD part has no LBR/fix).
+    #[must_use]
+    pub fn intel_machines() -> Vec<Self> {
+        vec![Self::westmere(), Self::ivy_bridge()]
+    }
+
     /// Completion latency for an instruction class, excluding memory (loads
     /// consult the cache model instead).
     #[must_use]
@@ -273,6 +282,20 @@ mod tests {
         assert_eq!(amd.pmu.lbr_depth, 0);
         assert!(!amd.pmu.fixed_counter);
         assert_eq!(amd.pmu.hw_period_randomization_bits, 4);
+    }
+
+    #[test]
+    fn intel_machines_are_the_lbr_capable_subset_of_the_matrix() {
+        let intel = MachineModel::intel_machines();
+        let paper: Vec<String> = MachineModel::paper_machines()
+            .into_iter()
+            .map(|m| m.name)
+            .collect();
+        assert_eq!(intel.len(), 2);
+        for m in &intel {
+            assert!(paper.contains(&m.name), "{} not in the paper matrix", m.name);
+            assert!(m.pmu.lbr_depth > 0, "{} must support LBR", m.name);
+        }
     }
 
     #[test]

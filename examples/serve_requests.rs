@@ -1,6 +1,7 @@
-//! Serving mode in miniature: stream JSON-lines evaluation requests
-//! through the staged intake pipeline (intake → plan → build → evaluate)
-//! and print JSON-lines responses plus the cache accounting.
+//! Multi-tenant serving in miniature: two named catalogs behind one
+//! shared profile cache, JSON-lines requests streamed through the staged
+//! intake pipeline (intake → plan(registry) → build → evaluate) with
+//! per-request latency stamping, and the cache accounting printed last.
 //!
 //! ```text
 //! cargo run --release -p countertrust --example serve_requests
@@ -8,7 +9,7 @@
 
 use countertrust::cache::AdmissionPolicy;
 use countertrust::methods::MethodOptions;
-use countertrust::serve::{EvalService, PipelineOptions};
+use countertrust::serve::{Catalog, CatalogRegistry, EvalService, PipelineOptions};
 use ct_bench_shim::workload_specs;
 use ct_sim::MachineModel;
 
@@ -31,36 +32,55 @@ mod ct_bench_shim {
 }
 
 fn main() {
+    // Tenant "default": the full paper matrix over the kernel set.
     let machines = MachineModel::paper_machines();
-    let workloads = ct_workloads::kernel_set(0.02);
-    let specs = workload_specs(&workloads);
+    let kernels = ct_workloads::kernel_set(0.02);
+    let kernel_specs = workload_specs(&kernels);
 
-    // What a client would send over the wire: one JSON request per line.
-    // The third line is not even JSON and the fourth names a method AMD
-    // cannot run — both come back as in-order error responses, and the
-    // pipeline keeps draining; errors never take the service down.
+    // Tenant "apps": Intel-only machines over the application proxies —
+    // same registry, its own method options, sharing the one cache.
+    let intel = MachineModel::intel_machines();
+    let apps = ct_workloads::applications(0.01);
+    let app_specs = workload_specs(&apps);
+
+    let registry = CatalogRegistry::new(Catalog::new(&machines, &kernel_specs))
+        .register(
+            "apps",
+            Catalog::new(&intel, &app_specs).method_options(MethodOptions::fast()),
+        );
+
+    // What clients send over the wire: one JSON request per line. Lines
+    // 1–2 hit the default catalog (no `catalog` field — the pre-registry
+    // wire format), line 3 is not JSON at all, line 4 names a catalog
+    // nobody registered, and lines 5–6 are tenant traffic for "apps".
+    // Every failure comes back as an in-order error response; the
+    // pipeline keeps draining.
     let wire = r#"
 {"machine":"Ivy Bridge (Xeon E3-1265L)","workload":"callchain","method":"lbr","runs":3,"seed":7}
 {"machine":"Ivy Bridge (Xeon E3-1265L)","workload":"callchain","method":"classic","runs":3,"seed":7}
 this line is not a request at all
-{"machine":"Magny-Cours (Opteron 6164 HE)","workload":"callchain","method":"lbr","runs":1,"seed":7}
-{"machine":"Westmere (Xeon X5650)","workload":"g4box","method":"precise+prime+rand","runs":2,"seed":9}
+{"machine":"Ivy Bridge (Xeon E3-1265L)","workload":"callchain","method":"lbr","runs":1,"seed":7,"catalog":"nope"}
+{"machine":"Westmere (Xeon X5650)","workload":"mcf","method":"precise","runs":2,"seed":9,"catalog":"apps"}
+{"machine":"Ivy Bridge (Xeon E3-1265L)","workload":"povray","method":"lbr","runs":1,"seed":5,"catalog":"apps"}
 "#;
 
-    let service = EvalService::new(&machines, &specs)
+    let service = EvalService::with_registry(registry)
         .method_options(MethodOptions::fast())
         .cache_capacity(8)
         .admission(AdmissionPolicy::Frequency);
 
     // Requests flow straight from the reader: while one chunk evaluates,
-    // the next chunk's reference profiles are already building.
+    // the next chunk's reference profiles are already building. Latency
+    // stamping adds queue/build/eval micros to every response (and makes
+    // the output wall-clock-dependent — leave it off when byte-identity
+    // matters).
     println!("# responses");
     let mut stdout = std::io::stdout().lock();
     let pipeline = service
         .serve_pipelined(
             wire.as_bytes(),
             &mut stdout,
-            &PipelineOptions::new().depth(2).chunk(2),
+            &PipelineOptions::new().depth(2).chunk(2).record_latency(true),
         )
         .expect("stdout accepts responses");
     drop(stdout);
@@ -69,8 +89,12 @@ this line is not a request at all
     let cache = service.cache_stats();
     println!("# accounting");
     println!(
-        "lines {} | requests {} | parse errors {} | chunks {}",
-        pipeline.lines, pipeline.requests, pipeline.parse_errors, pipeline.chunks
+        "catalogs {:?} | lines {} | requests {} | parse errors {} | chunks {}",
+        service.registry().names().collect::<Vec<_>>(),
+        pipeline.lines,
+        pipeline.requests,
+        pipeline.parse_errors,
+        pipeline.chunks
     );
     println!(
         "requests {} | cache hits {} | builds {} | errors {} | hit rate {:.0}%",
@@ -81,10 +105,8 @@ this line is not a request at all
         stats.hit_rate() * 100.0
     );
     println!(
-        "cache: {} resident / capacity 8 ({} admission), {} evictions, {} rejected",
-        cache.resident,
-        AdmissionPolicy::Frequency.name(),
-        cache.evictions,
-        cache.rejected
+        "latency p50 {} µs | p99 {} µs over {} timed requests",
+        stats.latency_p50_us, stats.latency_p99_us, stats.timed_requests
     );
+    println!("cache: {cache}");
 }

@@ -1,0 +1,293 @@
+//! Network-intake guarantees: the TCP front door
+//! ([`countertrust::serve::net::EvalServer`]) serves ≥4 concurrent
+//! loopback connections with per-connection response streams
+//! byte-identical to offline pipelined runs, isolates per-connection
+//! failures, drains gracefully on shutdown, and (opt-in) stamps
+//! responses with per-request latency without disturbing untimed runs.
+
+use countertrust::grid::WorkloadSpec;
+use countertrust::methods::MethodOptions;
+use countertrust::serve::net::{exchange, EvalServer, NetOptions, NetStats};
+use countertrust::serve::{EvalRequest, EvalResponse, EvalService, PipelineOptions};
+use ct_isa::asm::assemble;
+use ct_isa::Program;
+use ct_sim::{MachineModel, RunConfig};
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+
+fn kernel(n: u64) -> Program {
+    assemble(
+        "k",
+        &format!(
+            r#"
+            .func main
+                movi r1, {n}
+            top:
+                addi r2, r2, 1
+                subi r1, r1, 1
+                brnz r1, top
+                halt
+            .endfunc
+        "#
+        ),
+    )
+    .unwrap()
+}
+
+fn wire(requests: &[EvalRequest]) -> String {
+    requests
+        .iter()
+        .map(|r| serde_json::to_string(r).unwrap() + "\n")
+        .collect()
+}
+
+/// One request sub-stream per connection: distinct methods/seeds so no
+/// two connections expect the same bytes.
+fn connection_streams(machines: &[MachineModel], connections: usize) -> Vec<Vec<EvalRequest>> {
+    (0..connections)
+        .map(|c| {
+            let methods = ["classic", "lbr", "precise", "precise+rand"];
+            (0..3)
+                .map(|i| {
+                    EvalRequest::new(
+                        &machines[(c + i) % machines.len()].name,
+                        "k",
+                        methods[(c + i) % methods.len()],
+                        1,
+                        (c * 17 + i) as u64,
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Binds a loopback server, runs `clients` against it inside one scope,
+/// shuts down gracefully, and returns each client's result plus the
+/// server's stats.
+fn serve_loopback<R: Send>(
+    service: &EvalService<'_>,
+    options: NetOptions,
+    clients: impl Fn(std::net::SocketAddr, usize) -> R + Sync,
+    connections: usize,
+) -> (Vec<R>, NetStats) {
+    let server = EvalServer::listen("127.0.0.1:0", options).expect("loopback bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let clients = &clients;
+    std::thread::scope(|scope| {
+        let serving = scope.spawn(|| server.serve(service));
+        let workers: Vec<_> = (0..connections)
+            .map(|c| scope.spawn(move || clients(addr, c)))
+            .collect();
+        let results: Vec<R> = workers
+            .into_iter()
+            .map(|w| w.join().expect("client thread"))
+            .collect();
+        handle.shutdown();
+        let stats = serving.join().expect("server thread").expect("accept loop");
+        (results, stats)
+    })
+}
+
+#[test]
+fn concurrent_connections_match_offline_pipelined_runs() {
+    let program = kernel(10_000);
+    let run_config = RunConfig::default();
+    let workloads = [WorkloadSpec { name: "k", program: &program, run_config: &run_config }];
+    let machines = [MachineModel::ivy_bridge(), MachineModel::westmere()];
+    let streams = connection_streams(&machines, 5);
+    let pipeline = PipelineOptions::new().depth(2).chunk(2);
+
+    let service = EvalService::new(&machines, &workloads)
+        .method_options(MethodOptions::fast())
+        .threads(4);
+    let (outputs, stats) = serve_loopback(
+        &service,
+        NetOptions::new().pipeline(pipeline).max_connections(5),
+        |addr, c| exchange(addr, &wire(&streams[c])).expect("loopback exchange"),
+        streams.len(),
+    );
+
+    assert_eq!(stats.connections, 5, "all five concurrent connections served");
+    assert_eq!(stats.io_errors, 0);
+    assert_eq!(stats.requests, 15);
+    assert_eq!(stats.responses, 15);
+
+    // The acceptance contract: every connection's stream is
+    // byte-identical to a fresh offline pipelined run of the same
+    // requests — the socket adds transport, never content.
+    for (c, (sub, got)) in streams.iter().zip(&outputs).enumerate() {
+        let offline = EvalService::new(&machines, &workloads)
+            .method_options(MethodOptions::fast())
+            .threads(4);
+        let mut expected = Vec::new();
+        offline
+            .serve_pipelined(wire(sub).as_bytes(), &mut expected, &pipeline)
+            .unwrap();
+        assert_eq!(
+            got.as_bytes(),
+            expected.as_slice(),
+            "connection {c} diverged from its offline pipelined run"
+        );
+    }
+}
+
+#[test]
+fn connection_cap_one_still_serves_every_connection() {
+    let program = kernel(5_000);
+    let run_config = RunConfig::default();
+    let workloads = [WorkloadSpec { name: "k", program: &program, run_config: &run_config }];
+    let machines = [MachineModel::ivy_bridge()];
+    let request = EvalRequest::new("Ivy Bridge (Xeon E3-1265L)", "k", "classic", 1, 5);
+    let service = EvalService::new(&machines, &workloads)
+        .method_options(MethodOptions::fast())
+        .threads(2);
+
+    // Cap 1 serializes connections; waiting clients sit in the listen
+    // backlog rather than being refused, so all four still complete.
+    let (outputs, stats) = serve_loopback(
+        &service,
+        NetOptions::new().max_connections(1),
+        |addr, _| exchange(addr, &wire(std::slice::from_ref(&request))).expect("exchange"),
+        4,
+    );
+    assert_eq!(stats.connections, 4);
+    assert_eq!(stats.responses, 4);
+    assert!(outputs.iter().all(|o| o == &outputs[0]), "identical requests, identical bytes");
+}
+
+#[test]
+fn malformed_and_aborted_connections_never_poison_their_siblings() {
+    let program = kernel(8_000);
+    let run_config = RunConfig::default();
+    let workloads = [WorkloadSpec { name: "k", program: &program, run_config: &run_config }];
+    let machines = [MachineModel::ivy_bridge()];
+    let good = EvalRequest::new("Ivy Bridge (Xeon E3-1265L)", "k", "lbr", 2, 9);
+    let good_wire = wire(std::slice::from_ref(&good));
+    let service = EvalService::new(&machines, &workloads)
+        .method_options(MethodOptions::fast())
+        .threads(2);
+
+    let (outputs, stats) = serve_loopback(
+        &service,
+        NetOptions::default(),
+        |addr, c| match c {
+            // Connection 0: pure garbage — answered with in-order parse
+            // errors, not an I/O failure.
+            0 => exchange(addr, "this is not json\nneither is this\n").expect("exchange"),
+            // Connection 1: writes a request and hangs up without ever
+            // reading; whatever happens (EOF-served, reset, broken
+            // pipe) stays on its worker.
+            1 => {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                stream.write_all(good_wire.as_bytes()).expect("write");
+                drop(stream);
+                String::new()
+            }
+            // Connections 2–3: well-behaved.
+            _ => exchange(addr, &good_wire).expect("exchange"),
+        },
+        4,
+    );
+    // The hang-up client may race shutdown before its connection is
+    // even accepted; everyone who waited for a response was served.
+    assert!(stats.connections >= 3, "{stats:?}");
+    assert_eq!(stats.parse_errors, 2, "garbage lines answered, not fatal");
+
+    let garbage: Vec<EvalResponse> = outputs[0]
+        .lines()
+        .map(|l| serde_json::from_str(l).unwrap())
+        .collect();
+    assert_eq!(garbage.len(), 2);
+    assert!(garbage[0].error.as_ref().unwrap().contains("parse error on line 1"));
+
+    // The well-behaved connections got exactly the offline bytes even
+    // with the rogue siblings in flight.
+    let offline = EvalService::new(&machines, &workloads)
+        .method_options(MethodOptions::fast())
+        .threads(1);
+    let mut expected = Vec::new();
+    offline
+        .serve_pipelined(good_wire.as_bytes(), &mut expected, &PipelineOptions::default())
+        .unwrap();
+    for c in [2, 3] {
+        assert_eq!(outputs[c].as_bytes(), expected.as_slice(), "connection {c}");
+    }
+}
+
+#[test]
+fn shutdown_drains_in_flight_connections() {
+    let program = kernel(20_000);
+    let run_config = RunConfig::default();
+    let workloads = [WorkloadSpec { name: "k", program: &program, run_config: &run_config }];
+    let machines = [MachineModel::ivy_bridge()];
+    let request = EvalRequest::new("Ivy Bridge (Xeon E3-1265L)", "k", "precise", 3, 2);
+    let service = EvalService::new(&machines, &workloads)
+        .method_options(MethodOptions::fast())
+        .threads(2);
+
+    let server = EvalServer::listen("127.0.0.1:0", NetOptions::default()).unwrap();
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let response = std::thread::scope(|scope| {
+        let serving = scope.spawn(|| server.serve(&service));
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(wire(std::slice::from_ref(&request)).as_bytes()).unwrap();
+        stream.shutdown(Shutdown::Write).unwrap();
+        // Wait until the server demonstrably took the connection in,
+        // then shut down while the request is (at most) mid-flight: the
+        // accept loop must stop, but the open connection must drain
+        // fully before `serve` returns.
+        while server.connections_accepted() == 0 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        handle.shutdown();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let stats = serving.join().unwrap().unwrap();
+        assert_eq!(stats.connections, 1);
+        assert_eq!(stats.io_errors, 0);
+        response
+    });
+    let parsed: EvalResponse = serde_json::from_str(response.trim()).unwrap();
+    assert!(parsed.is_ok(), "{:?}", parsed.error);
+    assert_eq!(parsed.request, request);
+}
+
+#[test]
+fn record_latency_stamps_networked_responses() {
+    let program = kernel(8_000);
+    let run_config = RunConfig::default();
+    let workloads = [WorkloadSpec { name: "k", program: &program, run_config: &run_config }];
+    let machines = [MachineModel::ivy_bridge()];
+    let requests = vec![
+        EvalRequest::new("Ivy Bridge (Xeon E3-1265L)", "k", "classic", 1, 1),
+        EvalRequest::new("Ivy Bridge (Xeon E3-1265L)", "k", "lbr", 1, 2),
+    ];
+    let service = EvalService::new(&machines, &workloads)
+        .method_options(MethodOptions::fast())
+        .threads(2);
+
+    let (outputs, _) = serve_loopback(
+        &service,
+        NetOptions::new()
+            .pipeline(PipelineOptions::new().chunk(1).record_latency(true)),
+        |addr, _| exchange(addr, &wire(&requests)).expect("exchange"),
+        1,
+    );
+    let parsed: Vec<EvalResponse> = outputs[0]
+        .lines()
+        .map(|l| serde_json::from_str(l).unwrap())
+        .collect();
+    assert_eq!(parsed.len(), 2);
+    for response in &parsed {
+        let latency = response.latency.expect("timed responses carry latency");
+        assert!(latency.eval_us > 0, "evaluation takes measurable time");
+        assert_eq!(latency.total_us(), latency.queue_us + latency.build_us + latency.eval_us);
+    }
+    let stats = service.stats();
+    assert_eq!(stats.timed_requests, 2);
+    assert!(stats.latency_p99_us >= stats.latency_p50_us);
+    assert!(stats.latency_p50_us > 0);
+}

@@ -158,6 +158,72 @@ fn malformed_lines_answer_in_order_and_the_pipeline_keeps_draining() {
 }
 
 #[test]
+fn record_latency_stamps_responses_and_changes_nothing_else() {
+    let program = kernel(10_000);
+    let run_config = RunConfig::default();
+    let workloads = [WorkloadSpec { name: "k", program: &program, run_config: &run_config }];
+    let machines = [MachineModel::ivy_bridge()];
+    let good = sample_requests(&machines);
+    let input = format!(
+        "{}not json at all\n{}",
+        wire(&good[..2]),
+        wire(&good[2..])
+    );
+
+    // Reference run: latency recording off (the default).
+    let untimed = service(&machines, &workloads, 4);
+    let mut plain = Vec::new();
+    untimed
+        .serve_pipelined(input.as_bytes(), &mut plain, &PipelineOptions::new().chunk(2))
+        .unwrap();
+    let plain = String::from_utf8(plain).unwrap();
+    assert!(
+        !plain.contains("latency"),
+        "untimed responses must not even mention the latency key"
+    );
+    assert_eq!(untimed.stats().timed_requests, 0);
+    assert_eq!(untimed.stats().latency_p99_us, 0);
+
+    // Timed run: every request-response carries queue/build/eval micros;
+    // stripping the stamp restores the untimed bytes exactly.
+    let timed = service(&machines, &workloads, 4);
+    let mut out = Vec::new();
+    let stats = timed
+        .serve_pipelined(
+            input.as_bytes(),
+            &mut out,
+            &PipelineOptions::new().chunk(2).record_latency(true),
+        )
+        .unwrap();
+    assert_eq!((stats.requests, stats.parse_errors), (4, 1));
+    let timed_lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+    assert_eq!(timed_lines.len(), plain.lines().count());
+    for (timed_line, plain_line) in timed_lines.iter().zip(plain.lines()) {
+        let mut response: EvalResponse = serde_json::from_str(timed_line).unwrap();
+        if response.error.as_deref().is_some_and(|e| e.contains("parse error")) {
+            // Parse errors never reach the evaluator; they carry no stamp.
+            assert!(response.latency.is_none());
+        } else {
+            let latency = response.latency.expect("timed request-responses are stamped");
+            assert_eq!(
+                latency.total_us(),
+                latency.queue_us + latency.build_us + latency.eval_us
+            );
+        }
+        response.latency = None;
+        assert_eq!(
+            serde_json::to_string(&response).unwrap(),
+            plain_line,
+            "latency stamping must change nothing but the stamp"
+        );
+    }
+
+    let serve_stats = timed.stats();
+    assert_eq!(serve_stats.timed_requests, 4, "one stamp per parsed request");
+    assert!(serve_stats.latency_p99_us >= serve_stats.latency_p50_us);
+}
+
+#[test]
 fn depth_one_pipeline_is_byte_identical_to_batched_chunks() {
     let program = kernel(10_000);
     let run_config = RunConfig::default();

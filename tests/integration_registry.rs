@@ -1,0 +1,315 @@
+//! Multi-catalog registry guarantees: requests without a `catalog` field
+//! are served byte-identically to the pre-registry single-catalog
+//! service, tenants behind one shared cache never collide (the cache key
+//! is namespaced by catalog), and an unknown catalog name answers as an
+//! in-order error response — in both batched and pipelined modes — with
+//! the stream draining on.
+//!
+//! The reference-collection counter is process-global, so the audited
+//! test serializes on [`GUARD`] (this file owns its whole test binary —
+//! see `crates/core/Cargo.toml`).
+
+use countertrust::grid::WorkloadSpec;
+use countertrust::methods::MethodOptions;
+use countertrust::serve::{
+    Catalog, CatalogRegistry, EvalRequest, EvalResponse, EvalService, PipelineOptions,
+    DEFAULT_CATALOG,
+};
+use ct_instrument::CollectionAudit;
+use ct_isa::asm::assemble;
+use ct_isa::Program;
+use ct_sim::{MachineModel, RunConfig};
+use std::sync::Mutex;
+
+static GUARD: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    GUARD.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn kernel(name: &str, n: u64) -> Program {
+    assemble(
+        name,
+        &format!(
+            r#"
+            .func main
+                movi r1, {n}
+            top:
+                addi r2, r2, 1
+                subi r1, r1, 1
+                brnz r1, top
+                halt
+            .endfunc
+        "#
+        ),
+    )
+    .unwrap()
+}
+
+/// A second program under the SAME workload name, with a visibly
+/// different dynamic profile — the collision bait for cache namespacing.
+fn call_kernel(name: &str, n: u64) -> Program {
+    assemble(
+        name,
+        &format!(
+            r#"
+            .func main
+                movi r1, {n}
+            top:
+                call leaf
+                subi r1, r1, 1
+                brnz r1, top
+                halt
+            .endfunc
+            .func leaf
+                addi r3, r3, 1
+                ret
+            .endfunc
+        "#
+        ),
+    )
+    .unwrap()
+}
+
+fn wire(requests: &[EvalRequest]) -> String {
+    requests
+        .iter()
+        .map(|r| serde_json::to_string(r).unwrap() + "\n")
+        .collect()
+}
+
+/// The response's stats serialized alone — catalog-independent payload
+/// equality (responses echo their request, so full lines differ when
+/// only the `catalog` field differs).
+fn stats_json(response: &EvalResponse) -> String {
+    serde_json::to_string(&response.stats).unwrap()
+}
+
+#[test]
+fn default_catalog_requests_are_byte_identical_to_single_catalog_serving() {
+    let program = kernel("k", 10_000);
+    let run_config = RunConfig::default();
+    let workloads = [WorkloadSpec { name: "k", program: &program, run_config: &run_config }];
+    let other_program = kernel("other", 4_000);
+    let other = [WorkloadSpec {
+        name: "other",
+        program: &other_program,
+        run_config: &run_config,
+    }];
+    let machines = [MachineModel::ivy_bridge(), MachineModel::westmere()];
+    let requests = vec![
+        EvalRequest::new("Ivy Bridge (Xeon E3-1265L)", "k", "lbr", 2, 1),
+        EvalRequest::new("Westmere (Xeon X5650)", "k", "classic", 1, 2),
+        EvalRequest::new("Ivy Bridge (Xeon E3-1265L)", "k", "precise", 1, 3),
+    ];
+
+    let single = EvalService::new(&machines, &workloads)
+        .method_options(MethodOptions::fast())
+        .threads(4);
+    let expected = single.serve_jsonl(&requests);
+
+    // The same requests against a multi-catalog registry (extra tenants
+    // registered, default first) must produce the very same bytes — the
+    // registry refactor is invisible to existing streams.
+    let registry = CatalogRegistry::new(
+        Catalog::new(&machines, &workloads).method_options(MethodOptions::fast()),
+    )
+    .register("other", Catalog::new(&machines, &other));
+    let multi = EvalService::with_registry(registry).threads(2);
+    assert_eq!(multi.serve_jsonl(&requests), expected);
+
+    // Naming the default catalog explicitly changes the echoed request
+    // (the wire carries the field) but not the evaluation payload.
+    let named: Vec<EvalRequest> = requests
+        .iter()
+        .map(|r| r.clone().in_catalog(DEFAULT_CATALOG))
+        .collect();
+    for (explicit, implicit) in multi.serve(&named).iter().zip(multi.serve(&requests)) {
+        assert_eq!(explicit.request.catalog.as_deref(), Some(DEFAULT_CATALOG));
+        assert_eq!(stats_json(explicit), stats_json(&implicit));
+    }
+
+    // And the pipelined intake agrees with the batched output for the
+    // default-catalog stream, byte for byte.
+    let mut out = Vec::new();
+    multi
+        .serve_pipelined(
+            wire(&requests).as_bytes(),
+            &mut out,
+            &PipelineOptions::new().depth(2).chunk(2),
+        )
+        .unwrap();
+    assert_eq!(String::from_utf8(out).unwrap(), expected);
+}
+
+#[test]
+fn tenants_sharing_one_cache_never_collide_on_equal_names() {
+    let _guard = lock();
+    // Both catalogs bind machine index 0 / workload index 0 under the
+    // SAME names ("k" on Ivy Bridge) to DIFFERENT programs. Without
+    // catalog-namespaced cache keys, tenant B would ride tenant A's
+    // cached reference profile and silently answer with A's numbers.
+    let run_config = RunConfig::default();
+    let program_a = kernel("k", 10_000);
+    let program_b = call_kernel("k", 3_000);
+    let workloads_a =
+        [WorkloadSpec { name: "k", program: &program_a, run_config: &run_config }];
+    let workloads_b =
+        [WorkloadSpec { name: "k", program: &program_b, run_config: &run_config }];
+    let machines = [MachineModel::ivy_bridge()];
+    let request = EvalRequest::new("Ivy Bridge (Xeon E3-1265L)", "k", "classic", 2, 11);
+
+    let registry = CatalogRegistry::new(
+        Catalog::new(&machines, &workloads_a).method_options(MethodOptions::fast()),
+    )
+    .register(
+        "b",
+        Catalog::new(&machines, &workloads_b).method_options(MethodOptions::fast()),
+    );
+    let service = EvalService::with_registry(registry).threads(2);
+
+    let audit = CollectionAudit::begin();
+    let response_a = service.serve_one(&request);
+    let response_b = service.serve_one(&request.clone().in_catalog("b"));
+    assert!(response_a.is_ok(), "{:?}", response_a.error);
+    assert!(response_b.is_ok(), "{:?}", response_b.error);
+    assert_eq!(
+        audit.collections(),
+        2,
+        "each tenant must build its own reference — no cross-tenant sharing"
+    );
+    assert_ne!(
+        stats_json(&response_a),
+        stats_json(&response_b),
+        "different programs under one name must produce different stats"
+    );
+
+    // Each tenant's payload matches a dedicated single-catalog service
+    // over its own program.
+    for (workloads, response) in
+        [(&workloads_a, &response_a), (&workloads_b, &response_b)]
+    {
+        let dedicated = EvalService::new(&machines, workloads)
+            .method_options(MethodOptions::fast())
+            .threads(1);
+        assert_eq!(
+            stats_json(&dedicated.serve_one(&request)),
+            stats_json(response)
+        );
+    }
+
+    // Replays hit the shared cache — still namespaced, still zero new
+    // reference builds.
+    let replay_audit = CollectionAudit::begin();
+    let replay_b = service.serve_one(&request.clone().in_catalog("b"));
+    assert_eq!(replay_audit.collections(), 0, "replay must be fully cached");
+    assert_eq!(stats_json(&replay_b), stats_json(&response_b));
+}
+
+#[test]
+fn unknown_catalog_answers_in_order_batched() {
+    let program = kernel("k", 5_000);
+    let run_config = RunConfig::default();
+    let workloads = [WorkloadSpec { name: "k", program: &program, run_config: &run_config }];
+    let machines = [MachineModel::ivy_bridge()];
+    let service = EvalService::new(&machines, &workloads)
+        .method_options(MethodOptions::fast())
+        .threads(2);
+    let good = EvalRequest::new("Ivy Bridge (Xeon E3-1265L)", "k", "classic", 1, 1);
+    let requests = vec![
+        good.clone(),
+        good.clone().in_catalog("acme-prod"),
+        good.clone(),
+    ];
+    let responses = service.serve(&requests);
+    assert_eq!(responses.len(), 3);
+    assert!(responses[0].is_ok());
+    assert_eq!(
+        responses[1].error.as_deref(),
+        Some("unknown catalog `acme-prod`"),
+        "unknown catalog must answer like unknown machine/workload: an error response"
+    );
+    assert!(responses[2].is_ok(), "requests after the bad one still serve");
+    assert_eq!(service.stats().errors, 1);
+}
+
+#[test]
+fn unknown_catalog_answers_in_order_pipelined_and_the_stream_drains() {
+    let program = kernel("k", 5_000);
+    let run_config = RunConfig::default();
+    let workloads = [WorkloadSpec { name: "k", program: &program, run_config: &run_config }];
+    let machines = [MachineModel::ivy_bridge()];
+    let service = EvalService::new(&machines, &workloads)
+        .method_options(MethodOptions::fast())
+        .threads(2);
+    let good = EvalRequest::new("Ivy Bridge (Xeon E3-1265L)", "k", "classic", 1, 1);
+    let stream = vec![
+        good.clone(),
+        good.clone().in_catalog("acme-prod"),
+        good.clone(),
+        good.clone().in_catalog("acme-staging"),
+    ];
+
+    let mut out = Vec::new();
+    let stats = service
+        .serve_pipelined(
+            wire(&stream).as_bytes(),
+            &mut out,
+            &PipelineOptions::new().depth(1).chunk(2),
+        )
+        .unwrap();
+    assert_eq!((stats.requests, stats.parse_errors, stats.responses), (4, 0, 4));
+
+    let text = String::from_utf8(out).unwrap();
+    let parsed: Vec<EvalResponse> = text
+        .lines()
+        .map(|l| serde_json::from_str(l).unwrap())
+        .collect();
+    assert!(parsed[0].is_ok());
+    assert_eq!(parsed[1].error.as_deref(), Some("unknown catalog `acme-prod`"));
+    assert!(parsed[2].is_ok());
+    assert_eq!(parsed[3].error.as_deref(), Some("unknown catalog `acme-staging`"));
+    // Responses echo their requests at their stream positions.
+    assert_eq!(parsed[1].request.catalog.as_deref(), Some("acme-prod"));
+    assert_eq!(service.stats().errors, 2);
+}
+
+#[test]
+fn registry_registration_order_and_replacement() {
+    let program = kernel("k", 4_000);
+    let run_config = RunConfig::default();
+    let workloads = [WorkloadSpec { name: "k", program: &program, run_config: &run_config }];
+    let other_program = kernel("o", 4_000);
+    let other = [WorkloadSpec {
+        name: "o",
+        program: &other_program,
+        run_config: &run_config,
+    }];
+    let machines = [MachineModel::westmere()];
+
+    let registry = CatalogRegistry::new(Catalog::new(&machines, &workloads))
+        .register("tenant", Catalog::new(&machines, &workloads))
+        .register("tenant", Catalog::new(&machines, &other));
+    assert_eq!(
+        registry.names().collect::<Vec<_>>(),
+        vec![DEFAULT_CATALOG, "tenant"],
+        "re-registering a name replaces in place, never duplicates"
+    );
+    assert_eq!(registry.len(), 2);
+    assert!(!registry.is_empty());
+    assert_eq!(registry.get("tenant").unwrap().workloads()[0].name, "o");
+    assert!(registry.get("nope").is_none());
+
+    // The replaced catalog is what serves.
+    let service = EvalService::with_registry(registry)
+        .method_options(MethodOptions::fast())
+        .threads(1);
+    let response = service.serve_one(
+        &EvalRequest::new("Westmere (Xeon X5650)", "o", "classic", 1, 3).in_catalog("tenant"),
+    );
+    assert!(response.is_ok(), "{:?}", response.error);
+    let stale = service.serve_one(
+        &EvalRequest::new("Westmere (Xeon X5650)", "k", "classic", 1, 3).in_catalog("tenant"),
+    );
+    assert_eq!(stale.error.as_deref(), Some("unknown workload `k`"));
+}

@@ -12,7 +12,7 @@
 use countertrust::cache::AdmissionPolicy;
 use countertrust::grid::WorkloadSpec;
 use countertrust::methods::{MethodKind, MethodOptions};
-use countertrust::serve::{EvalRequest, EvalService, PipelineOptions};
+use countertrust::serve::{EvalRequest, EvalService, PipelineOptions, DEFAULT_CATALOG};
 use ct_instrument::CollectionAudit;
 use ct_isa::asm::assemble;
 use ct_isa::Program;
@@ -82,6 +82,10 @@ fn materialize(raw: &[RawRequest], machines: &[MachineModel], names: [&str; 2]) 
             method: MethodKind::ALL[k].label().to_string(),
             runs,
             seed,
+            // A seed-derived third of the stream names the default
+            // catalog explicitly: registry resolution (explicit or
+            // implicit default) must be as invariant as everything else.
+            catalog: (seed % 3 == 0).then(|| DEFAULT_CATALOG.to_string()),
         })
         .collect()
 }
