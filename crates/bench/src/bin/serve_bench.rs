@@ -5,12 +5,21 @@
 //!
 //! ```text
 //! cargo run --release -p ct-bench --bin serve_bench -- \
-//!     [--pattern hot|cold|zipfian] [--requests N] [--batch N] \
+//!     [--pattern hot|cold|zipfian|mixed] [--requests N] [--batch N] \
 //!     [--pipeline-depth N] [--chunk N] [--admission lru|freq] \
-//!     [--capacity N] [--runs N] [--scale F] [--seed N] [--threads N] \
-//!     [--record-latency] [--listen ADDR] [--connect ADDR|self] \
-//!     [--connections N] [--smoke]
+//!     [--capacity N] [--quota N] [--fairness fcfs|weighted] [--runs N] \
+//!     [--scale F] [--seed N] [--threads N] [--record-latency] \
+//!     [--listen ADDR] [--connect ADDR|self] [--connections N] [--smoke]
 //! ```
+//!
+//! `--pattern mixed` generates the two-tenant interference stream (90%
+//! hot default-catalog zipfian, 10% cold `tenant-b` zipfian) and
+//! registers the second catalog automatically; `--quota N` caps each
+//! tenant's resident cache entries (0 = unlimited) and `--fairness
+//! weighted` interleaves plan/build/evaluate work round-robin across
+//! tenants. The summary then adds a per-tenant breakdown (requests, hit
+//! rate, errors, and p99 latency under `--record-latency`). Neither knob
+//! changes response bytes.
 //!
 //! Responses go to **stdout** as JSON lines (one per request, in request
 //! order) and are byte-identical for any `--threads N`, `--capacity N`,
@@ -49,13 +58,16 @@
 //! pipeline, JSON — and with `--listen --connect self`, the TCP intake)
 //! on every push.
 
-use countertrust::cache::AdmissionPolicy;
+use countertrust::cache::{AdmissionPolicy, CacheQuotas};
 use countertrust::grid::WorkloadSpec;
 use countertrust::methods::MethodOptions;
 use countertrust::serve::net::{exchange, EvalServer, NetOptions};
-use countertrust::serve::{EvalRequest, EvalService, PipelineOptions};
+use countertrust::serve::{
+    Catalog, CatalogRegistry, EvalRequest, EvalService, FairnessPolicy, PipelineOptions,
+};
 use ct_bench::streams::{
     distinct_pairs, percentile, request_stream, to_wire, StreamConfig, StreamPattern,
+    MIXED_COLD_CATALOG,
 };
 use ct_bench::{workload_specs, CliOptions};
 use ct_instrument::CollectionAudit;
@@ -73,6 +85,10 @@ struct ServeCli {
     chunk: Option<usize>,
     admission: AdmissionPolicy,
     capacity: usize,
+    /// Per-tenant cache residency cap (`0` = unlimited).
+    quota: usize,
+    /// Cross-tenant scheduling inside each chunk.
+    fairness: FairnessPolicy,
     runs: usize,
     record_latency: bool,
     /// Bind address for TCP serving (`0` port = ephemeral).
@@ -85,6 +101,39 @@ struct ServeCli {
     smoke: bool,
 }
 
+/// Parses a count flag that must be ≥ 1, matching the `--threads`
+/// convention from PR 1: a zero or negative value is **rejected** by
+/// clamping to 1 with a warning (silently keeping the default would make
+/// `--pipeline-depth 0` fall back to batched mode behind the user's
+/// back); a non-numeric value warns and keeps the current setting.
+fn parse_positive_count(flag: &str, raw: &str) -> Option<usize> {
+    match raw.parse::<i128>() {
+        Ok(n) if n <= 0 => {
+            eprintln!("warning: rejecting {flag} {n} (must be >= 1); clamping to 1");
+            Some(1)
+        }
+        Ok(n) => Some(usize::try_from(n).unwrap_or(usize::MAX)),
+        Err(_) => {
+            eprintln!("warning: ignoring invalid value {raw:?} for {flag}");
+            None
+        }
+    }
+}
+
+/// Whether this CLI combination would silently drop `--fairness`:
+/// weighted scheduling lives in the serving side's pipeline stages, so
+/// it has no effect in local batched mode (no `--pipeline-depth`) or in
+/// pure client mode (`--connect` without `--listen`, where the remote
+/// server's options govern scheduling). Any `--listen` mode serves
+/// pipelined and applies it.
+fn fairness_needs_pipeline(cli: &ServeCli) -> bool {
+    if cli.fairness == FairnessPolicy::Fcfs || cli.listen.is_some() {
+        return false;
+    }
+    // Local batched mode, or client-only mode.
+    cli.connect.is_some() || cli.pipeline_depth.is_none()
+}
+
 fn parse(args: &[String]) -> ServeCli {
     let mut cli = ServeCli {
         base: CliOptions::parse(args),
@@ -95,6 +144,8 @@ fn parse(args: &[String]) -> ServeCli {
         chunk: None,
         admission: AdmissionPolicy::Lru,
         capacity: 0,
+        quota: 0,
+        fairness: FairnessPolicy::Fcfs,
         runs: 1,
         record_latency: false,
         listen: None,
@@ -140,17 +191,15 @@ fn parse(args: &[String]) -> ServeCli {
             }
             "--pipeline-depth" => {
                 if let Some(v) = take(&mut i) {
-                    match v.parse::<usize>() {
-                        Ok(n) if n > 0 => cli.pipeline_depth = Some(n),
-                        _ => eprintln!("warning: ignoring invalid --pipeline-depth {v:?}"),
+                    if let Some(n) = parse_positive_count("--pipeline-depth", v) {
+                        cli.pipeline_depth = Some(n);
                     }
                 }
             }
             "--chunk" => {
                 if let Some(v) = take(&mut i) {
-                    match v.parse::<usize>() {
-                        Ok(n) if n > 0 => cli.chunk = Some(n),
-                        _ => eprintln!("warning: ignoring invalid --chunk {v:?}"),
+                    if let Some(n) = parse_positive_count("--chunk", v) {
+                        cli.chunk = Some(n);
                     }
                 }
             }
@@ -170,6 +219,26 @@ fn parse(args: &[String]) -> ServeCli {
                     match v.parse::<usize>() {
                         Ok(n) => cli.capacity = n,
                         Err(_) => eprintln!("warning: ignoring invalid --capacity {v:?}"),
+                    }
+                }
+            }
+            "--quota" => {
+                if let Some(v) = take(&mut i) {
+                    match v.parse::<usize>() {
+                        // 0 is meaningful here: it lifts the cap.
+                        Ok(n) => cli.quota = n,
+                        Err(_) => eprintln!("warning: ignoring invalid --quota {v:?}"),
+                    }
+                }
+            }
+            "--fairness" => {
+                if let Some(v) = take(&mut i) {
+                    match FairnessPolicy::parse(v) {
+                        Some(p) => cli.fairness = p,
+                        None => eprintln!(
+                            "warning: unknown --fairness {v:?}; keeping {}",
+                            cli.fairness.name()
+                        ),
                     }
                 }
             }
@@ -194,9 +263,8 @@ fn parse(args: &[String]) -> ServeCli {
             }
             "--connections" => {
                 if let Some(v) = take(&mut i) {
-                    match v.parse::<usize>() {
-                        Ok(n) if n > 0 => cli.connections = n,
-                        _ => eprintln!("warning: ignoring invalid --connections {v:?}"),
+                    if let Some(n) = parse_positive_count("--connections", v) {
+                        cli.connections = n;
                     }
                 }
             }
@@ -206,6 +274,34 @@ fn parse(args: &[String]) -> ServeCli {
         i += 1;
     }
     cli
+}
+
+/// Builds the benchmark service: a single default catalog — plus the
+/// cold [`MIXED_COLD_CATALOG`] tenant when the stream pattern is
+/// multi-tenant — with the capacity/admission/quota knobs applied.
+/// Every mode (batched, pipelined, smoke replicas, networked) constructs
+/// its services here so the catalogs can never drift apart.
+#[allow(clippy::too_many_arguments)]
+fn build_service<'a>(
+    pattern: StreamPattern,
+    machines: &'a [MachineModel],
+    specs: &'a [WorkloadSpec<'a>],
+    opts: &MethodOptions,
+    threads: usize,
+    capacity: usize,
+    admission: AdmissionPolicy,
+    quota: usize,
+) -> EvalService<'a> {
+    let catalog = || Catalog::new(machines, specs).method_options(opts.clone());
+    let mut registry = CatalogRegistry::new(catalog());
+    if pattern.is_multi_tenant() {
+        registry = registry.register(MIXED_COLD_CATALOG, catalog());
+    }
+    EvalService::with_registry(registry)
+        .threads(threads)
+        .cache_capacity(capacity)
+        .admission(admission)
+        .cache_quotas(CacheQuotas::per_catalog(quota))
 }
 
 /// Serves `requests` in batches, returning the JSONL output and the
@@ -288,6 +384,27 @@ fn print_summary_tail(
             fmt_ms(percentile(batch_latencies_ms, 0.99))
         );
     }
+    // The per-tenant breakdown only earns its lines on a multi-tenant
+    // service — a single catalog would just repeat the totals.
+    if stats.tenants.len() > 1 {
+        for tenant in &stats.tenants {
+            let p99 = if tenant.timed_requests > 0 {
+                format!("p99 {} µs", tenant.latency_p99_us)
+            } else {
+                "p99 n/a".to_string()
+            };
+            eprintln!(
+                "  tenant {:<9} requests {} | hit rate {:.1}% ({} hits / {} builds) | {} | errors {}",
+                tenant.catalog,
+                tenant.requests,
+                tenant.hit_rate() * 100.0,
+                tenant.cache_hits,
+                tenant.builds,
+                p99,
+                tenant.errors
+            );
+        }
+    }
 }
 
 fn main() {
@@ -305,10 +422,18 @@ fn main() {
             cli.record_latency = false;
         }
     }
+    if fairness_needs_pipeline(&cli) {
+        eprintln!(
+            "warning: --fairness {} has no effect in this mode — it applies to \
+             pipelined serving (add --pipeline-depth N, or serve with --listen)",
+            cli.fairness.name()
+        );
+    }
     let pipeline = PipelineOptions::new()
         .depth(cli.pipeline_depth.unwrap_or(2))
         .chunk(cli.chunk.unwrap_or(cli.batch))
-        .record_latency(cli.record_latency);
+        .record_latency(cli.record_latency)
+        .fairness(cli.fairness);
 
     let machines = MachineModel::paper_machines();
     let workloads = ct_workloads::all(scale);
@@ -335,11 +460,16 @@ fn main() {
         return;
     }
 
-    let service = EvalService::new(&machines, &specs)
-        .method_options(opts.clone())
-        .threads(cli.base.threads.unwrap_or(0))
-        .cache_capacity(cli.capacity)
-        .admission(cli.admission);
+    let service = build_service(
+        cli.pattern,
+        &machines,
+        &specs,
+        &opts,
+        cli.base.threads.unwrap_or(0),
+        cli.capacity,
+        cli.admission,
+        cli.quota,
+    );
 
     let audit = CollectionAudit::begin();
     let wall = Instant::now();
@@ -355,36 +485,41 @@ fn main() {
 
     if cli.smoke {
         // Re-serve the same stream on fresh single-threaded, wide and
-        // pipelined services: all outputs must agree byte for byte.
-        let narrow = EvalService::new(&machines, &specs)
-            .method_options(opts.clone())
-            .threads(1)
-            .cache_capacity(cli.capacity);
-        let wide = EvalService::new(&machines, &specs)
-            .method_options(opts.clone())
-            .threads(8)
-            .cache_capacity(1.max(cli.capacity / 2));
-        let piped = EvalService::new(&machines, &specs)
-            .method_options(opts)
-            .threads(4)
-            .cache_capacity(cli.capacity)
-            .admission(AdmissionPolicy::Frequency);
+        // pipelined services: all outputs must agree byte for byte. The
+        // pipelined replica flips every fairness knob (frequency
+        // admission, per-tenant quota, weighted scheduling) — none may
+        // change a single output byte.
+        let narrow = build_service(
+            cli.pattern, &machines, &specs, &opts, 1, cli.capacity,
+            AdmissionPolicy::Lru, 0,
+        );
+        let wide = build_service(
+            cli.pattern, &machines, &specs, &opts, 8,
+            1.max(cli.capacity / 2), AdmissionPolicy::Lru, 0,
+        );
+        let piped = build_service(
+            cli.pattern, &machines, &specs, &opts, 4, cli.capacity,
+            AdmissionPolicy::Frequency, 1.max(cli.quota),
+        );
         let (narrow_out, _) = drive(&narrow, &stream, cli.batch);
         let (wide_out, _) = drive(&wide, &stream, stream.len());
         let piped_out = drive_pipelined(
             &piped,
             &stream,
-            &PipelineOptions::new().depth(1).chunk(cli.batch),
+            &PipelineOptions::new()
+                .depth(1)
+                .chunk(cli.batch)
+                .fairness(FairnessPolicy::Weighted),
         );
         assert_eq!(jsonl, narrow_out, "smoke: threads must not change output");
         assert_eq!(jsonl, wide_out, "smoke: batching/capacity must not change output");
         assert_eq!(
             jsonl, piped_out,
-            "smoke: pipelining/admission must not change output"
+            "smoke: pipelining/admission/quotas/fairness must not change output"
         );
         eprintln!(
             "smoke: determinism contract holds across threads, batch size, capacity, \
-             pipelining and admission policy"
+             pipelining, admission policy, quotas and fairness"
         );
     }
 
@@ -395,12 +530,16 @@ fn main() {
     eprintln!("  pattern          {}", cli.pattern.name());
     if cli.pipeline_depth.is_some() {
         eprintln!(
-            "  mode             pipelined (depth {}, chunk {})",
+            "  mode             pipelined (depth {}, chunk {}, fairness {})",
             pipeline.depth.max(1),
-            pipeline.chunk.max(1)
+            pipeline.chunk.max(1),
+            pipeline.fairness.name()
         );
     } else {
         eprintln!("  mode             batched (batch {})", cli.batch);
+    }
+    if cli.quota > 0 {
+        eprintln!("  quota            {} resident entries per tenant", cli.quota);
     }
     eprintln!(
         "  requests         {} ({} distinct pairs)",
@@ -431,11 +570,16 @@ fn run_networked(
     pipeline: &PipelineOptions,
 ) {
     let service = || {
-        EvalService::new(machines, specs)
-            .method_options(opts.clone())
-            .threads(cli.base.threads.unwrap_or(0))
-            .cache_capacity(cli.capacity)
-            .admission(cli.admission)
+        build_service(
+            cli.pattern,
+            machines,
+            specs,
+            opts,
+            cli.base.threads.unwrap_or(0),
+            cli.capacity,
+            cli.admission,
+            cli.quota,
+        )
     };
 
     match (&cli.listen, &cli.connect) {
@@ -551,5 +695,93 @@ fn run_networked(
             );
         }
         (None, None) => unreachable!("networked mode requires --listen or --connect"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn pipeline_depth_zero_is_clamped_to_one_not_batched_mode() {
+        // The regression: `--pipeline-depth 0` used to be silently
+        // ignored, leaving `pipeline_depth = None` — i.e. batched mode —
+        // when the user explicitly asked for the pipeline.
+        let cli = parse(&args(&["--pipeline-depth", "0"]));
+        assert_eq!(cli.pipeline_depth, Some(1));
+        let cli = parse(&args(&["--pipeline-depth", "-3"]));
+        assert_eq!(cli.pipeline_depth, Some(1));
+        let cli = parse(&args(&["--pipeline-depth", "4"]));
+        assert_eq!(cli.pipeline_depth, Some(4));
+        // Non-numeric still keeps the current (batched) setting.
+        let cli = parse(&args(&["--pipeline-depth", "deep"]));
+        assert_eq!(cli.pipeline_depth, None);
+    }
+
+    #[test]
+    fn chunk_zero_is_clamped_to_one() {
+        let cli = parse(&args(&["--chunk", "0"]));
+        assert_eq!(cli.chunk, Some(1));
+        let cli = parse(&args(&["--chunk", "-1"]));
+        assert_eq!(cli.chunk, Some(1));
+        let cli = parse(&args(&["--chunk", "16"]));
+        assert_eq!(cli.chunk, Some(16));
+        let cli = parse(&args(&["--chunk", "wide"]));
+        assert_eq!(cli.chunk, None);
+    }
+
+    #[test]
+    fn connections_zero_is_clamped_to_one() {
+        let cli = parse(&args(&["--connections", "0"]));
+        assert_eq!(cli.connections, 1);
+        let cli = parse(&args(&["--connections", "-2"]));
+        assert_eq!(cli.connections, 1);
+        let cli = parse(&args(&["--connections", "7"]));
+        assert_eq!(cli.connections, 7);
+        // Non-numeric keeps the default.
+        let cli = parse(&args(&["--connections", "many"]));
+        assert_eq!(cli.connections, 4);
+    }
+
+    #[test]
+    fn quota_and_fairness_flags_parse() {
+        let cli = parse(&args(&["--quota", "3", "--fairness", "weighted"]));
+        assert_eq!(cli.quota, 3);
+        assert_eq!(cli.fairness, FairnessPolicy::Weighted);
+        // Quota 0 is meaningful (unlimited), not clamped.
+        let cli = parse(&args(&["--quota", "0"]));
+        assert_eq!(cli.quota, 0);
+        let cli = parse(&args(&["--quota", "lots", "--fairness", "unfair"]));
+        assert_eq!(cli.quota, 0, "bad quota keeps the default");
+        assert_eq!(cli.fairness, FairnessPolicy::Fcfs, "bad fairness keeps the default");
+        let cli = parse(&args(&["--pattern", "mixed"]));
+        assert_eq!(cli.pattern, StreamPattern::Mixed);
+    }
+
+    #[test]
+    fn modes_that_cannot_apply_fairness_warn_instead_of_silently_dropping_it() {
+        // Weighted fairness in batched or client-only mode would be a
+        // silent no-op; main() warns exactly when this predicate holds.
+        assert!(fairness_needs_pipeline(&parse(&args(&["--fairness", "weighted"]))));
+        assert!(
+            fairness_needs_pipeline(&parse(&args(&[
+                "--fairness", "weighted", "--connect", "host:7070",
+            ]))),
+            "client mode: the remote server's options govern scheduling"
+        );
+        assert!(!fairness_needs_pipeline(&parse(&args(&[
+            "--fairness", "weighted", "--pipeline-depth", "2",
+        ]))));
+        assert!(!fairness_needs_pipeline(&parse(&args(&[
+            "--fairness", "weighted", "--listen", "127.0.0.1:0",
+        ]))));
+        assert!(!fairness_needs_pipeline(&parse(&args(&[
+            "--fairness", "weighted", "--listen", "127.0.0.1:0", "--connect", "self",
+        ]))));
+        assert!(!fairness_needs_pipeline(&parse(&args(&["--fairness", "fcfs"]))));
     }
 }

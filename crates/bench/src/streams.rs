@@ -10,7 +10,12 @@
 //!   re-touching one until all others were visited (worst case for a
 //!   bounded LRU);
 //! * [`StreamPattern::Zipfian`] — popularity `∝ 1/rank`, the classic
-//!   web-traffic shape and the benchmark's headline distribution.
+//!   web-traffic shape and the benchmark's headline distribution;
+//! * [`StreamPattern::Mixed`] — a two-tenant interference workload: a
+//!   hot default-catalog tenant owning [`MIXED_HOT_SHARE_PCT`]% of the
+//!   stream and a cold tenant (catalog [`MIXED_COLD_CATALOG`]) owning
+//!   the rest, both zipfian over the pair table — the stream behind the
+//!   per-tenant quota/fairness benchmarks.
 //!
 //! Streams are pure functions of their seed: the same
 //! [`StreamConfig`] always generates the same requests, so two services
@@ -24,6 +29,15 @@ use ct_workloads::Workload;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+/// The catalog name cold-tenant requests of a [`StreamPattern::Mixed`]
+/// stream carry — services benchmarking that pattern must register a
+/// catalog under this name.
+pub const MIXED_COLD_CATALOG: &str = "tenant-b";
+
+/// Share of a [`StreamPattern::Mixed`] stream belonging to the hot
+/// default-catalog tenant, in percent (the cold tenant gets the rest).
+pub const MIXED_HOT_SHARE_PCT: u64 = 90;
+
 /// Pair-popularity distribution of a generated request stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StreamPattern {
@@ -34,16 +48,22 @@ pub enum StreamPattern {
     /// Zipf-distributed pair popularity with exponent 1 (`weight(rank) =
     /// 1/(rank+1)`).
     Zipfian,
+    /// Two-tenant interference mix: [`MIXED_HOT_SHARE_PCT`]% of requests
+    /// from a hot default-catalog tenant, the rest from a cold tenant
+    /// named [`MIXED_COLD_CATALOG`], each independently zipfian over the
+    /// pair table.
+    Mixed,
 }
 
 impl StreamPattern {
-    /// Parses a CLI flag value (`hot` / `cold` / `zipfian`).
+    /// Parses a CLI flag value (`hot` / `cold` / `zipfian` / `mixed`).
     #[must_use]
     pub fn parse(s: &str) -> Option<Self> {
         match s {
             "hot" => Some(Self::Hot),
             "cold" => Some(Self::Cold),
             "zipfian" => Some(Self::Zipfian),
+            "mixed" => Some(Self::Mixed),
             _ => None,
         }
     }
@@ -55,7 +75,15 @@ impl StreamPattern {
             Self::Hot => "hot",
             Self::Cold => "cold",
             Self::Zipfian => "zipfian",
+            Self::Mixed => "mixed",
         }
+    }
+
+    /// Whether streams of this pattern name a second catalog
+    /// ([`MIXED_COLD_CATALOG`]) that the serving side must register.
+    #[must_use]
+    pub fn is_multi_tenant(self) -> bool {
+        self == Self::Mixed
     }
 }
 
@@ -114,7 +142,7 @@ pub fn request_stream(
                 .collect()
         }
         StreamPattern::Cold => vec![1; pairs.len()],
-        StreamPattern::Zipfian => (0..pairs.len())
+        StreamPattern::Zipfian | StreamPattern::Mixed => (0..pairs.len())
             .map(|i| (SCALE / (i as u64 + 1)).max(1))
             .collect(),
     };
@@ -139,6 +167,15 @@ pub fn request_stream(
                 chosen
             }
         };
+        // Mixed streams split the SAME zipfian pair draw across two
+        // tenants, so the cold tenant's working set mirrors the hot
+        // one's shape — in its own cache namespace.
+        let catalog = match config.pattern {
+            StreamPattern::Mixed if rng.gen_range(0..100u64) >= MIXED_HOT_SHARE_PCT => {
+                Some(MIXED_COLD_CATALOG.to_string())
+            }
+            _ => None,
+        };
         let supported = &labels[m];
         let method = supported[rng.gen_range(0..supported.len())].clone();
         out.push(EvalRequest {
@@ -147,7 +184,7 @@ pub fn request_stream(
             method,
             runs: config.runs,
             seed: rng.gen_range(0u64..=u64::MAX / 2),
-            catalog: None,
+            catalog,
         });
     }
     out
@@ -164,12 +201,15 @@ pub fn to_wire(requests: &[EvalRequest]) -> String {
         .collect()
 }
 
-/// Number of distinct `(machine, workload)` pairs a stream touches.
+/// Number of distinct `(catalog, machine, workload)` pairs a stream
+/// touches — the catalog is part of the key because tenants never share
+/// cache entries (for single-tenant streams this is exactly the old
+/// `(machine, workload)` count).
 #[must_use]
 pub fn distinct_pairs(requests: &[EvalRequest]) -> usize {
-    let mut seen: Vec<(&str, &str)> = Vec::new();
+    let mut seen: Vec<(Option<&str>, &str, &str)> = Vec::new();
     for r in requests {
-        let key = (r.machine.as_str(), r.workload.as_str());
+        let key = (r.catalog.as_deref(), r.machine.as_str(), r.workload.as_str());
         if !seen.contains(&key) {
             seen.push(key);
         }
@@ -301,6 +341,40 @@ mod tests {
     }
 
     #[test]
+    fn mixed_streams_split_two_tenants_near_the_configured_share() {
+        let (machines, workloads) = catalog();
+        let mut cfg = config(StreamPattern::Mixed);
+        cfg.requests = 400;
+        let stream = request_stream(&machines, &workloads, &MethodOptions::fast(), &cfg);
+        let cold = stream
+            .iter()
+            .filter(|r| r.catalog.as_deref() == Some(MIXED_COLD_CATALOG))
+            .count();
+        let hot = stream.iter().filter(|r| r.catalog.is_none()).count();
+        assert_eq!(cold + hot, stream.len(), "every request belongs to a tenant");
+        // 10% nominal cold share: allow generous slack, but both tenants
+        // must be present and the hot one must dominate.
+        assert!(cold > stream.len() / 20, "cold tenant too thin: {cold}");
+        assert!(cold < stream.len() / 4, "cold tenant too fat: {cold}");
+        // Reproducible like every other pattern.
+        let again = request_stream(&machines, &workloads, &MethodOptions::fast(), &cfg);
+        assert_eq!(stream, again);
+        // The catalog namespace doubles the distinct-pair count relative
+        // to the union of (machine, workload) names each tenant touches.
+        let hot_only: Vec<_> = stream.iter().filter(|r| r.catalog.is_none()).cloned().collect();
+        let cold_only: Vec<_> =
+            stream.iter().filter(|r| r.catalog.is_some()).cloned().collect();
+        assert_eq!(
+            distinct_pairs(&stream),
+            distinct_pairs(&hot_only) + distinct_pairs(&cold_only)
+        );
+        assert!(StreamPattern::Mixed.is_multi_tenant());
+        assert!(!StreamPattern::Zipfian.is_multi_tenant());
+        assert_eq!(StreamPattern::parse("mixed"), Some(StreamPattern::Mixed));
+        assert_eq!(StreamPattern::Mixed.name(), "mixed");
+    }
+
+    #[test]
     fn percentile_nearest_rank() {
         let sorted = [1.0, 2.0, 3.0, 4.0];
         assert_eq!(percentile(&sorted, 0.0), Some(1.0));
@@ -308,6 +382,14 @@ mod tests {
         assert_eq!(percentile(&sorted, 0.51), Some(3.0));
         assert_eq!(percentile(&sorted, 0.99), Some(4.0));
         assert_eq!(percentile(&sorted, 1.0), Some(4.0));
+    }
+
+    #[test]
+    fn percentile_len_two_median_is_the_lower_sample() {
+        // Nearest rank never interpolates: ceil(0.5 * 2) = rank 1.
+        assert_eq!(percentile(&[10.0, 20.0], 0.5), Some(10.0));
+        assert_eq!(percentile(&[10.0, 20.0], 0.51), Some(20.0));
+        assert_eq!(percentile(&[10.0, 20.0], 1.0), Some(20.0));
     }
 
     #[test]

@@ -19,12 +19,20 @@
 //!   a full cache at all: plain LRU admits everything, while the
 //!   frequency-aware variant rejects one-hit wonders so cold or zipfian
 //!   request streams cannot thrash the hot working set out of a small
-//!   cache.
+//!   cache;
+//! * [`CacheQuotas`] makes the shared cache **tenant-fair**: a quota caps
+//!   how many entries each catalog may keep resident, and once a catalog
+//!   is at its quota, eviction and admission decisions are taken against
+//!   that catalog's own LRU victim — so one hot tenant's churn can never
+//!   flush another tenant's working set. Per-tenant
+//!   hit/miss/eviction/rejection counters are surfaced through
+//!   [`CacheStats::tenants`].
 //!
-//! Cache contents are pure functions of the pair, so eviction, rebuild
-//! and admission change *when* work happens, never *what* a response
-//! contains — the determinism contract of the grid engine extends to any
-//! cache capacity and any admission policy.
+//! Cache contents are pure functions of the pair, so eviction, rebuild,
+//! admission and quotas change *when* work happens, never *what* a
+//! response contains — the determinism contract of the grid engine
+//! extends to any cache capacity, admission policy and quota
+//! configuration.
 
 use crate::error::CoreError;
 use crate::session::Session;
@@ -106,6 +114,70 @@ impl AdmissionPolicy {
     }
 }
 
+/// Per-catalog residency quotas for a shared [`ProfileCache`].
+///
+/// The default is **unlimited** (every catalog may use the whole cache —
+/// exactly the pre-quota behavior, byte for byte). A quota bounds how
+/// many entries one catalog may keep resident at once; when a catalog is
+/// at its quota, inserting another of its entries evicts that catalog's
+/// **own** least recently used entry instead of a global victim, and the
+/// frequency admission policy compares the newcomer against that same
+/// tenant-local victim. Quotas are a residency knob like capacity and
+/// admission: they change build counts, never response bytes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheQuotas {
+    /// Residency cap applied to every catalog without an override
+    /// (`0` = unlimited).
+    default_quota: usize,
+    /// Per-catalog overrides `(catalog index, quota)`; a quota of `0`
+    /// lifts the cap for that catalog.
+    overrides: Vec<(usize, usize)>,
+}
+
+impl CacheQuotas {
+    /// No quotas: every catalog competes for the whole cache (the
+    /// default).
+    #[must_use]
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// The same residency cap for every catalog (`0` = unlimited).
+    #[must_use]
+    pub fn per_catalog(quota: usize) -> Self {
+        Self {
+            default_quota: quota,
+            overrides: Vec::new(),
+        }
+    }
+
+    /// Overrides the cap for one catalog (registry index); `0` lifts the
+    /// cap for that catalog.
+    #[must_use]
+    pub fn with_override(mut self, catalog: usize, quota: usize) -> Self {
+        match self.overrides.iter_mut().find(|(c, _)| *c == catalog) {
+            Some(slot) => slot.1 = quota,
+            None => self.overrides.push((catalog, quota)),
+        }
+        self
+    }
+
+    /// The residency cap for `catalog` (`0` = unlimited).
+    #[must_use]
+    pub fn quota_for(&self, catalog: usize) -> usize {
+        self.overrides
+            .iter()
+            .find(|(c, _)| *c == catalog)
+            .map_or(self.default_quota, |(_, q)| *q)
+    }
+
+    /// Whether no catalog is capped at all (the byte-preserving default).
+    #[must_use]
+    pub fn is_unlimited(&self) -> bool {
+        self.default_quota == 0 && self.overrides.iter().all(|(_, q)| *q == 0)
+    }
+}
+
 /// The shareable evaluation state of one `(machine, workload)` pair: the
 /// workload's CFG plus the pair's instrumented reference profile.
 ///
@@ -159,12 +231,46 @@ impl PairParts {
     }
 }
 
+/// Cumulative per-catalog (tenant) counters of a shared
+/// [`ProfileCache`], one entry per catalog that ever touched the cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantCacheStats {
+    /// The catalog's registry index ([`PairKey::catalog`]).
+    pub catalog: usize,
+    /// This catalog's lookups satisfied by a resident entry.
+    pub hits: u64,
+    /// This catalog's lookups that found no resident entry.
+    pub misses: u64,
+    /// This catalog's entries evicted (by its own quota or the global
+    /// capacity bound).
+    pub evictions: u64,
+    /// This catalog's builds denied residency by the admission policy.
+    pub rejected: u64,
+    /// This catalog's entries currently resident.
+    pub resident: usize,
+    /// This catalog's residency quota (`0` = unlimited).
+    pub quota: usize,
+}
+
+impl TenantCacheStats {
+    /// Fraction of this catalog's lookups served from residency.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+}
+
 /// Cumulative [`ProfileCache`] counters.
 ///
 /// One lookup is counted per [`ProfileCache::get_or_build`] call (the
 /// serving layer performs one per request shard, not one per request —
 /// see [`crate::serve::ServeStats`] for per-request accounting).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups satisfied by a resident entry.
     pub hits: u64,
@@ -183,6 +289,13 @@ pub struct CacheStats {
     pub capacity: usize,
     /// The cache's configured admission policy.
     pub policy: AdmissionPolicy,
+    /// The cache's configured per-catalog quotas.
+    pub quotas: CacheQuotas,
+    /// Per-catalog breakdown: dense over catalog indices `0..=highest`
+    /// catalog that ever looked an entry up (a lower-indexed catalog
+    /// that never did appears with all-zero counters), empty for an
+    /// untouched cache.
+    pub tenants: Vec<TenantCacheStats>,
 }
 
 impl CacheStats {
@@ -196,13 +309,22 @@ impl CacheStats {
         } else {
             self.capacity.to_string()
         };
-        format!(
+        let mut line = format!(
             "capacity {capacity} | policy {} | resident {} | evictions {} | rejected {}",
             self.policy.name(),
             self.resident,
             self.evictions,
             self.rejected
-        )
+        );
+        if !self.quotas.is_unlimited() {
+            let caps: Vec<String> = self
+                .tenants
+                .iter()
+                .map(|t| format!("{}:{}/{}", t.catalog, t.resident, t.quota))
+                .collect();
+            line.push_str(&format!(" | quotas [{}]", caps.join(" ")));
+        }
+        line
     }
 }
 
@@ -219,14 +341,66 @@ struct InFlight {
     ready: Condvar,
 }
 
+/// Unwind protection around a registered in-flight build: if the
+/// builder panics before publishing, the guard's drop removes the
+/// in-flight entry and publishes [`CoreError::BuildPanicked`] — so
+/// waiters sharing the doomed build wake with an error instead of
+/// blocking forever on a result that will never arrive (and later
+/// lookups of the key retry the build instead of queueing behind a
+/// ghost). Disarmed on the normal path, where the builder publishes its
+/// own result.
+struct FlightGuard<'a> {
+    cache: &'a ProfileCache,
+    key: PairKey,
+    flight: &'a Arc<InFlight>,
+    armed: bool,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        {
+            // This drop already runs during an unwind: tolerate a
+            // poisoned map lock rather than double-panicking (which
+            // would abort the process and defeat the isolation).
+            let mut inner = self
+                .cache
+                .inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            inner.in_flight.retain(|(k, _)| *k != self.key);
+        }
+        let mut result = self
+            .flight
+            .result
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *result = Some(Err(CoreError::BuildPanicked));
+        self.flight.ready.notify_all();
+    }
+}
+
 /// Halve every frequency count after this many lookups, so stale
 /// popularity fades instead of pinning an entry forever.
 const FREQ_DECAY_INTERVAL: u64 = 1024;
+
+/// Per-catalog tally of a shared cache (indexed by catalog, grown on
+/// demand).
+#[derive(Debug, Clone, Copy, Default)]
+struct TenantTally {
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    rejected: u64,
+}
 
 struct CacheInner {
     /// `0` means unbounded.
     capacity: usize,
     policy: AdmissionPolicy,
+    quotas: CacheQuotas,
     /// LRU order: front is least recently used, back is most recent.
     entries: Vec<(PairKey, Arc<PairParts>)>,
     /// Keys currently being built, so concurrent lookups of the same key
@@ -242,6 +416,8 @@ struct CacheInner {
     builds: u64,
     evictions: u64,
     rejected: u64,
+    /// Per-catalog counters, indexed by [`PairKey::catalog`].
+    tenants: Vec<TenantTally>,
 }
 
 impl CacheInner {
@@ -272,11 +448,43 @@ impl CacheInner {
             .map_or(0, |(_, c)| *c)
     }
 
+    /// The per-catalog tally for `catalog`, grown on demand.
+    fn tally(&mut self, catalog: usize) -> &mut TenantTally {
+        if self.tenants.len() <= catalog {
+            self.tenants.resize_with(catalog + 1, TenantTally::default);
+        }
+        &mut self.tenants[catalog]
+    }
+
+    /// Resident entries belonging to `catalog`.
+    fn resident_of(&self, catalog: usize) -> usize {
+        self.entries.iter().filter(|(k, _)| k.catalog == catalog).count()
+    }
+
+    /// The least recently used resident entry of `catalog`, if any.
+    fn tenant_victim(&self, catalog: usize) -> Option<PairKey> {
+        self.entries
+            .iter()
+            .map(|(k, _)| *k)
+            .find(|k| k.catalog == catalog)
+    }
+
     /// Whether a freshly built `key` may enter the cache right now.
     fn admits(&self, key: PairKey) -> bool {
         match self.policy {
             AdmissionPolicy::Lru => true,
             AdmissionPolicy::Frequency => {
+                // A catalog at its quota competes against its OWN least
+                // recently used entry — tenant-local admission, so a
+                // popular newcomer from tenant A can never reason its
+                // way into evicting tenant B's entry via quota pressure.
+                let quota = self.quotas.quota_for(key.catalog);
+                if quota > 0 && self.resident_of(key.catalog) >= quota {
+                    let victim = self
+                        .tenant_victim(key.catalog)
+                        .expect("a catalog at quota has resident entries");
+                    return self.frequency(key) >= self.frequency(victim);
+                }
                 if self.capacity == 0 || self.entries.len() < self.capacity {
                     return true;
                 }
@@ -285,6 +493,37 @@ impl CacheInner {
                 // newcomer — recency breaks frequency ties).
                 let victim = self.entries[0].0;
                 self.frequency(key) >= self.frequency(victim)
+            }
+        }
+    }
+
+    /// Evicts down to the quota/capacity bounds after inserting `key`:
+    /// first the inserting catalog's own LRU entries while it is over
+    /// its quota (tenant-local — other catalogs are untouched), then
+    /// the global LRU while the cache is over capacity.
+    fn evict_over_bounds(&mut self, key: PairKey) {
+        let quota = self.quotas.quota_for(key.catalog);
+        if quota > 0 {
+            // One residency count up front; each eviction decrements it
+            // (no full recount per loop iteration).
+            let mut resident = self.resident_of(key.catalog);
+            while resident > quota {
+                let pos = self
+                    .entries
+                    .iter()
+                    .position(|(k, _)| k.catalog == key.catalog)
+                    .expect("over-quota catalog has resident entries");
+                self.entries.remove(pos);
+                resident -= 1;
+                self.evictions += 1;
+                self.tally(key.catalog).evictions += 1;
+            }
+        }
+        if self.capacity > 0 {
+            while self.entries.len() > self.capacity {
+                let (evicted, _) = self.entries.remove(0);
+                self.evictions += 1;
+                self.tally(evicted.catalog).evictions += 1;
             }
         }
     }
@@ -317,13 +556,22 @@ impl ProfileCache {
     }
 
     /// A cache holding at most `capacity` pairs (`0` = unbounded) with
-    /// the given [`AdmissionPolicy`] guarding entry into a full cache.
+    /// the given [`AdmissionPolicy`] guarding entry into a full cache
+    /// and no per-catalog quotas.
     #[must_use]
     pub fn with_policy(capacity: usize, policy: AdmissionPolicy) -> Self {
+        Self::with_config(capacity, policy, CacheQuotas::unlimited())
+    }
+
+    /// The fully configured cache: capacity (`0` = unbounded), admission
+    /// policy, and per-catalog residency quotas ([`CacheQuotas`]).
+    #[must_use]
+    pub fn with_config(capacity: usize, policy: AdmissionPolicy, quotas: CacheQuotas) -> Self {
         Self {
             inner: Mutex::new(CacheInner {
                 capacity,
                 policy,
+                quotas,
                 entries: Vec::new(),
                 in_flight: Vec::new(),
                 freq: Vec::new(),
@@ -333,6 +581,7 @@ impl ProfileCache {
                 builds: 0,
                 evictions: 0,
                 rejected: 0,
+                tenants: Vec::new(),
             }),
         }
     }
@@ -347,6 +596,12 @@ impl ProfileCache {
     #[must_use]
     pub fn policy(&self) -> AdmissionPolicy {
         self.lock().policy
+    }
+
+    /// The configured per-catalog quotas.
+    #[must_use]
+    pub fn quotas(&self) -> CacheQuotas {
+        self.lock().quotas.clone()
     }
 
     /// Returns the resident entry for `key`, marking it most recently
@@ -377,6 +632,7 @@ impl ProfileCache {
                 let parts = entry.1.clone();
                 inner.entries.push(entry);
                 inner.hits += 1;
+                inner.tally(key.catalog).hits += 1;
                 return Ok((parts, true));
             }
             if let Some(flight) = inner
@@ -388,6 +644,7 @@ impl ProfileCache {
                 // Another thread is already building this key: share its
                 // build (a hit — no additional instrumented execution).
                 inner.hits += 1;
+                inner.tally(key.catalog).hits += 1;
                 drop(inner);
                 let mut result = flight
                     .result
@@ -405,6 +662,7 @@ impl ProfileCache {
                     .map(|parts| (parts, true));
             }
             inner.misses += 1;
+            inner.tally(key.catalog).misses += 1;
             let flight = Arc::new(InFlight {
                 result: Mutex::new(None),
                 ready: Condvar::new(),
@@ -414,8 +672,20 @@ impl ProfileCache {
         };
 
         // Build outside the map lock so distinct pairs build concurrently;
-        // the in-flight entry above keeps same-key callers waiting.
-        let built = build().map(Arc::new);
+        // the in-flight entry above keeps same-key callers waiting. The
+        // guard is armed only across the builder itself — the one place
+        // caller code (and a panic) can run.
+        let built = {
+            let mut guard = FlightGuard {
+                cache: self,
+                key,
+                flight: &flight,
+                armed: true,
+            };
+            let built = build().map(Arc::new);
+            guard.armed = false;
+            built
+        };
         {
             let mut inner = self.lock();
             inner.in_flight.retain(|(k, _)| *k != key);
@@ -424,16 +694,12 @@ impl ProfileCache {
                 if inner.admits(key) {
                     // No same-key insert can have raced us: they all waited.
                     inner.entries.push((key, parts.clone()));
-                    if inner.capacity > 0 {
-                        while inner.entries.len() > inner.capacity {
-                            inner.entries.remove(0);
-                            inner.evictions += 1;
-                        }
-                    }
+                    inner.evict_over_bounds(key);
                 } else {
                     // Denied residency: the caller still gets the build,
                     // the hot set keeps its cache slots.
                     inner.rejected += 1;
+                    inner.tally(key.catalog).rejected += 1;
                 }
             }
         }
@@ -470,10 +736,25 @@ impl ProfileCache {
         self.lock().entries.clear();
     }
 
-    /// A snapshot of the cumulative counters.
+    /// A snapshot of the cumulative counters, including the per-catalog
+    /// breakdown ([`CacheStats::tenants`]).
     #[must_use]
     pub fn stats(&self) -> CacheStats {
         let inner = self.lock();
+        let tenants = inner
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(catalog, tally)| TenantCacheStats {
+                catalog,
+                hits: tally.hits,
+                misses: tally.misses,
+                evictions: tally.evictions,
+                rejected: tally.rejected,
+                resident: inner.resident_of(catalog),
+                quota: inner.quotas.quota_for(catalog),
+            })
+            .collect();
         CacheStats {
             hits: inner.hits,
             misses: inner.misses,
@@ -483,6 +764,8 @@ impl ProfileCache {
             resident: inner.entries.len(),
             capacity: inner.capacity,
             policy: inner.policy,
+            quotas: inner.quotas.clone(),
+            tenants,
         }
     }
 
@@ -782,6 +1065,159 @@ mod tests {
         let unbounded = CacheStats::default();
         assert!(unbounded.summary().starts_with("capacity unbounded | policy lru"));
         assert_eq!(format!("{unbounded}"), unbounded.summary());
+    }
+
+    #[test]
+    fn a_panicking_build_wakes_its_waiters_and_leaves_the_key_rebuildable() {
+        let program = kernel();
+        let cache = ProfileCache::unbounded();
+        let barrier = std::sync::Barrier::new(2);
+        std::thread::scope(|scope| {
+            // Thread A registers the in-flight build, lets B join the
+            // wait queue, then panics mid-build.
+            let a = scope.spawn(|| {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    cache.get_or_build(key(0, 0), || -> Result<PairParts, CoreError> {
+                        barrier.wait();
+                        // Give B time to find the in-flight entry and
+                        // block on it (worst case it misses the window
+                        // and simply builds fresh — also correct).
+                        std::thread::sleep(std::time::Duration::from_millis(50));
+                        panic!("injected build panic");
+                    })
+                }))
+            });
+            let b = scope.spawn(|| {
+                barrier.wait();
+                cache.get_or_build(key(0, 0), || Ok(parts_for(&program)))
+            });
+            assert!(a.join().unwrap().is_err(), "the panic propagates to its caller");
+            // The waiter must come back — with the doomed build's error
+            // or (if it raced past the cleanup) its own fresh build —
+            // never hang on a publication that cannot arrive.
+            match b.join().unwrap() {
+                Err(e) => assert_eq!(e, CoreError::BuildPanicked),
+                Ok((_, hit)) => assert!(hit || cache.contains(key(0, 0))),
+            }
+        });
+        // No ghost in-flight entry survives: a later lookup rebuilds.
+        let (_, _) = cache
+            .get_or_build(key(0, 0), || Ok(parts_for(&program)))
+            .expect("the key is rebuildable after the panic");
+        assert!(cache.contains(key(0, 0)));
+    }
+
+    #[test]
+    fn cache_quotas_resolve_defaults_and_overrides() {
+        let quotas = CacheQuotas::per_catalog(3).with_override(1, 5).with_override(1, 2);
+        assert_eq!(quotas.quota_for(0), 3);
+        assert_eq!(quotas.quota_for(1), 2, "re-override replaces in place");
+        assert_eq!(quotas.quota_for(7), 3);
+        assert!(!quotas.is_unlimited());
+        assert!(CacheQuotas::unlimited().is_unlimited());
+        assert!(CacheQuotas::default().is_unlimited());
+        assert_eq!(CacheQuotas::per_catalog(0), CacheQuotas::unlimited());
+        let lifted = CacheQuotas::per_catalog(3).with_override(2, 0);
+        assert_eq!(lifted.quota_for(2), 0, "a zero override lifts the cap");
+        assert!(!lifted.is_unlimited(), "other catalogs stay capped");
+    }
+
+    #[test]
+    fn quota_eviction_is_tenant_local() {
+        let program = kernel();
+        // Room for four entries globally, but each catalog may keep only
+        // two resident: a churning tenant cycles within its own slots.
+        let cache = ProfileCache::with_config(
+            4,
+            AdmissionPolicy::Lru,
+            CacheQuotas::per_catalog(2),
+        );
+        let build = || Ok(parts_for(&program));
+        // Cold tenant (catalog 1) settles two entries first.
+        cache.get_or_build(PairKey::new(1, 0, 0), build).unwrap();
+        cache.get_or_build(PairKey::new(1, 0, 1), build).unwrap();
+        // Hot tenant (catalog 0) churns through three distinct pairs:
+        // its third insert evicts ITS OWN oldest entry, never the cold
+        // tenant's (under plain capacity-4 LRU it would have evicted
+        // cold's (1,0,0)).
+        for w in 0..3 {
+            cache.get_or_build(PairKey::new(0, 0, w), build).unwrap();
+        }
+        assert!(!cache.contains(PairKey::new(0, 0, 0)), "hot's own LRU evicted");
+        assert!(cache.contains(PairKey::new(0, 0, 1)));
+        assert!(cache.contains(PairKey::new(0, 0, 2)));
+        assert!(cache.contains(PairKey::new(1, 0, 0)), "cold tenant untouched");
+        assert!(cache.contains(PairKey::new(1, 0, 1)));
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.tenants[0].evictions, 1);
+        assert_eq!(stats.tenants[1].evictions, 0);
+        assert_eq!(stats.tenants[0].resident, 2);
+        assert_eq!(stats.tenants[1].resident, 2);
+        assert_eq!(stats.tenants[0].quota, 2);
+    }
+
+    #[test]
+    fn frequency_admission_at_quota_competes_against_the_tenant_victim() {
+        let program = kernel();
+        // Global capacity would still admit (4 slots, 3 entries), but
+        // catalog 0 is at its quota of 1 — the newcomer must out-rank
+        // catalog 0's own resident, not the global LRU victim (which
+        // belongs to catalog 1).
+        let cache = ProfileCache::with_config(
+            4,
+            AdmissionPolicy::Frequency,
+            CacheQuotas::per_catalog(1),
+        );
+        let build = || Ok(parts_for(&program));
+        for _ in 0..3 {
+            cache.get_or_build(PairKey::new(0, 0, 0), build).unwrap();
+        }
+        cache.get_or_build(PairKey::new(1, 0, 0), build).unwrap();
+        // freq(candidate)=1 < freq(tenant victim)=3: bounced, counted
+        // against catalog 0 only.
+        cache.get_or_build(PairKey::new(0, 0, 1), build).unwrap();
+        assert!(cache.contains(PairKey::new(0, 0, 0)), "hot resident survives");
+        assert!(!cache.contains(PairKey::new(0, 0, 1)));
+        assert!(cache.contains(PairKey::new(1, 0, 0)), "other tenant untouched");
+        let stats = cache.stats();
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.tenants[0].rejected, 1);
+        assert_eq!(stats.tenants[1].rejected, 0);
+        // A second and third lookup of the candidate earn the slot (tie
+        // admits), evicting the hot entry — still tenant-local.
+        cache.get_or_build(PairKey::new(0, 0, 1), build).unwrap();
+        cache.get_or_build(PairKey::new(0, 0, 1), build).unwrap();
+        assert!(cache.contains(PairKey::new(0, 0, 1)), "earned its own tenant's slot");
+        assert!(!cache.contains(PairKey::new(0, 0, 0)));
+        assert!(cache.contains(PairKey::new(1, 0, 0)));
+    }
+
+    #[test]
+    fn per_tenant_hits_and_misses_are_attributed_to_their_catalog() {
+        let program = kernel();
+        let cache = ProfileCache::unbounded();
+        let build = || Ok(parts_for(&program));
+        cache.get_or_build(PairKey::new(0, 0, 0), build).unwrap();
+        cache.get_or_build(PairKey::new(0, 0, 0), build).unwrap();
+        cache.get_or_build(PairKey::new(2, 0, 0), build).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.tenants.len(), 3, "indexed through the highest catalog");
+        assert_eq!((stats.tenants[0].hits, stats.tenants[0].misses), (1, 1));
+        assert_eq!((stats.tenants[1].hits, stats.tenants[1].misses), (0, 0));
+        assert_eq!((stats.tenants[2].hits, stats.tenants[2].misses), (0, 1));
+        assert!(stats.tenants[0].hit_rate() > 0.49);
+        assert_eq!(stats.tenants[1].hit_rate(), 0.0);
+        assert_eq!(stats.hits, 1, "global counters still aggregate");
+        // The summary mentions quotas only when one is configured.
+        assert!(!stats.summary().contains("quotas"));
+        let quoted = ProfileCache::with_config(
+            0,
+            AdmissionPolicy::Lru,
+            CacheQuotas::per_catalog(4),
+        );
+        quoted.get_or_build(PairKey::new(0, 0, 0), build).unwrap();
+        assert!(quoted.stats().summary().contains("quotas [0:1/4]"));
     }
 
     #[test]

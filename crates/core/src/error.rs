@@ -12,6 +12,11 @@ pub enum CoreError {
     /// A method is not available on the target machine (e.g. the LBR
     /// method on Magny-Cours, which has no LBR facility).
     MethodUnavailable { method: String, machine: String },
+    /// A shared reference build panicked before publishing its result.
+    /// Callers that were waiting on that build receive this error (and
+    /// may retry — nothing was cached); the panic itself propagates on
+    /// the thread that ran the builder.
+    BuildPanicked,
 }
 
 impl fmt::Display for CoreError {
@@ -22,6 +27,9 @@ impl fmt::Display for CoreError {
             CoreError::MethodUnavailable { method, machine } => {
                 write!(f, "method `{method}` unavailable on {machine}")
             }
+            CoreError::BuildPanicked => {
+                write!(f, "shared reference build panicked before completion")
+            }
         }
     }
 }
@@ -31,7 +39,7 @@ impl std::error::Error for CoreError {
         match self {
             CoreError::Pmu(e) => Some(e),
             CoreError::Sim(e) => Some(e),
-            CoreError::MethodUnavailable { .. } => None,
+            CoreError::MethodUnavailable { .. } | CoreError::BuildPanicked => None,
         }
     }
 }

@@ -49,6 +49,28 @@
 //! namespaced by catalog index ([`PairKey::catalog`]), so tenants never
 //! collide even when they bind the same names to different programs.
 //!
+//! # Tenant fairness
+//!
+//! A multi-tenant service shares one cache and one worker pool, so by
+//! default a hot tenant can crowd everyone else out. Two opt-in knobs
+//! control the interference (both default to off, preserving the exact
+//! first-come-first-served bytes *and* build counts):
+//!
+//! * [`CacheQuotas`] ([`EvalService::cache_quotas`]) cap how many cache
+//!   entries each catalog keeps resident, with eviction and admission
+//!   decisions taken tenant-locally once a catalog is at its quota — a
+//!   hot catalog churns within its own slots instead of flushing a cold
+//!   tenant's references;
+//! * [`PipelineOptions::fairness`] ([`FairnessPolicy::Weighted`])
+//!   interleaves the plan/build/evaluate work of each chunk round-robin
+//!   across catalogs, so a one-tenant burst cannot monopolize reference
+//!   builds ahead of other tenants' requests.
+//!
+//! Per-tenant request/hit/error/latency breakdowns are surfaced through
+//! [`ServeStats::tenants`] and [`CacheStats::tenants`]. Neither knob
+//! changes response bytes — responses are emitted in stream order and
+//! cache contents are pure functions of the pair.
+//!
 //! # Network intake
 //!
 //! [`net::EvalServer`] is the TCP front door: it accepts loopback (or
@@ -180,7 +202,7 @@
 
 pub mod net;
 
-use crate::cache::{AdmissionPolicy, CacheStats, PairKey, PairParts, ProfileCache};
+use crate::cache::{AdmissionPolicy, CacheQuotas, CacheStats, PairKey, PairParts, ProfileCache};
 use crate::evaluate::{evaluate_method_with_seeds, ErrorStats};
 use crate::grid::{default_threads, for_each_index, mix64, WorkloadSpec};
 use crate::methods::{MethodInstance, MethodKind, MethodOptions};
@@ -401,13 +423,60 @@ pub fn request_seed(base_seed: u64, run: usize) -> u64 {
     mix64(h)
 }
 
+/// Per-catalog (tenant) slice of [`ServeStats`], one per registered
+/// catalog in registry order.
+///
+/// A request is attributed to the catalog it named (or the default) as
+/// long as that *catalog* resolved — including requests that then
+/// failed machine/workload/method resolution, so a tenant generating
+/// error traffic is visible as such. Only a request naming an unknown
+/// catalog has no tenant to charge and is counted solely in the global
+/// [`ServeStats::errors`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantServeStats {
+    /// The catalog's registered name.
+    pub catalog: String,
+    /// Requests attributed to this catalog (explicitly or as the
+    /// default), whether or not they went on to resolve and evaluate.
+    pub requests: u64,
+    /// This catalog's requests that reused existing pair state.
+    pub cache_hits: u64,
+    /// This catalog's requests whose pair state had to be built.
+    pub builds: u64,
+    /// This catalog's requests answered with an error response
+    /// (resolution, build or evaluation failures).
+    pub errors: u64,
+    /// This catalog's requests that carried a latency stamp.
+    pub timed_requests: u64,
+    /// Median total per-request latency (µs) over this catalog's most
+    /// recent [`LATENCY_WINDOW`] timed requests.
+    pub latency_p50_us: u64,
+    /// 99th-percentile total per-request latency (µs) over the same
+    /// window.
+    pub latency_p99_us: u64,
+}
+
+impl TenantServeStats {
+    /// Fraction of this catalog's pair attachments served without a
+    /// reference build.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let attached = self.cache_hits + self.builds;
+        if attached == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / attached as f64
+        }
+    }
+}
+
 /// Cumulative per-request counters of an [`EvalService`].
 ///
 /// Unlike [`CacheStats`] (one lookup per shard), these count *requests*:
 /// a request is a cache hit when the pair state it rode on already
 /// existed — resident in the cache, or built moments earlier by another
 /// request of the same batch shard.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ServeStats {
     /// Requests received. Malformed pipeline lines never parse into a
     /// request and are **not** counted here (see
@@ -433,6 +502,9 @@ pub struct ServeStats {
     /// 99th-percentile total per-request latency in microseconds over
     /// the same window (`0` when nothing was timed).
     pub latency_p99_us: u64,
+    /// Per-catalog breakdown, one entry per registered catalog in
+    /// registry order (a single-catalog service has exactly one).
+    pub tenants: Vec<TenantServeStats>,
 }
 
 impl ServeStats {
@@ -449,6 +521,12 @@ impl ServeStats {
 }
 
 /// The nearest-rank `p`-th percentile of an ascending-sorted sample.
+///
+/// Boundary semantics (locked by unit tests): an empty sample reports
+/// `0` (there is no distribution to summarize), a single sample answers
+/// every percentile, `p` is clamped into `[0, 1]`, `p = 0` reports the
+/// minimum and `p = 1` the maximum, and even-length medians take the
+/// *lower* of the two middle samples (nearest-rank never interpolates).
 fn percentile_us(sorted: &[u64], p: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
@@ -484,6 +562,25 @@ impl LatencyWindow {
             self.next = (self.next + 1) % LATENCY_WINDOW;
         }
     }
+
+    /// Snapshot: the window's samples sorted ascending, plus the
+    /// all-time count.
+    fn sorted_samples(&self) -> (Vec<u64>, u64) {
+        let mut samples = self.samples.clone();
+        samples.sort_unstable();
+        (samples, self.total)
+    }
+}
+
+/// One catalog's cumulative per-request counters inside an
+/// [`EvalService`] (aggregated into [`TenantServeStats`] snapshots).
+#[derive(Default)]
+struct TenantCounters {
+    requests: AtomicU64,
+    cache_hits: AtomicU64,
+    builds: AtomicU64,
+    errors: AtomicU64,
+    latencies: Mutex<LatencyWindow>,
 }
 
 /// The name a single-catalog service registers its catalog under, and
@@ -660,6 +757,9 @@ struct Batch {
     /// Latency bookkeeping; `Some` only when the serving mode records
     /// latency ([`PipelineOptions::record_latency`]).
     timing: Option<BatchTiming>,
+    /// Cross-catalog scheduling policy for this batch's build and
+    /// evaluate stages.
+    fairness: FairnessPolicy,
 }
 
 /// Wall-clock bookkeeping of one timed batch moving through the
@@ -703,6 +803,73 @@ fn micros_since(from: Instant) -> u64 {
     u64::try_from(from.elapsed().as_micros()).unwrap_or(u64::MAX)
 }
 
+/// How the plan/build/evaluate stages order work across catalogs within
+/// one chunk.
+///
+/// Fairness is a pure *scheduling* knob: responses are always emitted in
+/// stream order, so output bytes are identical under every policy — what
+/// changes is which tenant's reference builds and evaluations get worker
+/// time first, and therefore per-tenant latency under mixed traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FairnessPolicy {
+    /// First-come-first-served: shards and evaluation tasks run in
+    /// stream order (the default — a burst from one tenant occupies the
+    /// workers until its chunk share is done).
+    #[default]
+    Fcfs,
+    /// Weighted round-robin over catalogs: within each chunk, shards and
+    /// evaluation tasks are interleaved one-per-catalog in rotation
+    /// (equal weights), so a hot tenant's burst cannot monopolize
+    /// reference builds ahead of a cold tenant's single request.
+    Weighted,
+}
+
+impl FairnessPolicy {
+    /// Parses a CLI flag value (`fcfs` / `weighted`).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "fcfs" => Some(Self::Fcfs),
+            "weighted" | "wrr" => Some(Self::Weighted),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling of this policy.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Fcfs => "fcfs",
+            Self::Weighted => "weighted",
+        }
+    }
+}
+
+/// Round-robin interleave over catalogs: items tagged with their catalog
+/// index come back one-per-catalog in rotation (catalogs ordered by
+/// first appearance, per-catalog order preserved) — the
+/// [`FairnessPolicy::Weighted`] schedule. A pure function of its input,
+/// so scheduling stays deterministic.
+fn interleave_by_catalog<T>(tagged: Vec<(usize, T)>) -> Vec<T> {
+    let total = tagged.len();
+    let mut groups: Vec<(usize, std::collections::VecDeque<T>)> = Vec::new();
+    for (catalog, item) in tagged {
+        match groups.iter_mut().find(|(c, _)| *c == catalog) {
+            Some((_, group)) => group.push_back(item),
+            None => groups.push((catalog, std::collections::VecDeque::from([item]))),
+        }
+    }
+    let mut out = Vec::with_capacity(total);
+    while out.len() < total {
+        for (_, group) in &mut groups {
+            if let Some(item) = group.pop_front() {
+                out.push(item);
+            }
+        }
+    }
+    out
+}
+
 /// Shape of the staged request pipeline behind
 /// [`EvalService::serve_pipelined`].
 #[derive(Debug, Clone, Copy)]
@@ -722,6 +889,10 @@ pub struct PipelineOptions {
     /// measurements, so turning this on intentionally steps outside the
     /// byte-identical determinism contract.
     pub record_latency: bool,
+    /// How plan/build/evaluate order work across catalogs inside each
+    /// chunk (see [`FairnessPolicy`]; default FCFS). Never changes
+    /// output bytes — only which tenant's work runs first.
+    pub fairness: FairnessPolicy,
 }
 
 impl Default for PipelineOptions {
@@ -730,6 +901,7 @@ impl Default for PipelineOptions {
             depth: 2,
             chunk: 64,
             record_latency: false,
+            fairness: FairnessPolicy::Fcfs,
         }
     }
 }
@@ -759,6 +931,13 @@ impl PipelineOptions {
     #[must_use]
     pub fn record_latency(mut self, on: bool) -> Self {
         self.record_latency = on;
+        self
+    }
+
+    /// Sets the cross-catalog scheduling policy (see [`FairnessPolicy`]).
+    #[must_use]
+    pub fn fairness(mut self, fairness: FairnessPolicy) -> Self {
+        self.fairness = fairness;
         self
     }
 }
@@ -820,6 +999,9 @@ pub struct EvalService<'a> {
     /// latency-stamped requests, aggregated into the [`ServeStats`]
     /// percentiles.
     latencies_us: Mutex<LatencyWindow>,
+    /// Per-catalog counters, one per registered catalog in registry
+    /// order (aggregated into [`ServeStats::tenants`]).
+    tenants: Vec<TenantCounters>,
 }
 
 impl<'a> EvalService<'a> {
@@ -835,6 +1017,7 @@ impl<'a> EvalService<'a> {
     /// the `catalog` field; absent means the registry's default.
     #[must_use]
     pub fn with_registry(registry: CatalogRegistry<'a>) -> Self {
+        let tenants = (0..registry.len()).map(|_| TenantCounters::default()).collect();
         Self {
             registry,
             threads: default_threads(),
@@ -844,6 +1027,7 @@ impl<'a> EvalService<'a> {
             builds: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             latencies_us: Mutex::new(LatencyWindow::default()),
+            tenants,
         }
     }
 
@@ -862,20 +1046,33 @@ impl<'a> EvalService<'a> {
     }
 
     /// Bounds the profile cache to `capacity` pairs (`0` means
-    /// unbounded), keeping the configured admission policy. Responses do
-    /// not depend on this — only build counts do.
+    /// unbounded), keeping the configured admission policy and quotas.
+    /// Responses do not depend on this — only build counts do.
     #[must_use]
     pub fn cache_capacity(mut self, capacity: usize) -> Self {
-        self.cache = ProfileCache::with_policy(capacity, self.cache.policy());
+        self.cache =
+            ProfileCache::with_config(capacity, self.cache.policy(), self.cache.quotas());
         self
     }
 
     /// Sets the cache admission policy (see [`AdmissionPolicy`]), keeping
-    /// the configured capacity. Responses do not depend on this — only
-    /// build counts do.
+    /// the configured capacity and quotas. Responses do not depend on
+    /// this — only build counts do.
     #[must_use]
     pub fn admission(mut self, policy: AdmissionPolicy) -> Self {
-        self.cache = ProfileCache::with_policy(self.cache.capacity(), policy);
+        self.cache =
+            ProfileCache::with_config(self.cache.capacity(), policy, self.cache.quotas());
+        self
+    }
+
+    /// Sets per-catalog residency quotas on the shared cache (see
+    /// [`CacheQuotas`]; default unlimited), keeping the configured
+    /// capacity and admission policy. Responses do not depend on this —
+    /// only build counts and per-tenant hit rates do.
+    #[must_use]
+    pub fn cache_quotas(mut self, quotas: CacheQuotas) -> Self {
+        self.cache =
+            ProfileCache::with_config(self.cache.capacity(), self.cache.policy(), quotas);
         self
     }
 
@@ -904,17 +1101,25 @@ impl<'a> EvalService<'a> {
     /// performs at most one reference build per distinct pair no matter
     /// how small the cache is.
     pub fn serve(&self, requests: &[EvalRequest]) -> Vec<EvalResponse> {
-        let mut batch = self.plan_batch(requests.to_vec(), None);
+        let mut batch = self.plan_batch(requests.to_vec(), None, FairnessPolicy::Fcfs);
         self.attach_batch(&mut batch);
         self.evaluate_batch(batch)
     }
 
     /// Plan stage: resolves every request through the catalog registry
     /// and shards the resolvable ones by catalog-namespaced
-    /// `(machine, workload)` pair, in first-appearance order.
-    /// `parsed_at` carries the intake timestamp of a latency-recording
-    /// pipeline (`None` everywhere else).
-    fn plan_batch(&self, requests: Vec<EvalRequest>, parsed_at: Option<Instant>) -> Batch {
+    /// `(machine, workload)` pair — in first-appearance order under
+    /// FCFS, or interleaved round-robin across catalogs under
+    /// [`FairnessPolicy::Weighted`] so the build stage starts every
+    /// tenant's references fairly. `parsed_at` carries the intake
+    /// timestamp of a latency-recording pipeline (`None` everywhere
+    /// else).
+    fn plan_batch(
+        &self,
+        requests: Vec<EvalRequest>,
+        parsed_at: Option<Instant>,
+        fairness: FairnessPolicy,
+    ) -> Batch {
         let resolved: Vec<Result<Resolved, String>> =
             requests.iter().map(|r| self.resolve(r)).collect();
         let mut shard_of: HashMap<PairKey, usize> = HashMap::new();
@@ -929,6 +1134,11 @@ impl<'a> EvalService<'a> {
                 shards[s].1.push(i);
             }
         }
+        if fairness == FairnessPolicy::Weighted {
+            shards = interleave_by_catalog(
+                shards.into_iter().map(|s| (s.0.catalog, s)).collect(),
+            );
+        }
         let slots = requests.iter().map(|_| Mutex::new(None)).collect();
         let attachments = shards.iter().map(|_| None).collect();
         let timing = parsed_at.map(|at| BatchTiming::new(at, requests.len()));
@@ -939,6 +1149,7 @@ impl<'a> EvalService<'a> {
             slots,
             attachments,
             timing,
+            fairness,
         }
     }
 
@@ -965,7 +1176,10 @@ impl<'a> EvalService<'a> {
 
     /// Evaluate stage: one task per *request*, so skewed traffic (many
     /// requests on one hot pair) still spreads across every worker
-    /// instead of serializing inside its shard. Responses come back in
+    /// instead of serializing inside its shard. Under
+    /// [`FairnessPolicy::Weighted`] the task list is interleaved
+    /// round-robin across catalogs, so a hot tenant's burst cannot queue
+    /// ahead of every other tenant's requests. Responses come back in
     /// request order; requests that never reached a shard failed
     /// resolution and are answered here.
     fn evaluate_batch(&self, batch: Batch) -> Vec<EvalResponse> {
@@ -976,13 +1190,19 @@ impl<'a> EvalService<'a> {
             slots,
             attachments,
             timing,
+            fairness,
         } = batch;
-        let tasks: Vec<(usize, usize)> = shards
+        let mut tasks: Vec<(usize, usize)> = shards
             .iter()
             .enumerate()
             .filter(|(s, _)| attachments[*s].is_some())
             .flat_map(|(s, (_, members))| members.iter().map(move |&i| (s, i)))
             .collect();
+        if fairness == FairnessPolicy::Weighted {
+            tasks = interleave_by_catalog(
+                tasks.into_iter().map(|t| (shards[t.0].0.catalog, t)).collect(),
+            );
+        }
         let timing_ref = timing.as_ref();
         for_each_index(self.threads, tasks.len(), |t| {
             let (s, i) = tasks[t];
@@ -1006,6 +1226,15 @@ impl<'a> EvalService<'a> {
             .zip(slots)
             .enumerate()
             .map(|(i, ((request, resolution), slot))| {
+                // The tenant to charge. A request whose names failed to
+                // resolve still belongs to its catalog as long as the
+                // catalog itself resolved — only an unknown catalog
+                // leaves no tenant to attribute to.
+                let catalog = match &resolution {
+                    Ok(res) => Some(res.catalog),
+                    Err(_) => self.registry.index_of(request.catalog.as_deref()).ok(),
+                };
+                let unresolved = resolution.is_err();
                 let mut response = match slot.into_inner().expect("no poisoned slots") {
                     Some(response) => response,
                     None => {
@@ -1015,8 +1244,21 @@ impl<'a> EvalService<'a> {
                         EvalResponse::err(request, error)
                     }
                 };
+                if let Some(c) = catalog {
+                    self.tenants[c].requests.fetch_add(1, Ordering::Relaxed);
+                    if unresolved {
+                        self.tenants[c].errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
                 if let Some(tm) = &timing {
                     response.latency = Some(tm.latency_of(i));
+                    if let (Some(c), Some(latency)) = (catalog, response.latency) {
+                        self.tenants[c]
+                            .latencies
+                            .lock()
+                            .expect("no poisoned stats")
+                            .record(latency.total_us());
+                    }
                 }
                 response
             })
@@ -1090,6 +1332,7 @@ impl<'a> EvalService<'a> {
         let depth = options.depth.max(1);
         let chunk_size = options.chunk.max(1);
         let record_latency = options.record_latency;
+        let fairness = options.fairness;
         let mut stats = PipelineStats::default();
         let mut io_result: std::io::Result<()> = Ok(());
         // A reader error surfaces here: the plan stage parks it and
@@ -1165,7 +1408,7 @@ impl<'a> EvalService<'a> {
                         Ok(p) => {
                             let chunk = Chunk {
                                 layout: p.layout,
-                                batch: self.plan_batch(p.requests, p.parsed_at),
+                                batch: self.plan_batch(p.requests, p.parsed_at, fairness),
                             };
                             if planned_tx.send(chunk).is_err() {
                                 return;
@@ -1243,11 +1486,34 @@ impl<'a> EvalService<'a> {
     /// bounded on a long-running server.
     #[must_use]
     pub fn stats(&self) -> ServeStats {
-        let (mut timed, total) = {
-            let window = self.latencies_us.lock().expect("no poisoned stats");
-            (window.samples.clone(), window.total)
-        };
-        timed.sort_unstable();
+        let (timed, total) = self
+            .latencies_us
+            .lock()
+            .expect("no poisoned stats")
+            .sorted_samples();
+        let tenants = self
+            .registry
+            .catalogs
+            .iter()
+            .zip(&self.tenants)
+            .map(|((name, _), counters)| {
+                let (samples, timed_requests) = counters
+                    .latencies
+                    .lock()
+                    .expect("no poisoned stats")
+                    .sorted_samples();
+                TenantServeStats {
+                    catalog: name.clone(),
+                    requests: counters.requests.load(Ordering::Relaxed),
+                    cache_hits: counters.cache_hits.load(Ordering::Relaxed),
+                    builds: counters.builds.load(Ordering::Relaxed),
+                    errors: counters.errors.load(Ordering::Relaxed),
+                    timed_requests,
+                    latency_p50_us: percentile_us(&samples, 0.50),
+                    latency_p99_us: percentile_us(&samples, 0.99),
+                }
+            })
+            .collect();
         ServeStats {
             requests: self.requests.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
@@ -1256,6 +1522,7 @@ impl<'a> EvalService<'a> {
             timed_requests: total,
             latency_p50_us: percentile_us(&timed, 0.50),
             latency_p99_us: percentile_us(&timed, 0.99),
+            tenants,
         }
     }
 
@@ -1288,10 +1555,12 @@ impl<'a> EvalService<'a> {
                 catalog.workload_cfg(key.workload),
             )
         });
+        let tenant = &self.tenants[key.catalog];
         let (parts, hit) = match built {
             Ok(ok) => ok,
             Err(e) => {
                 self.errors.fetch_add(members.len() as u64, Ordering::Relaxed);
+                tenant.errors.fetch_add(members.len() as u64, Ordering::Relaxed);
                 for &i in members {
                     *slots[i].lock().expect("no poisoned slots") = Some(EvalResponse::err(
                         requests[i].clone(),
@@ -1307,9 +1576,11 @@ impl<'a> EvalService<'a> {
             members.len() as u64
         } else {
             self.builds.fetch_add(1, Ordering::Relaxed);
+            tenant.builds.fetch_add(1, Ordering::Relaxed);
             members.len() as u64 - 1
         };
         self.cache_hits.fetch_add(hits, Ordering::Relaxed);
+        tenant.cache_hits.fetch_add(hits, Ordering::Relaxed);
         Some(parts)
     }
 
@@ -1333,6 +1604,7 @@ impl<'a> EvalService<'a> {
             Ok(stats) => EvalResponse::ok(request.clone(), stats),
             Err(e) => {
                 self.errors.fetch_add(1, Ordering::Relaxed);
+                self.tenants[key.catalog].errors.fetch_add(1, Ordering::Relaxed);
                 EvalResponse::err(request.clone(), format!("evaluation failed: {e}"))
             }
         }
@@ -1463,7 +1735,14 @@ mod tests {
         assert!(responses[2].error.as_ref().unwrap().contains("unknown method"));
         assert!(responses[3].error.as_ref().unwrap().contains("unavailable"));
         assert!(responses[4].is_ok());
-        assert_eq!(service.stats().errors, 4);
+        let stats = service.stats();
+        assert_eq!(stats.errors, 4);
+        // All five requests — including the four resolution failures —
+        // belong to the default catalog, and its error count sees them.
+        assert_eq!(stats.tenants.len(), 1);
+        assert_eq!(stats.tenants[0].catalog, DEFAULT_CATALOG);
+        assert_eq!(stats.tenants[0].requests, 5);
+        assert_eq!(stats.tenants[0].errors, 4);
     }
 
     #[test]
@@ -1478,6 +1757,96 @@ mod tests {
         assert!(!window.samples.contains(&0));
         assert!(window.samples.contains(&(LATENCY_WINDOW as u64 + 9)));
         assert_eq!(window.next, 10);
+    }
+
+    #[test]
+    fn percentile_us_nearest_rank_boundaries() {
+        // Empty window: no distribution, report 0 for every p.
+        for p in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(percentile_us(&[], p), 0);
+        }
+        // A single sample answers every percentile.
+        for p in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(percentile_us(&[42], p), 42);
+        }
+        // p50 on len 2 is the LOWER sample (nearest rank: ceil(0.5*2)=1,
+        // 1-indexed) — not the mean, not the upper.
+        assert_eq!(percentile_us(&[10, 20], 0.50), 10);
+        assert_eq!(percentile_us(&[10, 20], 0.51), 20);
+        // p0 is the minimum, p1 the maximum; out-of-range p is clamped.
+        assert_eq!(percentile_us(&[10, 20, 30], 0.0), 10);
+        assert_eq!(percentile_us(&[10, 20, 30], 1.0), 30);
+        assert_eq!(percentile_us(&[10, 20, 30], -0.5), 10);
+        assert_eq!(percentile_us(&[10, 20, 30], 7.0), 30);
+        // Exact-rank boundaries: p99 of 100 samples is the 99th value.
+        let hundred: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_us(&hundred, 0.99), 99);
+        assert_eq!(percentile_us(&hundred, 0.50), 50);
+    }
+
+    #[test]
+    fn latency_percentiles_cover_only_the_post_wraparound_window() {
+        // Fill the window with large values, then wrap it completely
+        // with small ones: percentiles must reflect only the surviving
+        // window, with no stale sample leaking through the ring cursor.
+        let mut window = LatencyWindow::default();
+        for _ in 0..LATENCY_WINDOW {
+            window.record(1_000_000);
+        }
+        for us in 0..LATENCY_WINDOW as u64 {
+            window.record(us);
+        }
+        let (samples, total) = window.sorted_samples();
+        assert_eq!(total, 2 * LATENCY_WINDOW as u64);
+        assert_eq!(samples.len(), LATENCY_WINDOW);
+        assert_eq!(percentile_us(&samples, 1.0), LATENCY_WINDOW as u64 - 1);
+        assert!(percentile_us(&samples, 0.99) < 1_000_000, "old samples rotated out");
+        // A partial wrap keeps the mixed window: the cursor overwrites
+        // the oldest slots first.
+        let mut partial = LatencyWindow::default();
+        for _ in 0..LATENCY_WINDOW {
+            partial.record(7);
+        }
+        partial.record(9);
+        let (samples, _) = partial.sorted_samples();
+        assert_eq!(samples.iter().filter(|&&s| s == 9).count(), 1);
+        assert_eq!(samples.len(), LATENCY_WINDOW);
+    }
+
+    #[test]
+    fn weighted_interleave_rotates_catalogs_and_preserves_order() {
+        let tagged = vec![
+            (0, "a0"),
+            (0, "a1"),
+            (0, "a2"),
+            (1, "b0"),
+            (0, "a3"),
+            (2, "c0"),
+            (1, "b1"),
+        ];
+        assert_eq!(
+            interleave_by_catalog(tagged),
+            vec!["a0", "b0", "c0", "a1", "b1", "a2", "a3"],
+            "one item per catalog per turn, catalogs by first appearance"
+        );
+        assert_eq!(interleave_by_catalog::<u32>(Vec::new()), Vec::<u32>::new());
+        let single = vec![(5, 1), (5, 2), (5, 3)];
+        assert_eq!(interleave_by_catalog(single), vec![1, 2, 3], "one catalog is a no-op");
+    }
+
+    #[test]
+    fn fairness_policy_parses_flag_values() {
+        assert_eq!(FairnessPolicy::parse("fcfs"), Some(FairnessPolicy::Fcfs));
+        assert_eq!(FairnessPolicy::parse("weighted"), Some(FairnessPolicy::Weighted));
+        assert_eq!(FairnessPolicy::parse("wrr"), Some(FairnessPolicy::Weighted));
+        assert_eq!(FairnessPolicy::parse("lifo"), None);
+        assert_eq!(FairnessPolicy::default(), FairnessPolicy::Fcfs);
+        assert_eq!(FairnessPolicy::Weighted.name(), "weighted");
+        assert_eq!(PipelineOptions::default().fairness, FairnessPolicy::Fcfs);
+        assert_eq!(
+            PipelineOptions::new().fairness(FairnessPolicy::Weighted).fairness,
+            FairnessPolicy::Weighted
+        );
     }
 
     #[test]

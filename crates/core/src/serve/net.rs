@@ -18,11 +18,14 @@
 //!   stops taking new connections, every in-flight connection drains to
 //!   completion, then [`EvalServer::serve`] returns its [`NetStats`].
 //! * **Per-connection error isolation**: a connection that fails mid-I/O
-//!   (client gone, socket reset) is counted in [`NetStats::io_errors`]
-//!   and logged to stderr; it never takes down the accept loop or any
-//!   sibling connection. Malformed request lines are not errors at this
-//!   layer at all — the pipeline answers them in-order, per its
-//!   contract.
+//!   (client gone, socket reset) — or whose worker *panics* — is counted
+//!   in [`NetStats::io_errors`] and logged to stderr; it never takes
+//!   down the accept loop or any sibling connection, and its connection
+//!   slot is always released (the `active` count is decremented by a
+//!   drop guard, so even a panicking worker cannot permanently consume
+//!   a slot of the [`NetOptions::max_connections`] cap). Malformed
+//!   request lines are not errors at this layer at all — the pipeline
+//!   answers them in-order, per its contract.
 //!
 //! # Examples
 //!
@@ -240,8 +243,35 @@ impl EvalServer {
     /// not just an empty backlog). Per-connection I/O errors never
     /// surface here — they are counted in [`NetStats::io_errors`].
     pub fn serve(&self, service: &EvalService<'_>) -> std::io::Result<NetStats> {
+        self.serve_with(service, serve_connection)
+    }
+
+    /// [`EvalServer::serve`] with a custom per-connection handler — the
+    /// seam for alternative wire protocols and for fault-injection
+    /// tests (the panic-isolation regression drives a handler that
+    /// panics on purpose).
+    ///
+    /// The contract the accept loop owes every handler: each connection
+    /// runs on its own scoped worker; a handler returning `Err` counts
+    /// one [`NetStats::io_errors`]; a handler that **panics** is caught,
+    /// counted the same way, and its connection slot is released — the
+    /// server keeps accepting either way.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`EvalServer::serve`]: only listener-level errors.
+    pub fn serve_with<H>(
+        &self,
+        service: &EvalService<'_>,
+        handler: H,
+    ) -> std::io::Result<NetStats>
+    where
+        H: Fn(&EvalService<'_>, &TcpStream, &PipelineOptions) -> std::io::Result<super::PipelineStats>
+            + Sync,
+    {
         let cap = self.options.max_connections.max(1);
         let pipeline = self.options.pipeline;
+        let handler = &handler;
         let active = AtomicUsize::new(0);
         let connections = AtomicU64::new(0);
         let lines = AtomicU64::new(0);
@@ -281,22 +311,46 @@ impl EvalServer {
                 let responses = &responses;
                 let io_errors = &io_errors;
                 scope.spawn(move || {
-                    match serve_connection(service, &stream, &pipeline) {
-                        Ok(stats) => {
+                    // The slot is released by a drop guard, not a
+                    // trailing statement: a panicking handler would
+                    // otherwise leak its slot forever (and, unwinding
+                    // out of the thread scope, tear the whole server
+                    // down with it).
+                    struct SlotGuard<'a>(&'a AtomicUsize);
+                    impl Drop for SlotGuard<'_> {
+                        fn drop(&mut self) {
+                            self.0.fetch_sub(1, Ordering::AcqRel);
+                        }
+                    }
+                    let _slot = SlotGuard(active);
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                        || handler(service, &stream, &pipeline),
+                    ));
+                    let _ = stream.shutdown(Shutdown::Both);
+                    match outcome {
+                        Ok(Ok(stats)) => {
                             lines.fetch_add(stats.lines, Ordering::Relaxed);
                             requests.fetch_add(stats.requests, Ordering::Relaxed);
                             parse_errors.fetch_add(stats.parse_errors, Ordering::Relaxed);
                             responses.fetch_add(stats.responses, Ordering::Relaxed);
                         }
-                        Err(e) => {
+                        Ok(Err(e)) => {
                             // Isolation: this connection's failure stays
                             // its own; the server keeps serving.
                             io_errors.fetch_add(1, Ordering::Relaxed);
                             eprintln!("warning: connection failed: {e}");
                         }
+                        Err(panic) => {
+                            // A worker panic is a connection failure,
+                            // never a server failure: count it, release
+                            // the slot (the guard), keep accepting.
+                            io_errors.fetch_add(1, Ordering::Relaxed);
+                            eprintln!(
+                                "warning: connection worker panicked: {}",
+                                panic_message(panic.as_ref())
+                            );
+                        }
                     }
-                    let _ = stream.shutdown(Shutdown::Both);
-                    active.fetch_sub(1, Ordering::AcqRel);
                 });
             }
             // Leaving the scope joins every connection worker: graceful
@@ -314,6 +368,18 @@ impl EvalServer {
                 io_errors: io_errors.into_inner(),
             }),
         }
+    }
+}
+
+/// Renders a caught panic payload for the warning log (panics carry
+/// `&str` or `String` payloads from `panic!`; anything else is opaque).
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
     }
 }
 

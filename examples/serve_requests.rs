@@ -1,15 +1,19 @@
 //! Multi-tenant serving in miniature: two named catalogs behind one
-//! shared profile cache, JSON-lines requests streamed through the staged
-//! intake pipeline (intake → plan(registry) → build → evaluate) with
-//! per-request latency stamping, and the cache accounting printed last.
+//! shared profile cache — with per-tenant residency quotas and weighted
+//! round-robin fairness, so neither tenant can starve the other —
+//! JSON-lines requests streamed through the staged intake pipeline
+//! (intake → plan(registry) → build → evaluate) with per-request latency
+//! stamping, and the per-tenant accounting printed last.
 //!
 //! ```text
 //! cargo run --release -p countertrust --example serve_requests
 //! ```
 
-use countertrust::cache::AdmissionPolicy;
+use countertrust::cache::{AdmissionPolicy, CacheQuotas};
 use countertrust::methods::MethodOptions;
-use countertrust::serve::{Catalog, CatalogRegistry, EvalService, PipelineOptions};
+use countertrust::serve::{
+    Catalog, CatalogRegistry, EvalService, FairnessPolicy, PipelineOptions,
+};
 use ct_bench_shim::workload_specs;
 use ct_sim::MachineModel;
 
@@ -64,10 +68,14 @@ this line is not a request at all
 {"machine":"Ivy Bridge (Xeon E3-1265L)","workload":"povray","method":"lbr","runs":1,"seed":5,"catalog":"apps"}
 "#;
 
+    // Each tenant may keep at most four entries resident in the shared
+    // 8-slot cache, and the pipeline interleaves the tenants' work
+    // round-robin — neither knob changes a single response byte.
     let service = EvalService::with_registry(registry)
         .method_options(MethodOptions::fast())
         .cache_capacity(8)
-        .admission(AdmissionPolicy::Frequency);
+        .admission(AdmissionPolicy::Frequency)
+        .cache_quotas(CacheQuotas::per_catalog(4));
 
     // Requests flow straight from the reader: while one chunk evaluates,
     // the next chunk's reference profiles are already building. Latency
@@ -80,7 +88,11 @@ this line is not a request at all
         .serve_pipelined(
             wire.as_bytes(),
             &mut stdout,
-            &PipelineOptions::new().depth(2).chunk(2).record_latency(true),
+            &PipelineOptions::new()
+                .depth(2)
+                .chunk(2)
+                .record_latency(true)
+                .fairness(FairnessPolicy::Weighted),
         )
         .expect("stdout accepts responses");
     drop(stdout);
@@ -108,5 +120,15 @@ this line is not a request at all
         "latency p50 {} µs | p99 {} µs over {} timed requests",
         stats.latency_p50_us, stats.latency_p99_us, stats.timed_requests
     );
+    for tenant in &stats.tenants {
+        println!(
+            "tenant {:<7} requests {} | hit rate {:.0}% | p99 {} µs | errors {}",
+            tenant.catalog,
+            tenant.requests,
+            tenant.hit_rate() * 100.0,
+            tenant.latency_p99_us,
+            tenant.errors
+        );
+    }
     println!("cache: {cache}");
 }

@@ -256,6 +256,119 @@ fn shutdown_drains_in_flight_connections() {
 }
 
 #[test]
+fn panicking_connection_worker_leaves_the_server_serving() {
+    let program = kernel(5_000);
+    let run_config = RunConfig::default();
+    let workloads = [WorkloadSpec { name: "k", program: &program, run_config: &run_config }];
+    let machines = [MachineModel::ivy_bridge()];
+    let request = EvalRequest::new("Ivy Bridge (Xeon E3-1265L)", "k", "classic", 1, 7);
+    let good_wire = wire(std::slice::from_ref(&request));
+    let service = EvalService::new(&machines, &workloads)
+        .method_options(MethodOptions::fast())
+        .threads(2);
+
+    // max_connections(1) makes the regression observable: before the
+    // fix, a panicking worker leaked its `active` slot (so the second
+    // connection would never be accepted — this test would hang, loudly)
+    // and the panic propagated out of the thread scope, tearing down
+    // `serve` itself (so the join below would panic).
+    let server =
+        EvalServer::listen("127.0.0.1:0", NetOptions::new().max_connections(1)).unwrap();
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let accepted = std::sync::atomic::AtomicUsize::new(0);
+    let (first, second, stats) = std::thread::scope(|scope| {
+        let serving = scope.spawn(|| {
+            server.serve_with(&service, |service, stream, pipeline| {
+                if accepted.fetch_add(1, std::sync::atomic::Ordering::SeqCst) == 0 {
+                    panic!("injected worker panic");
+                }
+                // The well-behaved path, exactly as `EvalServer::serve`
+                // drives it.
+                stream.set_nonblocking(false)?;
+                let reader = std::io::BufReader::new(stream.try_clone()?);
+                let mut writer = std::io::BufWriter::new(stream);
+                let stats = service.serve_pipelined(reader, &mut writer, pipeline)?;
+                std::io::Write::flush(&mut writer)?;
+                let _ = stream.shutdown(Shutdown::Write);
+                Ok(stats)
+            })
+        });
+        // First connection hits the injected panic; whatever the client
+        // observes (empty response or a reset) must stay on that
+        // connection.
+        let first = exchange(addr, &good_wire);
+        // The second connection must be accepted (the panicking worker's
+        // slot was released) and served normally.
+        let second = exchange(addr, &good_wire).expect("server must keep serving");
+        handle.shutdown();
+        let stats = serving
+            .join()
+            .expect("a worker panic must never unwind out of serve")
+            .expect("accept loop");
+        (first, second, stats)
+    });
+
+    assert_eq!(stats.connections, 2);
+    assert_eq!(stats.io_errors, 1, "the panic is counted as a connection failure");
+    assert_eq!(stats.responses, 1, "only the clean connection contributes responses");
+    if let Ok(first) = first {
+        assert!(first.is_empty(), "the panicked connection never got bytes");
+    }
+
+    // The survivor's bytes are exactly the offline pipelined bytes.
+    let offline = EvalService::new(&machines, &workloads)
+        .method_options(MethodOptions::fast())
+        .threads(1);
+    let mut expected = Vec::new();
+    offline
+        .serve_pipelined(good_wire.as_bytes(), &mut expected, &PipelineOptions::default())
+        .unwrap();
+    assert_eq!(second.as_bytes(), expected.as_slice());
+}
+
+#[test]
+fn fairness_and_quota_options_thread_through_the_tcp_stack() {
+    use countertrust::cache::CacheQuotas;
+    use countertrust::serve::FairnessPolicy;
+    let program = kernel(8_000);
+    let run_config = RunConfig::default();
+    let workloads = [WorkloadSpec { name: "k", program: &program, run_config: &run_config }];
+    let machines = [MachineModel::ivy_bridge(), MachineModel::westmere()];
+    let streams = connection_streams(&machines, 3);
+    let pipeline = PipelineOptions::new()
+        .depth(2)
+        .chunk(2)
+        .fairness(FairnessPolicy::Weighted);
+
+    let service = EvalService::new(&machines, &workloads)
+        .method_options(MethodOptions::fast())
+        .threads(4)
+        .cache_capacity(2)
+        .cache_quotas(CacheQuotas::per_catalog(1));
+    let (outputs, stats) = serve_loopback(
+        &service,
+        NetOptions::new().pipeline(pipeline).max_connections(3),
+        |addr, c| exchange(addr, &wire(&streams[c])).expect("loopback exchange"),
+        streams.len(),
+    );
+    assert_eq!(stats.io_errors, 0);
+
+    // Weighted fairness and quotas are scheduling/residency knobs: the
+    // served bytes stay identical to a default offline pipelined run.
+    for (c, (sub, got)) in streams.iter().zip(&outputs).enumerate() {
+        let offline = EvalService::new(&machines, &workloads)
+            .method_options(MethodOptions::fast())
+            .threads(4);
+        let mut expected = Vec::new();
+        offline
+            .serve_pipelined(wire(sub).as_bytes(), &mut expected, &PipelineOptions::default())
+            .unwrap();
+        assert_eq!(got.as_bytes(), expected.as_slice(), "connection {c}");
+    }
+}
+
+#[test]
 fn record_latency_stamps_networked_responses() {
     let program = kernel(8_000);
     let run_config = RunConfig::default();

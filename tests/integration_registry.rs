@@ -275,6 +275,87 @@ fn unknown_catalog_answers_in_order_pipelined_and_the_stream_drains() {
 }
 
 #[test]
+fn hot_tenant_churn_never_rebuilds_cold_tenant_references_under_quotas() {
+    use countertrust::cache::CacheQuotas;
+    let _guard = lock();
+    // One machine; the hot tenant churns over three workloads while the
+    // cold tenant owns a single pair. Capacity 3 fits everything only if
+    // the hot tenant is capped: quota 2 leaves the cold tenant's slot
+    // untouchable.
+    let run_config = RunConfig::default();
+    let k0 = kernel("k0", 4_000);
+    let k1 = kernel("k1", 5_000);
+    let k2 = kernel("k2", 6_000);
+    let cold_program = call_kernel("cold", 2_000);
+    let hot_workloads = [
+        WorkloadSpec { name: "k0", program: &k0, run_config: &run_config },
+        WorkloadSpec { name: "k1", program: &k1, run_config: &run_config },
+        WorkloadSpec { name: "k2", program: &k2, run_config: &run_config },
+    ];
+    let cold_workloads =
+        [WorkloadSpec { name: "cold", program: &cold_program, run_config: &run_config }];
+    let machines = [MachineModel::ivy_bridge()];
+    let cold_request = EvalRequest::new("Ivy Bridge (Xeon E3-1265L)", "cold", "classic", 1, 3)
+        .in_catalog("cold-tenant");
+
+    // The experiment, twice: identical traffic with and without quotas.
+    // threads(1) keeps cache access order deterministic.
+    let run = |quotas: CacheQuotas| {
+        let registry = CatalogRegistry::new(
+            Catalog::new(&machines, &hot_workloads).method_options(MethodOptions::fast()),
+        )
+        .register(
+            "cold-tenant",
+            Catalog::new(&machines, &cold_workloads).method_options(MethodOptions::fast()),
+        );
+        let service = EvalService::with_registry(registry)
+            .threads(1)
+            .cache_capacity(3)
+            .cache_quotas(quotas);
+        // Cold tenant settles its reference first.
+        assert!(service.serve_one(&cold_request).is_ok());
+        // Hot tenant churns through its three pairs, twice.
+        for name in ["k0", "k1", "k2", "k0", "k1", "k2"] {
+            let response = service.serve_one(&EvalRequest::new(
+                "Ivy Bridge (Xeon E3-1265L)",
+                name,
+                "classic",
+                1,
+                9,
+            ));
+            assert!(response.is_ok(), "{:?}", response.error);
+        }
+        // The measurement: does the cold tenant's replay rebuild?
+        let audit = CollectionAudit::begin();
+        assert!(service.serve_one(&cold_request).is_ok());
+        (audit.collections(), service.stats())
+    };
+
+    let (unquoted_rebuilds, unquoted_stats) = run(CacheQuotas::unlimited());
+    assert_eq!(
+        unquoted_rebuilds, 1,
+        "without quotas, capacity-3 LRU lets hot churn evict the cold reference"
+    );
+
+    let (quoted_rebuilds, quoted_stats) = run(CacheQuotas::per_catalog(2));
+    assert_eq!(
+        quoted_rebuilds, 0,
+        "with quotas, hot churn cycles within its own slots and the cold reference survives"
+    );
+
+    // The per-tenant accounting tells the same story: the cold tenant's
+    // build count is untouched by quotas' effect on the hot tenant.
+    let cold_of = |stats: &countertrust::serve::ServeStats| {
+        stats.tenants.iter().find(|t| t.catalog == "cold-tenant").unwrap().clone()
+    };
+    assert_eq!(cold_of(&quoted_stats).builds, 1, "one initial cold build, ever");
+    assert_eq!(cold_of(&quoted_stats).cache_hits, 1, "the replay was a hit");
+    assert_eq!(cold_of(&unquoted_stats).builds, 2, "baseline: the replay rebuilt");
+    assert_eq!(quoted_stats.tenants.len(), 2);
+    assert_eq!(quoted_stats.tenants[0].catalog, DEFAULT_CATALOG);
+}
+
+#[test]
 fn registry_registration_order_and_replacement() {
     let program = kernel("k", 4_000);
     let run_config = RunConfig::default();

@@ -175,6 +175,31 @@ proptest! {
             &String::from_utf8(piped).unwrap(), &outputs[0],
             "pipelining (depth {}, chunk {}) changed responses", depth, chunk
         );
+
+        // Tenant fairness is scheduling + residency only: per-catalog
+        // quotas on a tiny cache plus weighted round-robin must still
+        // emit the exact same bytes.
+        let fair = EvalService::new(&machines, &workloads)
+            .method_options(opts)
+            .threads(3)
+            .cache_capacity(capacity)
+            .cache_quotas(countertrust::cache::CacheQuotas::per_catalog(1))
+            .admission(AdmissionPolicy::Frequency);
+        let mut fair_out = Vec::new();
+        fair
+            .serve_pipelined(
+                to_wire(&requests).as_bytes(),
+                &mut fair_out,
+                &PipelineOptions::new()
+                    .depth(depth)
+                    .chunk(chunk)
+                    .fairness(countertrust::serve::FairnessPolicy::Weighted),
+            )
+            .expect("in-memory pipeline never hits I/O errors");
+        prop_assert_eq!(
+            &String::from_utf8(fair_out).unwrap(), &outputs[0],
+            "quotas/fairness (depth {}, chunk {}) changed responses", depth, chunk
+        );
     }
 }
 
