@@ -1,0 +1,124 @@
+//! The tracked perf suite: runs the fixed scenario matrix from
+//! [`ct_bench::harness`] and emits the versioned `BENCH_<n>.json` report.
+//!
+//! ```text
+//! cargo run --release -p ct-bench --bin bench_suite -- \
+//!     [--smoke] [--out PATH] [--compare PATH] [--seed N] [--threads N]
+//! ```
+//!
+//! * default — full measurement run; writes `BENCH_6.json` in the
+//!   current directory (override with `--out`).
+//! * `--smoke` — identical determinism probes, miniature measurements;
+//!   what CI runs on every push.
+//! * `--compare PATH` — after running, diff this run against the report
+//!   at PATH: perf deltas are advisory (printed, tolerant thresholds),
+//!   but a determinism-fingerprint mismatch — changed response bytes,
+//!   changed reference-build counts, missing scenario — exits nonzero.
+//!
+//! The report goes to the `--out` file; all progress and comparison
+//! output goes to stderr, so `--out /dev/stdout` composes with pipes.
+
+use ct_bench::harness::{
+    compare, parse_report, report_json, run_suite, HarnessOptions, BENCH_FILE,
+};
+use ct_bench::CliOptions;
+
+struct SuiteCli {
+    base: CliOptions,
+    smoke: bool,
+    out: String,
+    compare_path: Option<String>,
+}
+
+fn parse(args: &[String]) -> SuiteCli {
+    let mut cli = SuiteCli {
+        base: CliOptions::parse(args),
+        smoke: false,
+        out: BENCH_FILE.to_string(),
+        compare_path: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> Option<&String> {
+            *i += 1;
+            args.get(*i)
+        };
+        match args[i].as_str() {
+            "--smoke" => cli.smoke = true,
+            "--out" => {
+                if let Some(v) = take(&mut i) {
+                    cli.out = v.clone();
+                }
+            }
+            "--compare" => {
+                if let Some(v) = take(&mut i) {
+                    cli.compare_path = Some(v.clone());
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    cli
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = parse(&args);
+    let opts = HarnessOptions {
+        smoke: cli.smoke,
+        seed: cli.base.seed,
+        threads: cli.base.threads.unwrap_or(0),
+    };
+    eprintln!(
+        "bench_suite: running {} scenarios ({} mode, seed {})",
+        ct_bench::harness::MATRIX.len(),
+        if cli.smoke { "smoke" } else { "full" },
+        opts.seed
+    );
+    let mut log = |line: &str| eprintln!("  {line}");
+    let results = run_suite(&opts, &mut log);
+    let text = report_json(&results, cli.smoke);
+    if let Err(e) = std::fs::write(&cli.out, &text) {
+        eprintln!("bench_suite: cannot write {}: {e}", cli.out);
+        std::process::exit(2);
+    }
+    eprintln!("bench_suite: report written to {}", cli.out);
+
+    if let Some(path) = &cli.compare_path {
+        let baseline_text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("bench_suite: cannot read baseline {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let baseline = match parse_report(&baseline_text) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("bench_suite: baseline {path} does not parse: {e}");
+                std::process::exit(2);
+            }
+        };
+        let fresh = parse_report(&text).expect("our own report parses");
+        let outcome = compare(&baseline, &fresh);
+        eprintln!("bench_suite: comparison against {path}");
+        for line in &outcome.lines {
+            eprintln!("  {line}");
+        }
+        for line in &outcome.regressions {
+            eprintln!("  REGRESSION (advisory): {line}");
+        }
+        if outcome.hard_failure() {
+            for line in &outcome.fingerprint_mismatches {
+                eprintln!("  DETERMINISM MISMATCH: {line}");
+            }
+            eprintln!(
+                "bench_suite: determinism fingerprints diverged — failing \
+                 (regenerate the baseline only for deliberate semantic changes)"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("bench_suite: determinism fingerprints match the baseline");
+    }
+}

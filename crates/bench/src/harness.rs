@@ -1,0 +1,1280 @@
+//! The tracked perf harness behind `bench_suite` and `BENCH_<n>.json`.
+//!
+//! Every scenario in the fixed [`MATRIX`] runs in two phases:
+//!
+//! * a **determinism probe** — a small, pinned configuration (one worker
+//!   thread, fast method options, fixed seed and request count) whose
+//!   response bytes are hashed and whose instrumented reference builds
+//!   are counted under [`ct_instrument::CollectionAudit`]. The probe
+//!   config is *identical* in `--smoke` and full runs, so a smoke run in
+//!   CI can verify the determinism fingerprint of the checked-in full
+//!   report: if an "optimization" changes a single response byte or
+//!   builds a reference twice, the fingerprint moves and the comparison
+//!   hard-fails.
+//! * a **measurement** — a larger configuration timed for throughput and
+//!   latency percentiles. Timing numbers are tracked PR over PR (the
+//!   `BENCH_<n>.json` trajectory) but never gate CI: wall-clock on shared
+//!   runners is advisory, bytes are not.
+//!
+//! The emitted report is plain JSON (vendored `serde_json`), one file per
+//! PR at the repo root. [`compare`] diffs two reports: perf deltas are
+//! printed when the measurement fingerprints match (full run vs full
+//! run), while determinism fingerprints are compared whenever the probe
+//! fingerprints match — across smoke and full modes.
+
+use countertrust::cache::{AdmissionPolicy, CacheQuotas};
+use countertrust::grid::{GridRunner, WorkloadSpec};
+use countertrust::methods::MethodOptions;
+use countertrust::serve::net::{exchange, EvalServer, NetOptions};
+use countertrust::serve::{
+    Catalog, CatalogRegistry, EvalRequest, EvalService, FairnessPolicy, PipelineOptions,
+};
+use ct_instrument::CollectionAudit;
+use ct_sim::MachineModel;
+use ct_workloads::Workload;
+use serde::Value;
+use std::time::Instant;
+
+use crate::streams::{
+    percentile, to_wire, StreamConfig, StreamGenerator, StreamPattern, MIXED_COLD_CATALOG,
+};
+use crate::workload_specs;
+
+/// Report version — the `<n>` of `BENCH_<n>.json`, bumped when a PR
+/// regenerates the tracked report.
+pub const BENCH_VERSION: u64 = 6;
+
+/// File name of the tracked report at the repo root.
+pub const BENCH_FILE: &str = "BENCH_6.json";
+
+/// The fixed scenario matrix, in execution (and report) order.
+pub const MATRIX: [&str; 5] = [
+    "grid_sweep",
+    "serve_batched",
+    "serve_pipelined",
+    "tcp_loopback",
+    "mixed_tenant_zipfian",
+];
+
+/// Harness-wide knobs (everything else is pinned per scenario).
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessOptions {
+    /// Smoke mode: identical probes, miniature measurements.
+    pub smoke: bool,
+    /// Base seed for stream generation and grid runs.
+    pub seed: u64,
+    /// Worker threads for the *measurement* phase (`0` = available
+    /// parallelism). Probes always run single-threaded.
+    pub threads: usize,
+}
+
+impl Default for HarnessOptions {
+    fn default() -> Self {
+        Self {
+            smoke: false,
+            seed: 1_000,
+            threads: 0,
+        }
+    }
+}
+
+/// The determinism fingerprint of one scenario: everything here must be
+/// bit-identical run over run, machine over machine, PR over PR (unless
+/// semantics deliberately change).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Determinism {
+    /// FNV-1a over the probe's response bytes (JSONL for serving
+    /// scenarios, the report JSON for the grid sweep).
+    pub response_hash: u64,
+    /// Instrumented reference executions during the probe, per
+    /// [`CollectionAudit`] — ≤ 1 per distinct pair, or the cache leaks
+    /// work.
+    pub reference_builds: u64,
+    /// Probe request (or grid-cell) count, fixing the denominator.
+    pub requests: u64,
+}
+
+/// Timing results of the measurement phase.
+#[derive(Debug, Clone)]
+pub struct Measure {
+    pub requests: u64,
+    pub elapsed_s: f64,
+    pub throughput_rps: f64,
+    /// Batch-completion latency percentiles, milliseconds; `None` for
+    /// scenarios without per-batch timings (pipelined/TCP/grid).
+    pub p50_ms: Option<f64>,
+    pub p99_ms: Option<f64>,
+    /// Service-level cache hit rate; `None` for the grid sweep (its
+    /// sharing is per-pair reference reuse, not a serving cache).
+    pub cache_hit_rate: Option<f64>,
+    pub cache_hits: u64,
+    pub builds: u64,
+}
+
+/// One scenario's full result: pinned probe + timed measurement, each
+/// with the config that produced it.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    pub name: &'static str,
+    /// Probe config as ordered `key=value` pairs (goes into the report
+    /// and into the probe fingerprint).
+    pub probe_config: Vec<(&'static str, String)>,
+    pub determinism: Determinism,
+    pub measure_config: Vec<(&'static str, String)>,
+    pub measure: Measure,
+}
+
+impl ScenarioResult {
+    /// Fingerprint of the probe configuration (not its results): two
+    /// reports are determinism-comparable iff these match.
+    #[must_use]
+    pub fn probe_fingerprint(&self) -> u64 {
+        fingerprint_config(self.name, &self.probe_config)
+    }
+
+    /// Fingerprint of the measurement configuration: perf deltas are
+    /// only meaningful between equal measurement configs.
+    #[must_use]
+    pub fn measure_fingerprint(&self) -> u64 {
+        fingerprint_config(self.name, &self.measure_config)
+    }
+}
+
+// --- hashing ---------------------------------------------------------------
+
+/// 64-bit FNV-1a.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn fingerprint_config(name: &str, config: &[(&'static str, String)]) -> u64 {
+    let mut text = String::from(name);
+    for (k, v) in config {
+        text.push(';');
+        text.push_str(k);
+        text.push('=');
+        text.push_str(v);
+    }
+    fnv1a(text.as_bytes())
+}
+
+fn hex(h: u64) -> String {
+    format!("0x{h:016x}")
+}
+
+// --- scenario plumbing -----------------------------------------------------
+
+/// Probe constants, shared by every scenario and **identical across smoke
+/// and full runs** — this is what makes smoke-vs-full fingerprint
+/// comparison sound.
+const PROBE_SCALE: f64 = 0.01;
+const PROBE_REQUESTS: usize = 24;
+const PROBE_BATCH: usize = 8;
+
+struct Fixture {
+    machines: Vec<MachineModel>,
+    workloads: Vec<Workload>,
+    opts: MethodOptions,
+}
+
+impl Fixture {
+    fn probe() -> Self {
+        Self {
+            machines: MachineModel::paper_machines(),
+            workloads: ct_workloads::kernel_set(PROBE_SCALE),
+            opts: MethodOptions::fast(),
+        }
+    }
+
+    fn measure(opts: &HarnessOptions) -> Self {
+        // Measurement uses the same catalog shape at the same scale: the
+        // interesting load is request volume and thread count, not
+        // program size, and a small scale keeps the suite re-runnable.
+        let _ = opts;
+        Self::probe()
+    }
+
+    fn specs(&self) -> Vec<WorkloadSpec<'_>> {
+        workload_specs(&self.workloads)
+    }
+}
+
+fn build_service<'a>(
+    pattern: StreamPattern,
+    machines: &'a [MachineModel],
+    specs: &'a [WorkloadSpec<'a>],
+    opts: &MethodOptions,
+    threads: usize,
+    capacity: usize,
+    admission: AdmissionPolicy,
+    quota: usize,
+) -> EvalService<'a> {
+    let catalog = || Catalog::new(machines, specs).method_options(opts.clone());
+    let mut registry = CatalogRegistry::new(catalog());
+    if pattern.is_multi_tenant() {
+        registry = registry.register(MIXED_COLD_CATALOG, catalog());
+    }
+    EvalService::with_registry(registry)
+        .threads(threads)
+        .cache_capacity(capacity)
+        .admission(admission)
+        .cache_quotas(CacheQuotas::per_catalog(quota))
+}
+
+/// Generates a stream with the pinned probe parameters for `pattern`.
+fn probe_stream(fixture: &Fixture, pattern: StreamPattern, seed: u64) -> Vec<EvalRequest> {
+    StreamGenerator::new(
+        &fixture.machines,
+        &fixture.workloads,
+        &fixture.opts,
+        &StreamConfig {
+            pattern,
+            requests: PROBE_REQUESTS,
+            seed,
+            runs: 1,
+        },
+    )
+    .take(PROBE_REQUESTS)
+}
+
+/// Runs `serve` under a collection audit with a single-threaded service
+/// and returns the scenario's determinism fingerprint.
+fn probe_serve(
+    service: &EvalService<'_>,
+    serve: impl FnOnce(&EvalService<'_>) -> String,
+) -> Determinism {
+    let audit = CollectionAudit::begin();
+    let jsonl = serve(service);
+    Determinism {
+        response_hash: fnv1a(jsonl.as_bytes()),
+        reference_builds: audit.collections() as u64,
+        requests: PROBE_REQUESTS as u64,
+    }
+}
+
+fn measure_requests(opts: &HarnessOptions, full: usize) -> usize {
+    if opts.smoke {
+        PROBE_REQUESTS
+    } else {
+        full
+    }
+}
+
+fn serve_batched_jsonl(
+    service: &EvalService<'_>,
+    requests: &[EvalRequest],
+    batch: usize,
+) -> (String, Vec<f64>) {
+    let mut jsonl = String::new();
+    let mut latencies_ms = Vec::with_capacity(requests.len());
+    for chunk in requests.chunks(batch) {
+        let t = Instant::now();
+        jsonl.push_str(&service.serve_jsonl(chunk));
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        latencies_ms.extend(std::iter::repeat(ms).take(chunk.len()));
+    }
+    (jsonl, latencies_ms)
+}
+
+fn serve_pipelined_jsonl(
+    service: &EvalService<'_>,
+    requests: &[EvalRequest],
+    options: &PipelineOptions,
+) -> String {
+    let wire = to_wire(requests);
+    let mut out = Vec::new();
+    let stats = service
+        .serve_pipelined(wire.as_bytes(), &mut out, options)
+        .expect("in-memory pipeline never hits I/O errors");
+    assert_eq!(stats.parse_errors, 0, "generated streams are well-formed");
+    String::from_utf8(out).expect("responses are UTF-8")
+}
+
+fn measure_from_service(
+    service: &EvalService<'_>,
+    requests: u64,
+    elapsed_s: f64,
+    latencies_ms: &mut Vec<f64>,
+) -> Measure {
+    let stats = service.stats();
+    latencies_ms.sort_by(f64::total_cmp);
+    Measure {
+        requests,
+        elapsed_s,
+        throughput_rps: requests as f64 / elapsed_s.max(1e-9),
+        p50_ms: percentile(latencies_ms, 0.50),
+        p99_ms: percentile(latencies_ms, 0.99),
+        cache_hit_rate: Some(stats.hit_rate()),
+        cache_hits: stats.cache_hits,
+        builds: stats.builds,
+    }
+}
+
+fn stream_config_pairs(
+    pattern: StreamPattern,
+    requests: usize,
+    seed: u64,
+    threads: &str,
+) -> Vec<(&'static str, String)> {
+    vec![
+        ("pattern", pattern.name().to_string()),
+        ("requests", requests.to_string()),
+        ("seed", seed.to_string()),
+        ("runs", "1".to_string()),
+        ("scale", PROBE_SCALE.to_string()),
+        ("opts", "fast".to_string()),
+        ("threads", threads.to_string()),
+    ]
+}
+
+// --- the scenarios ---------------------------------------------------------
+
+fn scenario_grid_sweep(opts: &HarnessOptions, log: &mut dyn FnMut(&str)) -> ScenarioResult {
+    let fixture = Fixture::probe();
+    let specs = fixture.specs();
+    // Probe: single-threaded standard grid over the kernel set; the
+    // response bytes are the report JSON (stdout of `table1 --json`).
+    let probe_config = vec![
+        ("grid", "kernels".to_string()),
+        ("repeats", "1".to_string()),
+        ("seed", opts.seed.to_string()),
+        ("scale", PROBE_SCALE.to_string()),
+        ("opts", "fast".to_string()),
+        ("threads", "1".to_string()),
+    ];
+    let audit = CollectionAudit::begin();
+    let evals = GridRunner::new().threads(1).run_standard(
+        &fixture.machines,
+        &specs,
+        &fixture.opts,
+        1,
+        opts.seed,
+    );
+    let probe_cells = evals.len() as u64;
+    let determinism = Determinism {
+        response_hash: fnv1a(countertrust::report::to_json(&evals).as_bytes()),
+        reference_builds: audit.collections() as u64,
+        requests: probe_cells,
+    };
+
+    // Measurement: the same grid with production repeats, all workloads,
+    // and the configured thread count — the simulator-bound inner loop.
+    let m_fixture = Fixture::measure(opts);
+    let m_workloads = if opts.smoke {
+        m_fixture.workloads.clone()
+    } else {
+        ct_workloads::all(PROBE_SCALE)
+    };
+    let m_specs = workload_specs(&m_workloads);
+    let repeats = if opts.smoke { 1 } else { crate::REPEATS };
+    let measure_config = vec![
+        ("grid", if opts.smoke { "kernels" } else { "all" }.to_string()),
+        ("repeats", repeats.to_string()),
+        ("seed", opts.seed.to_string()),
+        ("scale", PROBE_SCALE.to_string()),
+        ("opts", "fast".to_string()),
+        ("threads", opts.threads.to_string()),
+    ];
+    let wall = Instant::now();
+    let m_evals = GridRunner::new().threads(opts.threads).run_standard(
+        &m_fixture.machines,
+        &m_specs,
+        &m_fixture.opts,
+        repeats,
+        opts.seed,
+    );
+    let elapsed = wall.elapsed().as_secs_f64();
+    let cells = m_evals.len() as u64;
+    log(&format!(
+        "grid_sweep: {cells} cells in {elapsed:.3} s ({:.1} cells/s)",
+        cells as f64 / elapsed.max(1e-9)
+    ));
+    ScenarioResult {
+        name: "grid_sweep",
+        probe_config,
+        determinism,
+        measure_config,
+        measure: Measure {
+            requests: cells,
+            elapsed_s: elapsed,
+            throughput_rps: cells as f64 / elapsed.max(1e-9),
+            p50_ms: None,
+            p99_ms: None,
+            cache_hit_rate: None,
+            cache_hits: 0,
+            builds: 0,
+        },
+    }
+}
+
+fn scenario_serve_batched(opts: &HarnessOptions, log: &mut dyn FnMut(&str)) -> ScenarioResult {
+    let fixture = Fixture::probe();
+    let specs = fixture.specs();
+    let probe_requests = probe_stream(&fixture, StreamPattern::Hot, opts.seed);
+    let probe_config = stream_config_pairs(StreamPattern::Hot, PROBE_REQUESTS, opts.seed, "1");
+    let service = build_service(
+        StreamPattern::Hot,
+        &fixture.machines,
+        &specs,
+        &fixture.opts,
+        1,
+        0,
+        AdmissionPolicy::Lru,
+        0,
+    );
+    let determinism = probe_serve(&service, |s| {
+        serve_batched_jsonl(s, &probe_requests, PROBE_BATCH).0
+    });
+
+    // Measurement: a hot stream against the unbounded cache — after the
+    // first few builds this is almost pure cache-hit traffic, i.e. the
+    // `ProfileCache` lock is the bottleneck at high thread counts.
+    let n = measure_requests(opts, 4_000);
+    let batch = 64;
+    let measure_config = {
+        let mut c = stream_config_pairs(StreamPattern::Hot, n, opts.seed, "auto");
+        c.push(("batch", batch.to_string()));
+        c
+    };
+    let m_fixture = Fixture::measure(opts);
+    let m_specs = m_fixture.specs();
+    let stream = StreamGenerator::new(
+        &m_fixture.machines,
+        &m_fixture.workloads,
+        &m_fixture.opts,
+        &StreamConfig {
+            pattern: StreamPattern::Hot,
+            requests: n,
+            seed: opts.seed,
+            runs: 1,
+        },
+    )
+    .take(n);
+    let m_service = build_service(
+        StreamPattern::Hot,
+        &m_fixture.machines,
+        &m_specs,
+        &m_fixture.opts,
+        opts.threads,
+        0,
+        AdmissionPolicy::Lru,
+        0,
+    );
+    let wall = Instant::now();
+    let (_, mut latencies) = serve_batched_jsonl(&m_service, &stream, batch);
+    let elapsed = wall.elapsed().as_secs_f64();
+    let measure = measure_from_service(&m_service, n as u64, elapsed, &mut latencies);
+    log(&format!(
+        "serve_batched: {n} requests in {elapsed:.3} s ({:.0} req/s, {:.1}% hits)",
+        measure.throughput_rps,
+        measure.cache_hit_rate.unwrap_or(0.0) * 100.0
+    ));
+    ScenarioResult {
+        name: "serve_batched",
+        probe_config,
+        determinism,
+        measure_config,
+        measure,
+    }
+}
+
+fn scenario_serve_pipelined(
+    opts: &HarnessOptions,
+    shared_probe: &[EvalRequest],
+    log: &mut dyn FnMut(&str),
+) -> ScenarioResult {
+    let fixture = Fixture::probe();
+    let specs = fixture.specs();
+    let pipeline = PipelineOptions::new().depth(4).chunk(PROBE_BATCH);
+    let probe_config = {
+        let mut c = stream_config_pairs(StreamPattern::Zipfian, PROBE_REQUESTS, opts.seed, "1");
+        c.push(("depth", "4".to_string()));
+        c.push(("chunk", PROBE_BATCH.to_string()));
+        c
+    };
+    let service = build_service(
+        StreamPattern::Zipfian,
+        &fixture.machines,
+        &specs,
+        &fixture.opts,
+        1,
+        0,
+        AdmissionPolicy::Lru,
+        0,
+    );
+    let determinism = probe_serve(&service, |s| {
+        serve_pipelined_jsonl(s, shared_probe, &pipeline)
+    });
+
+    let n = measure_requests(opts, 3_000);
+    let m_pipeline = PipelineOptions::new().depth(4).chunk(64);
+    let measure_config = {
+        let mut c = stream_config_pairs(StreamPattern::Zipfian, n, opts.seed, "auto");
+        c.push(("depth", "4".to_string()));
+        c.push(("chunk", "64".to_string()));
+        c
+    };
+    let m_fixture = Fixture::measure(opts);
+    let m_specs = m_fixture.specs();
+    let stream = StreamGenerator::new(
+        &m_fixture.machines,
+        &m_fixture.workloads,
+        &m_fixture.opts,
+        &StreamConfig {
+            pattern: StreamPattern::Zipfian,
+            requests: n,
+            seed: opts.seed,
+            runs: 1,
+        },
+    )
+    .take(n);
+    let m_service = build_service(
+        StreamPattern::Zipfian,
+        &m_fixture.machines,
+        &m_specs,
+        &m_fixture.opts,
+        opts.threads,
+        0,
+        AdmissionPolicy::Lru,
+        0,
+    );
+    let wall = Instant::now();
+    let _ = serve_pipelined_jsonl(&m_service, &stream, &m_pipeline);
+    let elapsed = wall.elapsed().as_secs_f64();
+    let measure = measure_from_service(&m_service, n as u64, elapsed, &mut Vec::new());
+    log(&format!(
+        "serve_pipelined: {n} requests in {elapsed:.3} s ({:.0} req/s)",
+        measure.throughput_rps
+    ));
+    ScenarioResult {
+        name: "serve_pipelined",
+        probe_config,
+        determinism,
+        measure_config,
+        measure,
+    }
+}
+
+fn scenario_tcp_loopback(
+    opts: &HarnessOptions,
+    shared_probe: &[EvalRequest],
+    log: &mut dyn FnMut(&str),
+) -> ScenarioResult {
+    let fixture = Fixture::probe();
+    let specs = fixture.specs();
+    let pipeline = PipelineOptions::new().depth(4).chunk(PROBE_BATCH);
+    let probe_config = {
+        let mut c = stream_config_pairs(StreamPattern::Zipfian, PROBE_REQUESTS, opts.seed, "1");
+        c.push(("depth", "4".to_string()));
+        c.push(("chunk", PROBE_BATCH.to_string()));
+        c.push(("connections", "1".to_string()));
+        c
+    };
+    // Probe: one connection against our own listener; the stream is the
+    // SAME zipfian stream the pipelined scenario probed, so the two
+    // scenarios' response hashes must be equal — transport may not
+    // change bytes.
+    let served = build_service(
+        StreamPattern::Zipfian,
+        &fixture.machines,
+        &specs,
+        &fixture.opts,
+        1,
+        0,
+        AdmissionPolicy::Lru,
+        0,
+    );
+    let audit = CollectionAudit::begin();
+    let server = EvalServer::listen(
+        "127.0.0.1:0",
+        NetOptions::new().pipeline(pipeline).max_connections(1),
+    )
+    .expect("loopback listener binds");
+    let local = server.local_addr();
+    let handle = server.handle();
+    let wire = to_wire(shared_probe);
+    let response = std::thread::scope(|scope| {
+        let serving = scope.spawn(|| server.serve(&served));
+        let got = exchange(local, &wire).expect("loopback exchange");
+        handle.shutdown();
+        serving.join().expect("server thread").expect("accept loop");
+        got
+    });
+    let determinism = Determinism {
+        response_hash: fnv1a(response.as_bytes()),
+        reference_builds: audit.collections() as u64,
+        requests: PROBE_REQUESTS as u64,
+    };
+
+    // Measurement: several concurrent connections, round-robin split.
+    let n = measure_requests(opts, 2_000);
+    let connections = if opts.smoke { 2 } else { 4 };
+    let measure_config = {
+        let mut c = stream_config_pairs(StreamPattern::Zipfian, n, opts.seed, "auto");
+        c.push(("depth", "4".to_string()));
+        c.push(("chunk", "64".to_string()));
+        c.push(("connections", connections.to_string()));
+        c
+    };
+    let m_fixture = Fixture::measure(opts);
+    let m_specs = m_fixture.specs();
+    let stream = StreamGenerator::new(
+        &m_fixture.machines,
+        &m_fixture.workloads,
+        &m_fixture.opts,
+        &StreamConfig {
+            pattern: StreamPattern::Zipfian,
+            requests: n,
+            seed: opts.seed,
+            runs: 1,
+        },
+    )
+    .take(n);
+    let m_service = build_service(
+        StreamPattern::Zipfian,
+        &m_fixture.machines,
+        &m_specs,
+        &m_fixture.opts,
+        opts.threads,
+        0,
+        AdmissionPolicy::Lru,
+        0,
+    );
+    let m_server = EvalServer::listen(
+        "127.0.0.1:0",
+        NetOptions::new()
+            .pipeline(PipelineOptions::new().depth(4).chunk(64))
+            .max_connections(connections),
+    )
+    .expect("loopback listener binds");
+    let m_local = m_server.local_addr();
+    let m_handle = m_server.handle();
+    let subs: Vec<String> = (0..connections)
+        .map(|c| to_wire(&stream.iter().skip(c).step_by(connections).cloned().collect::<Vec<_>>()))
+        .collect();
+    let wall = Instant::now();
+    std::thread::scope(|scope| {
+        let serving = scope.spawn(|| m_server.serve(&m_service));
+        let clients: Vec<_> = subs
+            .iter()
+            .map(|wire| scope.spawn(move || exchange(m_local, wire).expect("loopback exchange")))
+            .collect();
+        for c in clients {
+            c.join().expect("client thread");
+        }
+        m_handle.shutdown();
+        serving.join().expect("server thread").expect("accept loop");
+    });
+    let elapsed = wall.elapsed().as_secs_f64();
+    let measure = measure_from_service(&m_service, n as u64, elapsed, &mut Vec::new());
+    log(&format!(
+        "tcp_loopback: {n} requests over {connections} connections in {elapsed:.3} s \
+         ({:.0} req/s)",
+        measure.throughput_rps
+    ));
+    ScenarioResult {
+        name: "tcp_loopback",
+        probe_config,
+        determinism,
+        measure_config,
+        measure,
+    }
+}
+
+fn scenario_mixed_tenant(opts: &HarnessOptions, log: &mut dyn FnMut(&str)) -> ScenarioResult {
+    let fixture = Fixture::probe();
+    let specs = fixture.specs();
+    // The full fairness stack: bounded cache, frequency admission,
+    // per-tenant quotas, weighted scheduling. Single-threaded probes are
+    // still deterministic under all of them.
+    let capacity = 16;
+    let quota = 6;
+    let pipeline = PipelineOptions::new()
+        .depth(2)
+        .chunk(PROBE_BATCH)
+        .fairness(FairnessPolicy::Weighted);
+    let probe_config = {
+        let mut c = stream_config_pairs(StreamPattern::Mixed, PROBE_REQUESTS, opts.seed, "1");
+        c.push(("capacity", capacity.to_string()));
+        c.push(("quota", quota.to_string()));
+        c.push(("admission", "freq".to_string()));
+        c.push(("fairness", "weighted".to_string()));
+        c.push(("depth", "2".to_string()));
+        c.push(("chunk", PROBE_BATCH.to_string()));
+        c
+    };
+    let probe_requests = probe_stream(&fixture, StreamPattern::Mixed, opts.seed);
+    let service = build_service(
+        StreamPattern::Mixed,
+        &fixture.machines,
+        &specs,
+        &fixture.opts,
+        1,
+        capacity,
+        AdmissionPolicy::Frequency,
+        quota,
+    );
+    let determinism = probe_serve(&service, |s| {
+        serve_pipelined_jsonl(s, &probe_requests, &pipeline)
+    });
+
+    let n = measure_requests(opts, 2_500);
+    let measure_config = {
+        let mut c = stream_config_pairs(StreamPattern::Mixed, n, opts.seed, "auto");
+        c.push(("capacity", capacity.to_string()));
+        c.push(("quota", quota.to_string()));
+        c.push(("admission", "freq".to_string()));
+        c.push(("fairness", "weighted".to_string()));
+        c.push(("depth", "2".to_string()));
+        c.push(("chunk", "64".to_string()));
+        c
+    };
+    let m_fixture = Fixture::measure(opts);
+    let m_specs = m_fixture.specs();
+    let stream = StreamGenerator::new(
+        &m_fixture.machines,
+        &m_fixture.workloads,
+        &m_fixture.opts,
+        &StreamConfig {
+            pattern: StreamPattern::Mixed,
+            requests: n,
+            seed: opts.seed,
+            runs: 1,
+        },
+    )
+    .take(n);
+    let m_service = build_service(
+        StreamPattern::Mixed,
+        &m_fixture.machines,
+        &m_specs,
+        &m_fixture.opts,
+        opts.threads,
+        capacity,
+        AdmissionPolicy::Frequency,
+        quota,
+    );
+    let m_pipeline = PipelineOptions::new()
+        .depth(2)
+        .chunk(64)
+        .fairness(FairnessPolicy::Weighted);
+    let wall = Instant::now();
+    let _ = serve_pipelined_jsonl(&m_service, &stream, &m_pipeline);
+    let elapsed = wall.elapsed().as_secs_f64();
+    let measure = measure_from_service(&m_service, n as u64, elapsed, &mut Vec::new());
+    log(&format!(
+        "mixed_tenant_zipfian: {n} requests in {elapsed:.3} s ({:.0} req/s, {:.1}% hits)",
+        measure.throughput_rps,
+        measure.cache_hit_rate.unwrap_or(0.0) * 100.0
+    ));
+    ScenarioResult {
+        name: "mixed_tenant_zipfian",
+        probe_config,
+        determinism,
+        measure_config,
+        measure,
+    }
+}
+
+/// Runs the full scenario matrix in order, logging one progress line per
+/// scenario through `log` (stderr in the binary, a sink in tests).
+#[must_use]
+pub fn run_suite(opts: &HarnessOptions, log: &mut dyn FnMut(&str)) -> Vec<ScenarioResult> {
+    // The zipfian probe stream is generated ONCE and shared between the
+    // pipelined and TCP scenarios (via the resumable StreamGenerator), so
+    // their determinism hashes are directly comparable: same requests,
+    // different transport, same bytes.
+    let fixture = Fixture::probe();
+    let mut zipf = StreamGenerator::new(
+        &fixture.machines,
+        &fixture.workloads,
+        &fixture.opts,
+        &StreamConfig {
+            pattern: StreamPattern::Zipfian,
+            requests: PROBE_REQUESTS,
+            seed: opts.seed,
+            runs: 1,
+        },
+    );
+    let snap = zipf.state();
+    let shared_probe = zipf.take(PROBE_REQUESTS);
+    zipf.restore(snap);
+    debug_assert_eq!(zipf.take(PROBE_REQUESTS), shared_probe);
+
+    let results = vec![
+        scenario_grid_sweep(opts, log),
+        scenario_serve_batched(opts, log),
+        scenario_serve_pipelined(opts, &shared_probe, log),
+        scenario_tcp_loopback(opts, &shared_probe, log),
+        scenario_mixed_tenant(opts, log),
+    ];
+    assert_eq!(
+        results[2].determinism.response_hash, results[3].determinism.response_hash,
+        "transport must not change response bytes (pipelined vs TCP probe)"
+    );
+    results
+}
+
+// --- report serialization --------------------------------------------------
+
+fn config_value(config: &[(&'static str, String)]) -> Value {
+    Value::Map(
+        config
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), Value::Str(v.clone())))
+            .collect(),
+    )
+}
+
+fn opt_float(v: Option<f64>) -> Value {
+    v.map_or(Value::Null, Value::Float)
+}
+
+/// Renders the scenario results as the versioned `BENCH_<n>.json` text.
+#[must_use]
+pub fn report_json(results: &[ScenarioResult], smoke: bool) -> String {
+    let scenarios: Vec<Value> = results
+        .iter()
+        .map(|r| {
+            Value::Map(vec![
+                ("name".into(), Value::Str(r.name.to_string())),
+                (
+                    "probe".into(),
+                    Value::Map(vec![
+                        ("config".into(), config_value(&r.probe_config)),
+                        ("fingerprint".into(), Value::Str(hex(r.probe_fingerprint()))),
+                        (
+                            "response_hash".into(),
+                            Value::Str(hex(r.determinism.response_hash)),
+                        ),
+                        (
+                            "reference_builds".into(),
+                            Value::UInt(r.determinism.reference_builds),
+                        ),
+                        ("requests".into(), Value::UInt(r.determinism.requests)),
+                    ]),
+                ),
+                (
+                    "measure".into(),
+                    Value::Map(vec![
+                        ("config".into(), config_value(&r.measure_config)),
+                        (
+                            "fingerprint".into(),
+                            Value::Str(hex(r.measure_fingerprint())),
+                        ),
+                        ("requests".into(), Value::UInt(r.measure.requests)),
+                        ("elapsed_s".into(), Value::Float(r.measure.elapsed_s)),
+                        (
+                            "throughput_rps".into(),
+                            Value::Float(r.measure.throughput_rps),
+                        ),
+                        ("p50_ms".into(), opt_float(r.measure.p50_ms)),
+                        ("p99_ms".into(), opt_float(r.measure.p99_ms)),
+                        (
+                            "cache_hit_rate".into(),
+                            opt_float(r.measure.cache_hit_rate),
+                        ),
+                        ("cache_hits".into(), Value::UInt(r.measure.cache_hits)),
+                        ("builds".into(), Value::UInt(r.measure.builds)),
+                    ]),
+                ),
+            ])
+        })
+        .collect();
+    let report = Value::Map(vec![
+        ("bench".into(), Value::Str("countertrust".to_string())),
+        ("version".into(), Value::UInt(BENCH_VERSION)),
+        (
+            "mode".into(),
+            Value::Str(if smoke { "smoke" } else { "full" }.to_string()),
+        ),
+        ("scenarios".into(), Value::Seq(scenarios)),
+    ]);
+    let mut text = serde_json::to_string_pretty(&report).expect("report serializes");
+    text.push('\n');
+    text
+}
+
+// --- report parsing + comparison ------------------------------------------
+
+/// A parsed `BENCH_<n>.json`, as read back for `--compare`.
+#[derive(Debug, Clone)]
+pub struct Report {
+    pub version: u64,
+    pub mode: String,
+    pub scenarios: Vec<ScenarioReport>,
+}
+
+/// One scenario as parsed from a report file.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    pub name: String,
+    pub probe_fingerprint: String,
+    pub response_hash: String,
+    pub reference_builds: u64,
+    pub probe_requests: u64,
+    pub measure_fingerprint: String,
+    pub throughput_rps: f64,
+    pub p50_ms: Option<f64>,
+    pub p99_ms: Option<f64>,
+}
+
+fn get<'a>(map: &'a Value, key: &str) -> Result<&'a Value, String> {
+    match map {
+        Value::Map(entries) => entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing key {key:?}")),
+        _ => Err(format!("expected an object around {key:?}")),
+    }
+}
+
+fn as_str(v: &Value, key: &str) -> Result<String, String> {
+    match v {
+        Value::Str(s) => Ok(s.clone()),
+        _ => Err(format!("{key:?} is not a string")),
+    }
+}
+
+fn as_u64(v: &Value, key: &str) -> Result<u64, String> {
+    match v {
+        Value::UInt(u) => Ok(*u),
+        Value::Int(i) if *i >= 0 => Ok(*i as u64),
+        _ => Err(format!("{key:?} is not an unsigned integer")),
+    }
+}
+
+fn as_f64_opt(v: &Value) -> Option<f64> {
+    match v {
+        Value::Float(f) => Some(*f),
+        Value::UInt(u) => Some(*u as f64),
+        Value::Int(i) => Some(*i as f64),
+        _ => None,
+    }
+}
+
+/// Parses a report file's text.
+pub fn parse_report(text: &str) -> Result<Report, String> {
+    let root = serde_json::parse(text).map_err(|e| e.to_string())?;
+    let version = as_u64(get(&root, "version")?, "version")?;
+    let mode = as_str(get(&root, "mode")?, "mode")?;
+    let Value::Seq(items) = get(&root, "scenarios")? else {
+        return Err("\"scenarios\" is not an array".to_string());
+    };
+    let mut scenarios = Vec::with_capacity(items.len());
+    for item in items {
+        let probe = get(item, "probe")?;
+        let measure = get(item, "measure")?;
+        scenarios.push(ScenarioReport {
+            name: as_str(get(item, "name")?, "name")?,
+            probe_fingerprint: as_str(get(probe, "fingerprint")?, "probe.fingerprint")?,
+            response_hash: as_str(get(probe, "response_hash")?, "probe.response_hash")?,
+            reference_builds: as_u64(get(probe, "reference_builds")?, "probe.reference_builds")?,
+            probe_requests: as_u64(get(probe, "requests")?, "probe.requests")?,
+            measure_fingerprint: as_str(get(measure, "fingerprint")?, "measure.fingerprint")?,
+            throughput_rps: as_f64_opt(get(measure, "throughput_rps")?)
+                .ok_or("\"throughput_rps\" is not a number")?,
+            p50_ms: as_f64_opt(get(measure, "p50_ms")?),
+            p99_ms: as_f64_opt(get(measure, "p99_ms")?),
+        });
+    }
+    Ok(Report {
+        version,
+        mode,
+        scenarios,
+    })
+}
+
+/// Outcome of comparing a fresh run (`new`) against a baseline report.
+#[derive(Debug, Default)]
+pub struct CompareOutcome {
+    /// Human-readable comparison lines, one per scenario/aspect.
+    pub lines: Vec<String>,
+    /// Determinism-fingerprint mismatches — the hard failures.
+    pub fingerprint_mismatches: Vec<String>,
+    /// Throughput regressions beyond the tolerance (advisory).
+    pub regressions: Vec<String>,
+}
+
+impl CompareOutcome {
+    /// Whether the comparison should fail the run (CI gates on this —
+    /// perf regressions alone never do).
+    #[must_use]
+    pub fn hard_failure(&self) -> bool {
+        !self.fingerprint_mismatches.is_empty()
+    }
+}
+
+/// Tolerated relative throughput drop before a scenario is flagged as a
+/// regression — generous, because shared-runner wall-clock is noisy.
+pub const REGRESSION_TOLERANCE: f64 = 0.30;
+
+/// Compares a fresh run against a baseline report.
+///
+/// Determinism: whenever a scenario's probe fingerprints match (probe
+/// configs are pinned, so they match across smoke/full and PR over PR),
+/// the response hash, reference-build count and request count must be
+/// identical — any difference is a hard failure. Performance: throughput
+/// deltas are reported only when the measurement fingerprints also match,
+/// and drops beyond [`REGRESSION_TOLERANCE`] are flagged (but advisory).
+#[must_use]
+pub fn compare(baseline: &Report, new: &Report) -> CompareOutcome {
+    let mut out = CompareOutcome::default();
+    if baseline.version != new.version {
+        out.lines.push(format!(
+            "note: comparing report version {} against baseline version {}",
+            new.version, baseline.version
+        ));
+    }
+    for scenario in &new.scenarios {
+        let Some(base) = baseline.scenarios.iter().find(|s| s.name == scenario.name) else {
+            out.lines
+                .push(format!("{}: not in baseline (new scenario)", scenario.name));
+            continue;
+        };
+        if base.probe_fingerprint != scenario.probe_fingerprint {
+            out.fingerprint_mismatches.push(format!(
+                "{}: probe config drifted ({} -> {}) — determinism not comparable; \
+                 regenerate the baseline deliberately",
+                scenario.name, base.probe_fingerprint, scenario.probe_fingerprint
+            ));
+            continue;
+        }
+        if base.response_hash != scenario.response_hash {
+            out.fingerprint_mismatches.push(format!(
+                "{}: response bytes changed ({} -> {})",
+                scenario.name, base.response_hash, scenario.response_hash
+            ));
+        }
+        if base.reference_builds != scenario.reference_builds {
+            out.fingerprint_mismatches.push(format!(
+                "{}: reference builds changed ({} -> {})",
+                scenario.name, base.reference_builds, scenario.reference_builds
+            ));
+        }
+        if base.probe_requests != scenario.probe_requests {
+            out.fingerprint_mismatches.push(format!(
+                "{}: probe request count changed ({} -> {})",
+                scenario.name, base.probe_requests, scenario.probe_requests
+            ));
+        }
+        if base.probe_fingerprint == scenario.probe_fingerprint
+            && base.response_hash == scenario.response_hash
+            && base.reference_builds == scenario.reference_builds
+        {
+            out.lines
+                .push(format!("{}: determinism fingerprint OK", scenario.name));
+        }
+        if base.measure_fingerprint == scenario.measure_fingerprint
+            && base.throughput_rps > 0.0
+        {
+            let ratio = scenario.throughput_rps / base.throughput_rps;
+            out.lines.push(format!(
+                "{}: throughput {:.0} req/s vs baseline {:.0} req/s ({:+.1}%)",
+                scenario.name,
+                scenario.throughput_rps,
+                base.throughput_rps,
+                (ratio - 1.0) * 100.0
+            ));
+            if ratio < 1.0 - REGRESSION_TOLERANCE {
+                out.regressions.push(format!(
+                    "{}: throughput dropped {:.1}% (tolerance {:.0}%)",
+                    scenario.name,
+                    (1.0 - ratio) * 100.0,
+                    REGRESSION_TOLERANCE * 100.0
+                ));
+            }
+        } else {
+            out.lines.push(format!(
+                "{}: measurement configs differ (baseline mode {:?} vs {:?}); \
+                 skipping perf comparison",
+                scenario.name, baseline.mode, new.mode
+            ));
+        }
+    }
+    for base in &baseline.scenarios {
+        if !new.scenarios.iter().any(|s| s.name == base.name) {
+            out.fingerprint_mismatches.push(format!(
+                "{}: present in baseline but missing from this run",
+                base.name
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_results() -> Vec<ScenarioResult> {
+        MATRIX
+            .iter()
+            .enumerate()
+            .map(|(i, name)| ScenarioResult {
+                name,
+                probe_config: vec![("threads", "1".to_string())],
+                determinism: Determinism {
+                    response_hash: 0x1111 + i as u64,
+                    reference_builds: 12,
+                    requests: 24,
+                },
+                measure_config: vec![("threads", "auto".to_string())],
+                measure: Measure {
+                    requests: 100,
+                    elapsed_s: 0.5,
+                    throughput_rps: 200.0,
+                    p50_ms: Some(1.5),
+                    p99_ms: None,
+                    cache_hit_rate: Some(0.9),
+                    cache_hits: 90,
+                    builds: 10,
+                },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let results = sample_results();
+        let text = report_json(&results, false);
+        let report = parse_report(&text).expect("report parses");
+        assert_eq!(report.version, BENCH_VERSION);
+        assert_eq!(report.mode, "full");
+        assert_eq!(report.scenarios.len(), MATRIX.len());
+        for (r, s) in results.iter().zip(&report.scenarios) {
+            assert_eq!(r.name, s.name);
+            assert_eq!(hex(r.determinism.response_hash), s.response_hash);
+            assert_eq!(r.determinism.reference_builds, s.reference_builds);
+            assert_eq!(hex(r.probe_fingerprint()), s.probe_fingerprint);
+            assert_eq!(hex(r.measure_fingerprint()), s.measure_fingerprint);
+            assert_eq!(s.p50_ms, Some(1.5));
+            assert_eq!(s.p99_ms, None, "null percentiles parse back as None");
+        }
+    }
+
+    #[test]
+    fn identical_reports_compare_clean() {
+        let text = report_json(&sample_results(), false);
+        let report = parse_report(&text).unwrap();
+        let outcome = compare(&report, &report);
+        assert!(!outcome.hard_failure());
+        assert!(outcome.regressions.is_empty());
+        assert_eq!(
+            outcome
+                .lines
+                .iter()
+                .filter(|l| l.contains("determinism fingerprint OK"))
+                .count(),
+            MATRIX.len()
+        );
+    }
+
+    #[test]
+    fn changed_response_bytes_are_a_hard_failure() {
+        let results = sample_results();
+        let baseline = parse_report(&report_json(&results, false)).unwrap();
+        let mut tampered = results;
+        tampered[0].determinism.response_hash ^= 1;
+        let new = parse_report(&report_json(&tampered, false)).unwrap();
+        let outcome = compare(&baseline, &new);
+        assert!(outcome.hard_failure());
+        assert!(outcome.fingerprint_mismatches[0].contains("response bytes changed"));
+    }
+
+    #[test]
+    fn changed_build_count_is_a_hard_failure() {
+        let results = sample_results();
+        let baseline = parse_report(&report_json(&results, false)).unwrap();
+        let mut tampered = results;
+        tampered[1].determinism.reference_builds += 1;
+        let new = parse_report(&report_json(&tampered, false)).unwrap();
+        let outcome = compare(&baseline, &new);
+        assert!(outcome.hard_failure());
+        assert!(outcome.fingerprint_mismatches[0].contains("reference builds changed"));
+    }
+
+    #[test]
+    fn slow_throughput_is_advisory_not_fatal() {
+        let results = sample_results();
+        let baseline = parse_report(&report_json(&results, false)).unwrap();
+        let mut slower = results;
+        for r in &mut slower {
+            r.measure.throughput_rps = 50.0; // 4x slowdown
+        }
+        let new = parse_report(&report_json(&slower, false)).unwrap();
+        let outcome = compare(&baseline, &new);
+        assert!(!outcome.hard_failure(), "perf never hard-fails");
+        assert_eq!(outcome.regressions.len(), MATRIX.len());
+    }
+
+    #[test]
+    fn smoke_vs_full_compares_determinism_but_skips_perf() {
+        let results = sample_results();
+        let baseline = parse_report(&report_json(&results, false)).unwrap();
+        // A smoke run: same probes, different measurement config.
+        let mut smoke = results;
+        for r in &mut smoke {
+            r.measure_config = vec![("threads", "1".to_string()), ("smoke", "yes".to_string())];
+            r.measure.throughput_rps = 1.0;
+        }
+        let new = parse_report(&report_json(&smoke, true)).unwrap();
+        let outcome = compare(&baseline, &new);
+        assert!(!outcome.hard_failure());
+        assert!(outcome.regressions.is_empty(), "no perf comparison, no regressions");
+        assert!(outcome
+            .lines
+            .iter()
+            .any(|l| l.contains("skipping perf comparison")));
+    }
+
+    #[test]
+    fn missing_scenario_is_a_hard_failure() {
+        let results = sample_results();
+        let baseline = parse_report(&report_json(&results, false)).unwrap();
+        let mut partial = results;
+        partial.pop();
+        let new = parse_report(&report_json(&partial, false)).unwrap();
+        let outcome = compare(&baseline, &new);
+        assert!(outcome.hard_failure());
+        assert!(outcome.fingerprint_mismatches[0].contains("missing from this run"));
+    }
+
+    #[test]
+    fn probe_config_drift_is_a_hard_failure() {
+        let results = sample_results();
+        let baseline = parse_report(&report_json(&results, false)).unwrap();
+        let mut drifted = results;
+        drifted[2].probe_config.push(("new_knob", "1".to_string()));
+        let new = parse_report(&report_json(&drifted, false)).unwrap();
+        let outcome = compare(&baseline, &new);
+        assert!(outcome.hard_failure());
+        assert!(outcome.fingerprint_mismatches[0].contains("probe config drifted"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_reports() {
+        assert!(parse_report("not json").is_err());
+        assert!(parse_report("{}").is_err());
+        assert!(parse_report("{\"version\": 6, \"mode\": \"full\"}").is_err());
+    }
+
+    #[test]
+    fn fingerprints_are_order_and_value_sensitive() {
+        let a = fingerprint_config("s", &[("k", "1".to_string()), ("j", "2".to_string())]);
+        let b = fingerprint_config("s", &[("j", "2".to_string()), ("k", "1".to_string())]);
+        let c = fingerprint_config("s", &[("k", "1".to_string()), ("j", "3".to_string())]);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(
+            a,
+            fingerprint_config("s", &[("k", "1".to_string()), ("j", "2".to_string())])
+        );
+    }
+}

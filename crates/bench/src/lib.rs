@@ -24,6 +24,7 @@
 
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod harness;
 pub mod streams;
 
 use countertrust::evaluate::Evaluation;

@@ -101,63 +101,116 @@ pub struct StreamConfig {
     pub runs: usize,
 }
 
-/// Generates a request stream over the full `machines × workloads`
-/// catalog, naming only methods each machine supports (resolved through
-/// [`GridMethod::standard`], so AMD streams never ask for LBR).
+/// Opaque resumption point of a [`StreamGenerator`]: the RNG state plus
+/// the round-robin cursor. Two generators with equal states produce
+/// identical continuations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamState {
+    rng: [u64; 4],
+    position: usize,
+}
+
+/// An incremental request-stream generator.
 ///
-/// The stream is a pure function of `config` and the catalog order.
-#[must_use]
-pub fn request_stream(
-    machines: &[MachineModel],
-    workloads: &[Workload],
-    opts: &MethodOptions,
-    config: &StreamConfig,
-) -> Vec<EvalRequest> {
-    assert!(!machines.is_empty() && !workloads.is_empty(), "empty catalog");
-    // Pair table, machine-major, with each machine's supported labels.
-    let labels: Vec<Vec<String>> = machines
-        .iter()
-        .map(|m| {
-            GridMethod::standard(m, opts)
-                .into_iter()
-                .map(|g| g.label)
-                .collect()
-        })
-        .collect();
-    let pairs: Vec<(usize, usize)> = (0..machines.len())
-        .flat_map(|m| (0..workloads.len()).map(move |w| (m, w)))
-        .collect();
+/// Historically [`request_stream`] re-seeded its RNG on every call, so a
+/// caller that wanted "the first 200 requests now, the next 200 later"
+/// had to regenerate (or re-parse JSONL) from the start. The generator
+/// owns the live RNG instead: [`StreamGenerator::take`] can be called
+/// repeatedly and the concatenation of the chunks is exactly the stream
+/// a single big `take` would have produced. [`StreamGenerator::state`] /
+/// [`StreamGenerator::restore`] snapshot and resume that position, which
+/// is what lets `bench_suite` replay the identical stream across
+/// scenarios without keeping the requests in memory.
+///
+/// The pair/label tables are built once at construction; per-request
+/// generation is just RNG draws and string clones.
+pub struct StreamGenerator {
+    machine_names: Vec<String>,
+    workload_names: Vec<String>,
+    labels: Vec<Vec<String>>,
+    pairs: Vec<(usize, usize)>,
+    weights: Vec<u64>,
+    total_weight: u64,
+    pattern: StreamPattern,
+    runs: usize,
+    rng: SmallRng,
+    /// Index of the next request (drives the Cold round-robin).
+    position: usize,
+}
 
-    // Integer cumulative weights (the vendored rand has no float ranges).
-    const SCALE: u64 = 1_000_000;
-    let weights: Vec<u64> = match config.pattern {
-        StreamPattern::Hot => {
-            let rest = if pairs.len() > 1 {
-                (SCALE * 15 / 100) / (pairs.len() as u64 - 1).max(1)
-            } else {
-                0
-            };
-            (0..pairs.len())
-                .map(|i| if i == 0 { SCALE * 85 / 100 } else { rest.max(1) })
-                .collect()
+impl StreamGenerator {
+    /// Builds a generator over the full `machines × workloads` catalog,
+    /// naming only methods each machine supports (resolved through
+    /// [`GridMethod::standard`], so AMD streams never ask for LBR).
+    ///
+    /// The stream is a pure function of `config` and the catalog order.
+    #[must_use]
+    pub fn new(
+        machines: &[MachineModel],
+        workloads: &[Workload],
+        opts: &MethodOptions,
+        config: &StreamConfig,
+    ) -> Self {
+        assert!(!machines.is_empty() && !workloads.is_empty(), "empty catalog");
+        // Pair table, machine-major, with each machine's supported labels.
+        let labels: Vec<Vec<String>> = machines
+            .iter()
+            .map(|m| {
+                GridMethod::standard(m, opts)
+                    .into_iter()
+                    .map(|g| g.label)
+                    .collect()
+            })
+            .collect();
+        let pairs: Vec<(usize, usize)> = (0..machines.len())
+            .flat_map(|m| (0..workloads.len()).map(move |w| (m, w)))
+            .collect();
+
+        // Integer cumulative weights (the vendored rand has no float ranges).
+        const SCALE: u64 = 1_000_000;
+        let weights: Vec<u64> = match config.pattern {
+            StreamPattern::Hot => {
+                let rest = if pairs.len() > 1 {
+                    (SCALE * 15 / 100) / (pairs.len() as u64 - 1).max(1)
+                } else {
+                    0
+                };
+                (0..pairs.len())
+                    .map(|i| if i == 0 { SCALE * 85 / 100 } else { rest.max(1) })
+                    .collect()
+            }
+            StreamPattern::Cold => vec![1; pairs.len()],
+            StreamPattern::Zipfian | StreamPattern::Mixed => (0..pairs.len())
+                .map(|i| (SCALE / (i as u64 + 1)).max(1))
+                .collect(),
+        };
+        let total_weight = weights.iter().sum();
+
+        Self {
+            machine_names: machines.iter().map(|m| m.name.clone()).collect(),
+            workload_names: workloads.iter().map(|w| w.name.clone()).collect(),
+            labels,
+            pairs,
+            weights,
+            total_weight,
+            pattern: config.pattern,
+            runs: config.runs,
+            rng: SmallRng::seed_from_u64(config.seed ^ 0x5EED_57EA_4D00_0AB1),
+            position: 0,
         }
-        StreamPattern::Cold => vec![1; pairs.len()],
-        StreamPattern::Zipfian | StreamPattern::Mixed => (0..pairs.len())
-            .map(|i| (SCALE / (i as u64 + 1)).max(1))
-            .collect(),
-    };
-    let total: u64 = weights.iter().sum();
+    }
 
-    let mut rng = SmallRng::seed_from_u64(config.seed ^ 0x5EED_57EA_4D00_0AB1);
-    let mut out = Vec::with_capacity(config.requests);
-    for i in 0..config.requests {
-        let (m, w) = match config.pattern {
+    /// Generates the next request of the stream.
+    pub fn next_request(&mut self) -> EvalRequest {
+        let i = self.position;
+        self.position += 1;
+        let (m, w) = match self.pattern {
             // Cold is strict round-robin; the weighted draw handles the rest.
-            StreamPattern::Cold => pairs[i % pairs.len()],
+            StreamPattern::Cold => self.pairs[i % self.pairs.len()],
             _ => {
-                let mut pick = rng.gen_range(0..total);
-                let mut chosen = pairs[pairs.len() - 1];
-                for (pair, weight) in pairs.iter().zip(&weights) {
+                let mut pick = self.rng.gen_range(0..self.total_weight);
+                let mut chosen = self.pairs[self.pairs.len() - 1];
+                for (pair, weight) in self.pairs.iter().zip(&self.weights) {
                     if pick < *weight {
                         chosen = *pair;
                         break;
@@ -170,24 +223,60 @@ pub fn request_stream(
         // Mixed streams split the SAME zipfian pair draw across two
         // tenants, so the cold tenant's working set mirrors the hot
         // one's shape — in its own cache namespace.
-        let catalog = match config.pattern {
-            StreamPattern::Mixed if rng.gen_range(0..100u64) >= MIXED_HOT_SHARE_PCT => {
+        let catalog = match self.pattern {
+            StreamPattern::Mixed if self.rng.gen_range(0..100u64) >= MIXED_HOT_SHARE_PCT => {
                 Some(MIXED_COLD_CATALOG.to_string())
             }
             _ => None,
         };
-        let supported = &labels[m];
-        let method = supported[rng.gen_range(0..supported.len())].clone();
-        out.push(EvalRequest {
-            machine: machines[m].name.clone(),
-            workload: workloads[w].name.clone(),
+        let supported = &self.labels[m];
+        let method = supported[self.rng.gen_range(0..supported.len())].clone();
+        EvalRequest {
+            machine: self.machine_names[m].clone(),
+            workload: self.workload_names[w].clone(),
             method,
-            runs: config.runs,
-            seed: rng.gen_range(0u64..=u64::MAX / 2),
+            runs: self.runs,
+            seed: self.rng.gen_range(0u64..=u64::MAX / 2),
             catalog,
-        });
+        }
     }
-    out
+
+    /// Generates the next `n` requests. Chunked calls concatenate to the
+    /// same stream as one big call.
+    #[must_use]
+    pub fn take(&mut self, n: usize) -> Vec<EvalRequest> {
+        (0..n).map(|_| self.next_request()).collect()
+    }
+
+    /// Snapshots the generator's position (RNG words + round-robin
+    /// cursor) for later [`StreamGenerator::restore`].
+    #[must_use]
+    pub fn state(&self) -> StreamState {
+        StreamState {
+            rng: self.rng.state(),
+            position: self.position,
+        }
+    }
+
+    /// Rewinds (or fast-forwards) the generator to a snapshot taken from
+    /// a generator with the same construction parameters.
+    pub fn restore(&mut self, state: StreamState) {
+        self.rng = SmallRng::from_state(state.rng);
+        self.position = state.position;
+    }
+}
+
+/// Generates a request stream over the full `machines × workloads`
+/// catalog — the one-shot convenience over [`StreamGenerator`]; the
+/// output is byte-identical to `StreamGenerator::new(...).take(n)`.
+#[must_use]
+pub fn request_stream(
+    machines: &[MachineModel],
+    workloads: &[Workload],
+    opts: &MethodOptions,
+    config: &StreamConfig,
+) -> Vec<EvalRequest> {
+    StreamGenerator::new(machines, workloads, opts, config).take(config.requests)
 }
 
 /// Serializes requests to their JSON-lines wire form — the exact frame
@@ -263,6 +352,48 @@ mod tests {
         let c = request_stream(&machines, &workloads, &opts, &reseeded);
         let a = request_stream(&machines, &workloads, &opts, &config(StreamPattern::Zipfian));
         assert_ne!(a, c, "seed must reach the stream");
+    }
+
+    #[test]
+    fn chunked_generation_matches_one_shot() {
+        let (machines, workloads) = catalog();
+        let opts = MethodOptions::fast();
+        for pattern in [
+            StreamPattern::Hot,
+            StreamPattern::Cold,
+            StreamPattern::Zipfian,
+            StreamPattern::Mixed,
+        ] {
+            let cfg = config(pattern);
+            let one_shot = request_stream(&machines, &workloads, &opts, &cfg);
+            let mut gen = StreamGenerator::new(&machines, &workloads, &opts, &cfg);
+            let mut chunked = gen.take(50);
+            chunked.extend(gen.take(100));
+            chunked.extend(gen.take(50));
+            assert_eq!(
+                one_shot, chunked,
+                "{pattern:?}: chunked take() must concatenate to the one-shot stream"
+            );
+        }
+    }
+
+    #[test]
+    fn state_snapshot_replays_the_stream_tail() {
+        let (machines, workloads) = catalog();
+        let opts = MethodOptions::fast();
+        let cfg = config(StreamPattern::Mixed);
+        let mut gen = StreamGenerator::new(&machines, &workloads, &opts, &cfg);
+        let _head = gen.take(73);
+        let snap = gen.state();
+        let tail = gen.take(60);
+        // Resume from the snapshot on the SAME generator...
+        gen.restore(snap);
+        assert_eq!(gen.take(60), tail, "restore must replay the identical tail");
+        // ...and on a FRESH generator with equal construction parameters.
+        let mut other = StreamGenerator::new(&machines, &workloads, &opts, &cfg);
+        other.restore(snap);
+        assert_eq!(other.state(), snap);
+        assert_eq!(other.take(60), tail, "snapshots transfer between generators");
     }
 
     #[test]

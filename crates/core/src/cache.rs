@@ -367,7 +367,7 @@ impl Drop for FlightGuard<'_> {
             // would abort the process and defeat the isolation).
             let mut inner = self
                 .cache
-                .inner
+                .shard(self.key)
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
             inner.in_flight.retain(|(k, _)| *k != self.key);
@@ -536,8 +536,29 @@ impl CacheInner {
 /// distinct pairs build concurrently. Entries handed out are [`Arc`]s:
 /// eviction never invalidates state a consumer is still using, it only
 /// drops the cache's own reference.
+///
+/// # Lock sharding
+///
+/// An **unbounded, unquoted** cache splits its map across several lock
+/// shards ([`PairKey`]-hash partitioned), so lookups of distinct pairs
+/// from different serving threads no longer serialize on one mutex. The
+/// split is exact, not approximate: with no capacity bound and no quotas
+/// the cache never evicts and admits every build, so hit/miss/build
+/// counts per key are independent of which shard holds it — the
+/// aggregated [`CacheStats`] are identical to the single-lock cache's,
+/// and the "at most one build per pair" guarantee holds per shard
+/// because a key always maps to the same shard. A bounded or quota'd
+/// cache keeps **exactly one shard**: LRU victims, admission contests
+/// and quota accounting must see the whole resident set to stay
+/// deterministic.
 pub struct ProfileCache {
-    inner: Mutex<CacheInner>,
+    /// Lock shards; a key's shard is [`Self::shard`]. Bounded or
+    /// quota'd configurations always have exactly one.
+    shards: Box<[Mutex<CacheInner>]>,
+    /// Capacity is unbounded and quotas unlimited: eviction, admission
+    /// and the frequency sketch are provably inert, so hits skip the
+    /// LRU reorder and sketch bookkeeping (and the map may shard).
+    exact_unbounded: bool,
 }
 
 impl ProfileCache {
@@ -565,25 +586,80 @@ impl ProfileCache {
 
     /// The fully configured cache: capacity (`0` = unbounded), admission
     /// policy, and per-catalog residency quotas ([`CacheQuotas`]).
+    ///
+    /// An unbounded, unquoted configuration auto-shards its lock by the
+    /// machine's available parallelism (see the type-level docs); any
+    /// bound or quota pins the cache to a single shard.
     #[must_use]
     pub fn with_config(capacity: usize, policy: AdmissionPolicy, quotas: CacheQuotas) -> Self {
+        let shards = if capacity == 0 && quotas.is_unlimited() {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get).min(16)
+        } else {
+            1
+        };
+        Self::build(capacity, policy, quotas, shards)
+    }
+
+    /// Rebuilds this cache with `shards` lock shards (clamped to one
+    /// unless the configuration is unbounded and unquoted — sharding a
+    /// bounded cache would make LRU and quota decisions shard-local).
+    ///
+    /// A configuration knob for construction time: resident entries and
+    /// counters of `self` are discarded, so call it before first use.
+    #[must_use]
+    pub fn with_shard_count(self, shards: usize) -> Self {
+        let inner = self.lock();
+        Self::build(inner.capacity, inner.policy, inner.quotas.clone(), shards)
+    }
+
+    /// Number of lock shards (`1` for any bounded or quota'd cache).
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn build(capacity: usize, policy: AdmissionPolicy, quotas: CacheQuotas, shards: usize) -> Self {
+        let exact_unbounded = capacity == 0 && quotas.is_unlimited();
+        let shards = if exact_unbounded { shards.max(1) } else { 1 };
+        let shards = (0..shards)
+            .map(|_| {
+                Mutex::new(CacheInner {
+                    capacity,
+                    policy,
+                    quotas: quotas.clone(),
+                    entries: Vec::new(),
+                    in_flight: Vec::new(),
+                    freq: Vec::new(),
+                    lookups: 0,
+                    hits: 0,
+                    misses: 0,
+                    builds: 0,
+                    evictions: 0,
+                    rejected: 0,
+                    tenants: Vec::new(),
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
         Self {
-            inner: Mutex::new(CacheInner {
-                capacity,
-                policy,
-                quotas,
-                entries: Vec::new(),
-                in_flight: Vec::new(),
-                freq: Vec::new(),
-                lookups: 0,
-                hits: 0,
-                misses: 0,
-                builds: 0,
-                evictions: 0,
-                rejected: 0,
-                tenants: Vec::new(),
-            }),
+            shards,
+            exact_unbounded,
         }
+    }
+
+    /// The shard owning `key` (FNV-1a over the key's three indices; a
+    /// key always maps to the same shard, so in-flight build sharing
+    /// stays per-key correct).
+    fn shard(&self, key: PairKey) -> &Mutex<CacheInner> {
+        if self.shards.len() == 1 {
+            return &self.shards[0];
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for part in [key.catalog as u64, key.machine as u64, key.workload as u64] {
+            h ^= part;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        &self.shards[(h % self.shards.len() as u64) as usize]
     }
 
     /// The configured capacity (`0` = unbounded).
@@ -625,12 +701,21 @@ impl ProfileCache {
         F: FnOnce() -> Result<PairParts, CoreError>,
     {
         let flight: Arc<InFlight> = {
-            let mut inner = self.lock();
-            inner.note_access(key);
+            let mut inner = self.lock_shard(key);
+            if !self.exact_unbounded {
+                inner.note_access(key);
+            }
             if let Some(pos) = inner.entries.iter().position(|(k, _)| *k == key) {
-                let entry = inner.entries.remove(pos);
-                let parts = entry.1.clone();
-                inner.entries.push(entry);
+                let parts = if self.exact_unbounded {
+                    // Nothing ever evicts: the LRU order is dead state,
+                    // so a hit skips the O(n) reorder.
+                    inner.entries[pos].1.clone()
+                } else {
+                    let entry = inner.entries.remove(pos);
+                    let parts = entry.1.clone();
+                    inner.entries.push(entry);
+                    parts
+                };
                 inner.hits += 1;
                 inner.tally(key.catalog).hits += 1;
                 return Ok((parts, true));
@@ -687,7 +772,7 @@ impl ProfileCache {
             built
         };
         {
-            let mut inner = self.lock();
+            let mut inner = self.lock_shard(key);
             inner.in_flight.retain(|(k, _)| *k != key);
             if let Ok(parts) = &built {
                 inner.builds += 1;
@@ -716,13 +801,13 @@ impl ProfileCache {
     /// Whether `key` is currently resident (no LRU touch, no counters).
     #[must_use]
     pub fn contains(&self, key: PairKey) -> bool {
-        self.lock().entries.iter().any(|(k, _)| *k == key)
+        self.lock_shard(key).entries.iter().any(|(k, _)| *k == key)
     }
 
-    /// Number of resident entries.
+    /// Number of resident entries (summed across shards).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.lock().entries.len()
+        self.shards.iter().map(|s| Self::lock_mutex(s).entries.len()).sum()
     }
 
     /// Whether the cache is empty.
@@ -733,16 +818,47 @@ impl ProfileCache {
 
     /// Drops every resident entry (counters are kept).
     pub fn clear(&self) {
-        self.lock().entries.clear();
+        for shard in &*self.shards {
+            Self::lock_mutex(shard).entries.clear();
+        }
     }
 
     /// A snapshot of the cumulative counters, including the per-catalog
-    /// breakdown ([`CacheStats::tenants`]).
+    /// breakdown ([`CacheStats::tenants`]) — aggregated across shards,
+    /// so callers see one cache whatever the shard count.
     #[must_use]
     pub fn stats(&self) -> CacheStats {
-        let inner = self.lock();
-        let tenants = inner
-            .tenants
+        let mut stats = CacheStats::default();
+        let mut tallies: Vec<TenantTally> = Vec::new();
+        let mut resident: Vec<usize> = Vec::new();
+        for shard in &*self.shards {
+            let inner = Self::lock_mutex(shard);
+            stats.hits += inner.hits;
+            stats.misses += inner.misses;
+            stats.builds += inner.builds;
+            stats.evictions += inner.evictions;
+            stats.rejected += inner.rejected;
+            stats.resident += inner.entries.len();
+            stats.capacity = inner.capacity;
+            stats.policy = inner.policy;
+            stats.quotas = inner.quotas.clone();
+            if tallies.len() < inner.tenants.len() {
+                tallies.resize_with(inner.tenants.len(), TenantTally::default);
+            }
+            for (catalog, tally) in inner.tenants.iter().enumerate() {
+                tallies[catalog].hits += tally.hits;
+                tallies[catalog].misses += tally.misses;
+                tallies[catalog].evictions += tally.evictions;
+                tallies[catalog].rejected += tally.rejected;
+            }
+            for (key, _) in &inner.entries {
+                if resident.len() <= key.catalog {
+                    resident.resize(key.catalog + 1, 0);
+                }
+                resident[key.catalog] += 1;
+            }
+        }
+        stats.tenants = tallies
             .iter()
             .enumerate()
             .map(|(catalog, tally)| TenantCacheStats {
@@ -751,26 +867,28 @@ impl ProfileCache {
                 misses: tally.misses,
                 evictions: tally.evictions,
                 rejected: tally.rejected,
-                resident: inner.resident_of(catalog),
-                quota: inner.quotas.quota_for(catalog),
+                resident: resident.get(catalog).copied().unwrap_or(0),
+                quota: stats.quotas.quota_for(catalog),
             })
             .collect();
-        CacheStats {
-            hits: inner.hits,
-            misses: inner.misses,
-            builds: inner.builds,
-            evictions: inner.evictions,
-            rejected: inner.rejected,
-            resident: inner.entries.len(),
-            capacity: inner.capacity,
-            policy: inner.policy,
-            quotas: inner.quotas.clone(),
-            tenants,
-        }
+        stats
     }
 
+    /// Locks the shard owning `key`.
+    fn lock_shard(&self, key: PairKey) -> std::sync::MutexGuard<'_, CacheInner> {
+        Self::lock_mutex(self.shard(key))
+    }
+
+    fn lock_mutex(shard: &Mutex<CacheInner>) -> std::sync::MutexGuard<'_, CacheInner> {
+        shard.lock().expect("cache lock never poisoned")
+    }
+
+    /// Shard 0 — the whole cache for every bounded/quota'd
+    /// configuration; configuration fields are replicated across shards,
+    /// so config reads are valid on any shard. The sketch-boundary unit
+    /// tests drive `CacheInner` through this.
     fn lock(&self) -> std::sync::MutexGuard<'_, CacheInner> {
-        self.inner.lock().expect("cache lock never poisoned")
+        Self::lock_mutex(&self.shards[0])
     }
 }
 
@@ -1218,6 +1336,154 @@ mod tests {
         );
         quoted.get_or_build(PairKey::new(0, 0, 0), build).unwrap();
         assert!(quoted.stats().summary().contains("quotas [0:1/4]"));
+    }
+
+    #[test]
+    fn bounded_or_quotad_caches_refuse_to_shard() {
+        // Sharding is exact only when eviction/admission are inert, so
+        // any bound or quota pins the cache to one shard — whatever the
+        // caller asks for.
+        assert_eq!(ProfileCache::with_capacity(2).with_shard_count(8).shard_count(), 1);
+        let quoted = ProfileCache::with_config(
+            0,
+            AdmissionPolicy::Lru,
+            CacheQuotas::per_catalog(2),
+        );
+        assert_eq!(quoted.shard_count(), 1);
+        assert_eq!(quoted.with_shard_count(8).shard_count(), 1);
+        assert_eq!(ProfileCache::unbounded().with_shard_count(4).shard_count(), 4);
+        assert!(ProfileCache::unbounded().shard_count() >= 1, "auto-sharding picks >= 1");
+        assert_eq!(
+            ProfileCache::unbounded().with_shard_count(0).shard_count(),
+            1,
+            "zero clamps to one shard"
+        );
+    }
+
+    #[test]
+    fn sharded_cache_counters_aggregate_exactly_across_shards() {
+        let program = kernel();
+        let cache = ProfileCache::unbounded().with_shard_count(4);
+        let build = || Ok(parts_for(&program));
+        // Six distinct pairs across two catalogs, each looked up twice:
+        // the keys land on different shards, yet the aggregated stats
+        // must read exactly like the single-lock cache's.
+        let keys = [
+            PairKey::new(0, 0, 0),
+            PairKey::new(0, 0, 1),
+            PairKey::new(0, 1, 0),
+            PairKey::new(1, 0, 0),
+            PairKey::new(1, 0, 1),
+            PairKey::new(1, 2, 2),
+        ];
+        for _ in 0..2 {
+            for key in keys {
+                cache.get_or_build(key, build).unwrap();
+            }
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.builds, 6, "one build per distinct pair");
+        assert_eq!(stats.misses, 6);
+        assert_eq!(stats.hits, 6);
+        assert_eq!(stats.resident, 6);
+        assert_eq!(cache.len(), 6);
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.rejected, 0);
+        for key in keys {
+            assert!(cache.contains(key));
+        }
+        // Tenant attribution survives the shard split.
+        assert_eq!(stats.tenants.len(), 2);
+        assert_eq!((stats.tenants[0].hits, stats.tenants[0].misses), (3, 3));
+        assert_eq!((stats.tenants[1].hits, stats.tenants[1].misses), (3, 3));
+        assert_eq!(stats.tenants[0].resident, 3);
+        assert_eq!(stats.tenants[1].resident, 3);
+        cache.clear();
+        assert!(cache.is_empty(), "clear drains every shard");
+        assert_eq!(cache.stats().hits, 6, "counters survive a clear");
+    }
+
+    #[test]
+    fn sharded_cache_survives_a_multithread_hammer() {
+        let program = kernel();
+        let cache = ProfileCache::unbounded().with_shard_count(4);
+        // 8 threads × 2 rounds over 4 shared pairs + 3 thread-private
+        // pairs each: 28 distinct pairs, 112 lookups. Unbounded never
+        // evicts and always admits, so the aggregated counters are
+        // EXACT even under contention: one miss (and one build) per
+        // distinct pair — concurrent same-key lookups share the
+        // in-flight build and count as hits — and everything else hits.
+        const THREADS: usize = 8;
+        const ROUNDS: usize = 2;
+        let shared: Vec<PairKey> = (0..4).map(|w| key(0, w)).collect();
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let shared = &shared;
+                let program = &program;
+                let cache = &cache;
+                scope.spawn(move || {
+                    for _ in 0..ROUNDS {
+                        for key in shared {
+                            cache.get_or_build(*key, || Ok(parts_for(program))).unwrap();
+                        }
+                        for w in 0..3 {
+                            let private = PairKey::new(1, t, w);
+                            cache.get_or_build(private, || Ok(parts_for(program))).unwrap();
+                        }
+                    }
+                });
+            }
+        });
+        let distinct = 4 + THREADS * 3;
+        let lookups = (THREADS * ROUNDS * 7) as u64;
+        let stats = cache.stats();
+        assert_eq!(stats.builds, distinct as u64, "at most one build per pair");
+        assert_eq!(stats.misses, distinct as u64);
+        assert_eq!(stats.hits, lookups - distinct as u64);
+        assert_eq!(stats.resident, distinct);
+        assert_eq!(cache.len(), distinct);
+        for key in &shared {
+            assert!(cache.contains(*key));
+        }
+        for t in 0..THREADS {
+            for w in 0..3 {
+                assert!(cache.contains(PairKey::new(1, t, w)));
+            }
+        }
+    }
+
+    #[test]
+    fn a_panicking_build_on_the_sharded_path_wakes_waiters() {
+        let program = kernel();
+        let cache = ProfileCache::unbounded().with_shard_count(4);
+        let barrier = std::sync::Barrier::new(2);
+        std::thread::scope(|scope| {
+            let a = scope.spawn(|| {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    cache.get_or_build(key(0, 0), || -> Result<PairParts, CoreError> {
+                        barrier.wait();
+                        std::thread::sleep(std::time::Duration::from_millis(50));
+                        panic!("injected build panic");
+                    })
+                }))
+            });
+            let b = scope.spawn(|| {
+                barrier.wait();
+                cache.get_or_build(key(0, 0), || Ok(parts_for(&program)))
+            });
+            assert!(a.join().unwrap().is_err());
+            // The FlightGuard must clean the in-flight entry out of the
+            // KEY'S OWN shard — a stale entry (or one cleaned from the
+            // wrong shard) would leave B blocked forever.
+            match b.join().unwrap() {
+                Err(e) => assert_eq!(e, CoreError::BuildPanicked),
+                Ok((_, hit)) => assert!(hit || cache.contains(key(0, 0))),
+            }
+        });
+        let (_, _) = cache
+            .get_or_build(key(0, 0), || Ok(parts_for(&program)))
+            .expect("the key is rebuildable after the panic");
+        assert!(cache.contains(key(0, 0)));
     }
 
     #[test]

@@ -96,6 +96,26 @@ pub struct Cpu<'m> {
     machine: &'m MachineModel,
 }
 
+/// One statically-decoded instruction: opcode plus every per-step
+/// attribute the dispatch loop would otherwise recompute.
+///
+/// `Insn::class()`, `Insn::uops()` and `MachineModel::class_latency()`
+/// are all matches over the opcode/class enums; executed once per
+/// *dynamic* instruction they dominate the interpreter's per-step
+/// overhead. Decoding once per *static* instruction at run start turns
+/// each step into a single sequential table read — integer fields on one
+/// cache line, no allocation, no rematching — and the branch predictor
+/// keeps the one remaining dispatch match.
+#[derive(Clone, Copy)]
+struct Decoded {
+    op: Opcode,
+    class: InsnClass,
+    uops: u32,
+    /// `class_latency(class)` for this machine; loads still override it
+    /// with the cache model's access latency.
+    latency: u32,
+}
+
 impl<'m> Cpu<'m> {
     /// Creates a CPU implementing `machine`.
     #[must_use]
@@ -133,6 +153,23 @@ impl<'m> Cpu<'m> {
         let mut cache = CacheModel::new(m.cache);
         let mut bpred = BranchPredictor::new();
 
+        // Predecode: amortize the per-step class/uops/latency matches over
+        // the whole run (see [`Decoded`]). Indexing parallels the program,
+        // so `decoded[pc]` is exactly `fetch(pc)` plus its attributes.
+        let decoded: Vec<Decoded> = program
+            .insns
+            .iter()
+            .map(|insn| {
+                let class = insn.class();
+                Decoded {
+                    op: insn.op,
+                    class,
+                    uops: insn.uops(),
+                    latency: m.class_latency(class),
+                }
+            })
+            .collect();
+
         let mut pc: Addr = program.entry;
         let mut cycle: u64 = 0;
         let mut slot: u32 = 0;
@@ -147,12 +184,12 @@ impl<'m> Cpu<'m> {
             if instructions >= config.max_insns {
                 break StopReason::FuelExhausted;
             }
-            let insn = program.fetch(pc);
-            let class = insn.class();
+            let insn = decoded[pc as usize];
+            let class = insn.class;
             let mut next_pc = pc + 1;
             let mut taken_target: Option<Addr> = None;
             let mut mispredicted = false;
-            let mut latency = m.class_latency(class);
+            let mut latency = insn.latency;
 
             match insn.op {
                 Opcode::Add(d, a, b) => {
@@ -344,13 +381,13 @@ impl<'m> Cpu<'m> {
                         hide,
                         pc,
                         instructions,
-                        insn.uops(),
+                        insn.uops,
                         class,
                         None,
                         false,
                     );
                     instructions += 1;
-                    uops += u64::from(insn.uops());
+                    uops += u64::from(insn.uops);
                     for obs in observers.iter_mut() {
                         obs.on_retire(&ev);
                     }
@@ -367,13 +404,13 @@ impl<'m> Cpu<'m> {
                 hide,
                 pc,
                 instructions,
-                insn.uops(),
+                insn.uops,
                 class,
                 taken_target,
                 mispredicted,
             );
             instructions += 1;
-            uops += u64::from(insn.uops());
+            uops += u64::from(insn.uops);
             taken_branches += u64::from(taken_target.is_some());
             mispredicts += u64::from(mispredicted);
             for obs in observers.iter_mut() {

@@ -1,0 +1,204 @@
+//! End-to-end tests of the `bench_suite` harness binary: the smoke run
+//! must produce a parseable `BENCH_6.json` covering the whole scenario
+//! matrix, back-to-back runs must report identical determinism
+//! fingerprints, and `--compare` must hard-fail on a fingerprint
+//! mismatch while staying green against an honest baseline.
+//!
+//! The sharded-cache audit test performs in-process reference
+//! collections against the process-global counter; the bench_suite
+//! invocations here are subprocesses with their own counter, so the two
+//! kinds of test can share this binary without serializing.
+
+use ct_bench::harness::{parse_report, BENCH_VERSION, MATRIX};
+use std::process::Command;
+
+/// Runs `bench_suite --smoke --out <path> [extra args]`, returning the
+/// report text. Panics (with the captured stderr) when the run fails.
+fn run_smoke(tag: &str, extra: &[&str]) -> String {
+    let out = std::env::temp_dir().join(format!("bench_smoke_{}_{tag}.json", std::process::id()));
+    let output = Command::new(env!("CARGO_BIN_EXE_bench_suite"))
+        .arg("--smoke")
+        .arg("--out")
+        .arg(&out)
+        .args(extra)
+        .output()
+        .expect("bench_suite spawns");
+    assert!(
+        output.status.success(),
+        "bench_suite --smoke failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let text = std::fs::read_to_string(&out).expect("report file written");
+    let _ = std::fs::remove_file(&out);
+    text
+}
+
+#[test]
+fn smoke_report_parses_and_covers_the_whole_matrix() {
+    let text = run_smoke("matrix", &[]);
+    let report = parse_report(&text).expect("smoke report parses");
+    assert_eq!(report.version, BENCH_VERSION);
+    assert_eq!(report.mode, "smoke");
+    assert_eq!(report.scenarios.len(), MATRIX.len());
+    for name in MATRIX {
+        let scenario = report
+            .scenarios
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("scenario {name} missing from the report"));
+        assert!(scenario.probe_requests > 0, "{name}: probe ran no requests");
+        assert!(
+            scenario.throughput_rps > 0.0,
+            "{name}: measurement reported no throughput"
+        );
+    }
+}
+
+#[test]
+fn back_to_back_runs_report_identical_determinism_fingerprints() {
+    let first = parse_report(&run_smoke("rep_a", &[])).unwrap();
+    let second = parse_report(&run_smoke("rep_b", &[])).unwrap();
+    assert_eq!(first.scenarios.len(), second.scenarios.len());
+    for (a, b) in first.scenarios.iter().zip(&second.scenarios) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(
+            a.probe_fingerprint, b.probe_fingerprint,
+            "{}: probe fingerprint drifted between identical runs",
+            a.name
+        );
+        assert_eq!(a.response_hash, b.response_hash, "{}", a.name);
+        assert_eq!(a.reference_builds, b.reference_builds, "{}", a.name);
+        assert_eq!(a.measure_fingerprint, b.measure_fingerprint, "{}", a.name);
+    }
+}
+
+#[test]
+fn compare_passes_against_an_honest_baseline_and_fails_a_tampered_one() {
+    let baseline_path =
+        std::env::temp_dir().join(format!("bench_baseline_{}.json", std::process::id()));
+    let text = run_smoke("base", &[]);
+    std::fs::write(&baseline_path, &text).unwrap();
+
+    // Same config against its own output: fingerprints match, exit 0.
+    let out = std::env::temp_dir().join(format!("bench_cmp_{}.json", std::process::id()));
+    let honest = Command::new(env!("CARGO_BIN_EXE_bench_suite"))
+        .args(["--smoke", "--out"])
+        .arg(&out)
+        .arg("--compare")
+        .arg(&baseline_path)
+        .output()
+        .unwrap();
+    assert!(
+        honest.status.success(),
+        "honest comparison must pass:\n{}",
+        String::from_utf8_lossy(&honest.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&honest.stderr);
+    assert!(stderr.contains("determinism fingerprints match the baseline"), "{stderr}");
+
+    // Corrupt one response hash in the baseline: the comparison must
+    // hard-fail (exit 1) and name the determinism mismatch.
+    let tampered = text.replacen("\"response_hash\": \"0x", "\"response_hash\": \"0xf", 1);
+    assert_ne!(tampered, text, "tampering must change the baseline");
+    std::fs::write(&baseline_path, &tampered).unwrap();
+    let caught = Command::new(env!("CARGO_BIN_EXE_bench_suite"))
+        .args(["--smoke", "--out"])
+        .arg(&out)
+        .arg("--compare")
+        .arg(&baseline_path)
+        .output()
+        .unwrap();
+    assert_eq!(
+        caught.status.code(),
+        Some(1),
+        "a tampered response hash must hard-fail:\n{}",
+        String::from_utf8_lossy(&caught.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&caught.stderr);
+    assert!(stderr.contains("DETERMINISM MISMATCH"), "{stderr}");
+
+    let _ = std::fs::remove_file(&baseline_path);
+    let _ = std::fs::remove_file(&out);
+}
+
+#[test]
+fn checked_in_report_matches_the_harness_schema() {
+    // BENCH_6.json at the repo root is the tracked baseline CI compares
+    // against; it must always parse and carry the full matrix.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_6.json");
+    let text = std::fs::read_to_string(path).expect("BENCH_6.json is checked in at the repo root");
+    let report = parse_report(&text).expect("checked-in report parses");
+    assert_eq!(report.version, BENCH_VERSION);
+    assert_eq!(report.mode, "full", "the tracked baseline is a full-mode run");
+    for name in MATRIX {
+        assert!(report.scenarios.iter().any(|s| s.name == name), "{name} missing");
+    }
+}
+
+mod sharded_cache_audit {
+    //! The "at most one reference collection per distinct pair" claim on
+    //! the sharded cache path, asserted against the process-global
+    //! [`CollectionAudit`] counter (exact here: this module is the only
+    //! in-process collector in this test binary — bench_suite runs are
+    //! separate processes).
+
+    use countertrust::cache::{PairKey, PairParts, ProfileCache};
+    use ct_instrument::CollectionAudit;
+    use ct_isa::{asm::assemble, Cfg, Program};
+    use ct_sim::{MachineModel, RunConfig};
+    use std::sync::Arc;
+
+    fn kernel() -> Program {
+        assemble(
+            "k",
+            r#"
+            .func main
+                movi r1, 2000
+            top:
+                addi r2, r2, 1
+                subi r1, r1, 1
+                brnz r1, top
+                halt
+            .endfunc
+        "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sharded_cache_collects_each_pair_at_most_once() {
+        let program = kernel();
+        let machine = MachineModel::ivy_bridge();
+        let cache = ProfileCache::unbounded().with_shard_count(4);
+        assert_eq!(cache.shard_count(), 4);
+        let audit = CollectionAudit::begin();
+        const THREADS: usize = 6;
+        const DISTINCT: usize = 5;
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                let (program, machine, cache) = (&program, &machine, &cache);
+                scope.spawn(move || {
+                    for round in 0..3 {
+                        for w in 0..DISTINCT {
+                            let key = PairKey::new(0, round % 2, w);
+                            cache
+                                .get_or_build(key, || {
+                                    let cfg = Arc::new(Cfg::build(program));
+                                    PairParts::collect(machine, program, &RunConfig::default(), cfg)
+                                })
+                                .unwrap();
+                        }
+                    }
+                });
+            }
+        });
+        // 2 catalog-0 machine indices × DISTINCT workloads were touched.
+        let distinct_pairs = (2 * DISTINCT) as u64;
+        assert_eq!(
+            audit.collections(),
+            distinct_pairs,
+            "every extra collection is a duplicated instrumented execution"
+        );
+        assert_eq!(cache.stats().builds, distinct_pairs);
+    }
+}
