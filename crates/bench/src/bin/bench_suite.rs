@@ -4,9 +4,11 @@
 //! ```text
 //! cargo run --release -p ct-bench --bin bench_suite -- \
 //!     [--smoke] [--out PATH] [--compare PATH] [--seed N] [--threads N]
+//! cargo run --release -p ct-bench --bin bench_suite -- \
+//!     --compare-files BASELINE NEW
 //! ```
 //!
-//! * default — full measurement run; writes `BENCH_6.json` in the
+//! * default — full measurement run; writes `BENCH_7.json` in the
 //!   current directory (override with `--out`).
 //! * `--smoke` — identical determinism probes, miniature measurements;
 //!   what CI runs on every push.
@@ -14,6 +16,10 @@
 //!   at PATH: perf deltas are advisory (printed, tolerant thresholds),
 //!   but a determinism-fingerprint mismatch — changed response bytes,
 //!   changed reference-build counts, missing scenario — exits nonzero.
+//! * `--compare-files BASELINE NEW` — diff two existing report files
+//!   without running anything: the same comparison (and exit code) as
+//!   `--compare`, for gating a checked-in `BENCH_<n>.json` against its
+//!   predecessor in CI.
 //!
 //! The report goes to the `--out` file; all progress and comparison
 //! output goes to stderr, so `--out /dev/stdout` composes with pipes.
@@ -28,6 +34,9 @@ struct SuiteCli {
     smoke: bool,
     out: String,
     compare_path: Option<String>,
+    /// `--compare-files BASELINE NEW`: diff two existing reports and
+    /// exit, without running the suite.
+    compare_files: Option<(String, String)>,
 }
 
 fn parse(args: &[String]) -> SuiteCli {
@@ -36,6 +45,7 @@ fn parse(args: &[String]) -> SuiteCli {
         smoke: false,
         out: BENCH_FILE.to_string(),
         compare_path: None,
+        compare_files: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -55,6 +65,17 @@ fn parse(args: &[String]) -> SuiteCli {
                     cli.compare_path = Some(v.clone());
                 }
             }
+            "--compare-files" => {
+                let baseline = take(&mut i).cloned();
+                let fresh = take(&mut i).cloned();
+                match (baseline, fresh) {
+                    (Some(b), Some(n)) => cli.compare_files = Some((b, n)),
+                    _ => {
+                        eprintln!("bench_suite: --compare-files needs BASELINE and NEW paths");
+                        std::process::exit(2);
+                    }
+                }
+            }
             _ => {}
         }
         i += 1;
@@ -62,9 +83,61 @@ fn parse(args: &[String]) -> SuiteCli {
     cli
 }
 
+/// Loads and parses a report file, exiting with status 2 (usage/IO
+/// error, distinct from the determinism-failure exit 1) when it cannot
+/// be read or does not parse.
+fn load_report(path: &str) -> ct_bench::harness::Report {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_suite: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    match parse_report(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench_suite: {path} does not parse: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Prints a comparison outcome and returns whether it hard-failed.
+fn report_outcome(label: &str, outcome: &ct_bench::harness::CompareOutcome) -> bool {
+    eprintln!("bench_suite: comparison against {label}");
+    for line in &outcome.lines {
+        eprintln!("  {line}");
+    }
+    for line in &outcome.regressions {
+        eprintln!("  REGRESSION (advisory): {line}");
+    }
+    if outcome.hard_failure() {
+        for line in &outcome.fingerprint_mismatches {
+            eprintln!("  DETERMINISM MISMATCH: {line}");
+        }
+        eprintln!(
+            "bench_suite: determinism fingerprints diverged — failing \
+             (regenerate the baseline only for deliberate semantic changes)"
+        );
+        return true;
+    }
+    eprintln!("bench_suite: determinism fingerprints match the baseline");
+    false
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = parse(&args);
+    if let Some((baseline_path, new_path)) = &cli.compare_files {
+        let baseline = load_report(baseline_path);
+        let fresh = load_report(new_path);
+        let outcome = compare(&baseline, &fresh);
+        if report_outcome(baseline_path, &outcome) {
+            std::process::exit(1);
+        }
+        return;
+    }
     let opts = HarnessOptions {
         smoke: cli.smoke,
         seed: cli.base.seed,
@@ -86,39 +159,11 @@ fn main() {
     eprintln!("bench_suite: report written to {}", cli.out);
 
     if let Some(path) = &cli.compare_path {
-        let baseline_text = match std::fs::read_to_string(path) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("bench_suite: cannot read baseline {path}: {e}");
-                std::process::exit(2);
-            }
-        };
-        let baseline = match parse_report(&baseline_text) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("bench_suite: baseline {path} does not parse: {e}");
-                std::process::exit(2);
-            }
-        };
+        let baseline = load_report(path);
         let fresh = parse_report(&text).expect("our own report parses");
         let outcome = compare(&baseline, &fresh);
-        eprintln!("bench_suite: comparison against {path}");
-        for line in &outcome.lines {
-            eprintln!("  {line}");
-        }
-        for line in &outcome.regressions {
-            eprintln!("  REGRESSION (advisory): {line}");
-        }
-        if outcome.hard_failure() {
-            for line in &outcome.fingerprint_mismatches {
-                eprintln!("  DETERMINISM MISMATCH: {line}");
-            }
-            eprintln!(
-                "bench_suite: determinism fingerprints diverged — failing \
-                 (regenerate the baseline only for deliberate semantic changes)"
-            );
+        if report_outcome(path, &outcome) {
             std::process::exit(1);
         }
-        eprintln!("bench_suite: determinism fingerprints match the baseline");
     }
 }

@@ -9,7 +9,8 @@
 //!     [--pipeline-depth N] [--chunk N] [--admission lru|freq] \
 //!     [--capacity N] [--quota N] [--fairness fcfs|weighted] [--runs N] \
 //!     [--scale F] [--seed N] [--threads N] [--record-latency] \
-//!     [--listen ADDR] [--connect ADDR|self] [--connections N] [--smoke]
+//!     [--listen ADDR] [--connect ADDR|self] [--connections N] \
+//!     [--proto v1|v2] [--smoke]
 //! ```
 //!
 //! `--pattern mixed` generates the two-tenant interference stream (90%
@@ -52,6 +53,14 @@
 //! * `--connect ADDR` alone — client mode: streams the generated
 //!   requests to a remote server and prints its responses.
 //!
+//! `--proto v2` switches the client side to the keep-alive multiplexed
+//! wire protocol: loopback mode opens ONE connection carrying
+//! `--connections` logical streams (the same round-robin split v1 spreads
+//! over N connections), and client mode multiplexes the stream the same
+//! way. The server needs no flag — it auto-negotiates per connection via
+//! the version preamble. Byte-identity is verified per *stream* exactly
+//! as v1 verifies per connection.
+//!
 //! `--smoke` runs a small stream across batched, single-threaded, wide
 //! and pipelined services and fails loudly if any output differs, so CI
 //! exercises the whole serving path (stream generation, sharding, cache,
@@ -62,6 +71,7 @@ use countertrust::cache::{AdmissionPolicy, CacheQuotas};
 use countertrust::grid::WorkloadSpec;
 use countertrust::methods::MethodOptions;
 use countertrust::serve::net::{exchange, EvalServer, NetOptions};
+use countertrust::serve::proto::exchange_v2;
 use countertrust::serve::{
     Catalog, CatalogRegistry, EvalRequest, EvalService, FairnessPolicy, PipelineOptions,
 };
@@ -98,6 +108,9 @@ struct ServeCli {
     connect: Option<String>,
     /// Concurrent client connections in loopback mode.
     connections: usize,
+    /// Client wire protocol: `false` = one v1 connection per sub-stream,
+    /// `true` = one keep-alive v2 connection multiplexing them all.
+    proto_v2: bool,
     smoke: bool,
 }
 
@@ -151,6 +164,7 @@ fn parse(args: &[String]) -> ServeCli {
         listen: None,
         connect: None,
         connections: 4,
+        proto_v2: false,
         smoke: false,
     };
     let mut i = 0;
@@ -265,6 +279,18 @@ fn parse(args: &[String]) -> ServeCli {
                 if let Some(v) = take(&mut i) {
                     if let Some(n) = parse_positive_count("--connections", v) {
                         cli.connections = n;
+                    }
+                }
+            }
+            "--proto" => {
+                if let Some(v) = take(&mut i) {
+                    match v.as_str() {
+                        "v1" => cli.proto_v2 = false,
+                        "v2" => cli.proto_v2 = true,
+                        _ => eprintln!(
+                            "warning: unknown --proto {v:?} (expected v1 or v2); keeping {}",
+                            if cli.proto_v2 { "v2" } else { "v1" }
+                        ),
                     }
                 }
             }
@@ -421,6 +447,12 @@ fn main() {
             );
             cli.record_latency = false;
         }
+    }
+    if cli.proto_v2 && cli.listen.is_none() && cli.connect.is_none() {
+        eprintln!(
+            "warning: --proto v2 is a wire-protocol choice and has no effect in \
+             local mode (add --connect, or --listen with --connect self)"
+        );
     }
     if fairness_needs_pipeline(&cli) {
         eprintln!(
@@ -595,28 +627,41 @@ fn run_networked(
             .expect("--listen address must bind");
             let local = server.local_addr();
             let handle = server.handle();
-            eprintln!(
-                "serve_bench: loopback on {local}, {connections} concurrent connections"
-            );
-            // Round-robin split: connection c carries requests c, c+N, …
+            if cli.proto_v2 {
+                eprintln!(
+                    "serve_bench: loopback on {local}, 1 keep-alive v2 connection \
+                     multiplexing {connections} streams"
+                );
+            } else {
+                eprintln!(
+                    "serve_bench: loopback on {local}, {connections} concurrent connections"
+                );
+            }
+            // Round-robin split: connection (or v2 stream) c carries
+            // requests c, c+N, …
             let subs: Vec<Vec<EvalRequest>> = (0..connections)
                 .map(|c| stream.iter().skip(c).step_by(connections).cloned().collect())
                 .collect();
             let wall = Instant::now();
             let (outputs, net) = std::thread::scope(|scope| {
                 let serving = scope.spawn(|| server.serve(&served));
-                let clients: Vec<_> = subs
-                    .iter()
-                    .map(|sub| {
-                        scope.spawn(move || {
-                            exchange(local, &to_wire(sub)).expect("loopback exchange")
+                let outputs: Vec<String> = if cli.proto_v2 {
+                    let wires: Vec<String> = subs.iter().map(|sub| to_wire(sub)).collect();
+                    exchange_v2(local, &wires).expect("loopback v2 exchange")
+                } else {
+                    let clients: Vec<_> = subs
+                        .iter()
+                        .map(|sub| {
+                            scope.spawn(move || {
+                                exchange(local, &to_wire(sub)).expect("loopback exchange")
+                            })
                         })
-                    })
-                    .collect();
-                let outputs: Vec<String> = clients
-                    .into_iter()
-                    .map(|c| c.join().expect("client thread"))
-                    .collect();
+                        .collect();
+                    clients
+                        .into_iter()
+                        .map(|c| c.join().expect("client thread"))
+                        .collect()
+                };
                 handle.shutdown();
                 let net = serving.join().expect("server thread").expect("accept loop");
                 (outputs, net)
@@ -637,13 +682,15 @@ fn run_networked(
                     assert_eq!(
                         got.as_bytes(),
                         expected.as_slice(),
-                        "connection {c}: TCP responses diverged from the offline pipelined run"
+                        "{} {c}: TCP responses diverged from the offline pipelined run",
+                        if cli.proto_v2 { "stream" } else { "connection" }
                     );
                 }
                 eprintln!(
-                    "serve_bench: {} per-connection streams byte-identical to offline \
+                    "serve_bench: {} per-{} streams byte-identical to offline \
                      pipelined runs",
-                    subs.len()
+                    subs.len(),
+                    if cli.proto_v2 { "stream" } else { "connection" }
                 );
             }
             for output in &outputs {
@@ -653,14 +700,17 @@ fn run_networked(
             eprintln!("serve_bench summary");
             eprintln!("  pattern          {}", cli.pattern.name());
             eprintln!(
-                "  mode             tcp loopback ({} connections, depth {}, chunk {})",
+                "  mode             tcp loopback ({}, {} connections, depth {}, chunk {})",
+                if cli.proto_v2 { "proto v2" } else { "proto v1" },
                 net.connections,
                 pipeline.depth.max(1),
                 pipeline.chunk.max(1)
             );
             eprintln!(
-                "  net              {} requests | {} responses | {} parse errors | {} io errors",
-                net.requests, net.responses, net.parse_errors, net.io_errors
+                "  net              {} requests | {} responses | {} parse errors | \
+                 {} io errors | {} worker panics",
+                net.requests, net.responses, net.parse_errors, net.io_errors,
+                net.worker_panics
             );
             print_summary_tail(&served, stream.len(), elapsed, cli.record_latency, &[]);
         }
@@ -679,19 +729,42 @@ fn run_networked(
             );
             let net = server.serve(&served).expect("accept loop");
             eprintln!(
-                "serve_bench: served {} connections ({} responses, {} io errors)",
-                net.connections, net.responses, net.io_errors
+                "serve_bench: served {} connections ({} responses, {} io errors, \
+                 {} worker panics)",
+                net.connections, net.responses, net.io_errors, net.worker_panics
             );
         }
         (None, Some(addr)) => {
             let wall = Instant::now();
-            let response =
-                exchange(addr.as_str(), &to_wire(stream)).expect("--connect exchange");
+            let response = if cli.proto_v2 {
+                // Multiplex the stream over `--connections` logical
+                // streams on one keep-alive connection, mirroring the
+                // loopback round-robin split.
+                let connections = cli.connections.max(1);
+                let wires: Vec<String> = (0..connections)
+                    .map(|c| {
+                        to_wire(
+                            &stream
+                                .iter()
+                                .skip(c)
+                                .step_by(connections)
+                                .cloned()
+                                .collect::<Vec<_>>(),
+                        )
+                    })
+                    .collect();
+                exchange_v2(addr.as_str(), &wires)
+                    .expect("--connect v2 exchange")
+                    .concat()
+            } else {
+                exchange(addr.as_str(), &to_wire(stream)).expect("--connect exchange")
+            };
             let elapsed = wall.elapsed().as_secs_f64();
             print!("{response}");
             eprintln!(
-                "serve_bench: {} responses from {addr} in {elapsed:.3} s",
-                response.lines().count()
+                "serve_bench: {} responses from {addr} in {elapsed:.3} s{}",
+                response.lines().count(),
+                if cli.proto_v2 { " (proto v2)" } else { "" }
             );
         }
         (None, None) => unreachable!("networked mode requires --listen or --connect"),
@@ -745,6 +818,18 @@ mod tests {
         // Non-numeric keeps the default.
         let cli = parse(&args(&["--connections", "many"]));
         assert_eq!(cli.connections, 4);
+    }
+
+    #[test]
+    fn proto_flag_parses_and_defaults_to_v1() {
+        let cli = parse(&args(&[]));
+        assert!(!cli.proto_v2, "v1 is the default");
+        let cli = parse(&args(&["--proto", "v2"]));
+        assert!(cli.proto_v2);
+        let cli = parse(&args(&["--proto", "v2", "--proto", "v1"]));
+        assert!(!cli.proto_v2, "later flag wins");
+        let cli = parse(&args(&["--proto", "v3"]));
+        assert!(!cli.proto_v2, "unknown version keeps the current setting");
     }
 
     #[test]

@@ -26,6 +26,7 @@ use countertrust::cache::{AdmissionPolicy, CacheQuotas};
 use countertrust::grid::{GridRunner, WorkloadSpec};
 use countertrust::methods::MethodOptions;
 use countertrust::serve::net::{exchange, EvalServer, NetOptions};
+use countertrust::serve::proto::exchange_v2;
 use countertrust::serve::{
     Catalog, CatalogRegistry, EvalRequest, EvalService, FairnessPolicy, PipelineOptions,
 };
@@ -42,17 +43,18 @@ use crate::workload_specs;
 
 /// Report version — the `<n>` of `BENCH_<n>.json`, bumped when a PR
 /// regenerates the tracked report.
-pub const BENCH_VERSION: u64 = 6;
+pub const BENCH_VERSION: u64 = 7;
 
 /// File name of the tracked report at the repo root.
-pub const BENCH_FILE: &str = "BENCH_6.json";
+pub const BENCH_FILE: &str = "BENCH_7.json";
 
 /// The fixed scenario matrix, in execution (and report) order.
-pub const MATRIX: [&str; 5] = [
+pub const MATRIX: [&str; 6] = [
     "grid_sweep",
     "serve_batched",
     "serve_pipelined",
     "tcp_loopback",
+    "v2_loopback",
     "mixed_tenant_zipfian",
 ];
 
@@ -687,6 +689,131 @@ fn scenario_tcp_loopback(
     }
 }
 
+fn scenario_v2_loopback(
+    opts: &HarnessOptions,
+    shared_probe: &[EvalRequest],
+    log: &mut dyn FnMut(&str),
+) -> ScenarioResult {
+    let fixture = Fixture::probe();
+    let specs = fixture.specs();
+    let pipeline = PipelineOptions::new().depth(4).chunk(PROBE_BATCH);
+    let probe_config = {
+        let mut c = stream_config_pairs(StreamPattern::Zipfian, PROBE_REQUESTS, opts.seed, "1");
+        c.push(("depth", "4".to_string()));
+        c.push(("chunk", PROBE_BATCH.to_string()));
+        c.push(("proto", "v2".to_string()));
+        c.push(("streams", "1".to_string()));
+        c
+    };
+    // Probe: the SAME shared zipfian stream as the pipelined and v1 TCP
+    // probes, carried as a single logical stream on one keep-alive v2
+    // connection — the response hash must equal both of theirs, because
+    // neither transport nor framing may change bytes.
+    let served = build_service(
+        StreamPattern::Zipfian,
+        &fixture.machines,
+        &specs,
+        &fixture.opts,
+        1,
+        0,
+        AdmissionPolicy::Lru,
+        0,
+    );
+    let audit = CollectionAudit::begin();
+    let server = EvalServer::listen(
+        "127.0.0.1:0",
+        NetOptions::new().pipeline(pipeline).max_connections(1),
+    )
+    .expect("loopback listener binds");
+    let local = server.local_addr();
+    let handle = server.handle();
+    let wire = to_wire(shared_probe);
+    let response = std::thread::scope(|scope| {
+        let serving = scope.spawn(|| server.serve(&served));
+        let got = exchange_v2(local, std::slice::from_ref(&wire)).expect("v2 loopback exchange");
+        handle.shutdown();
+        serving.join().expect("server thread").expect("accept loop");
+        got.into_iter().next().expect("one stream, one response")
+    });
+    let determinism = Determinism {
+        response_hash: fnv1a(response.as_bytes()),
+        reference_builds: audit.collections() as u64,
+        requests: PROBE_REQUESTS as u64,
+    };
+
+    // Measurement: one keep-alive connection multiplexing several logical
+    // streams — the v2 counterpart of tcp_loopback's N connections, so
+    // the two scenarios' throughput lines compare connection-per-stream
+    // against multiplexed framing on the same stream shape.
+    let n = measure_requests(opts, 2_000);
+    let streams = if opts.smoke { 2 } else { 4 };
+    let measure_config = {
+        let mut c = stream_config_pairs(StreamPattern::Zipfian, n, opts.seed, "auto");
+        c.push(("depth", "4".to_string()));
+        c.push(("chunk", "64".to_string()));
+        c.push(("proto", "v2".to_string()));
+        c.push(("streams", streams.to_string()));
+        c
+    };
+    let m_fixture = Fixture::measure(opts);
+    let m_specs = m_fixture.specs();
+    let stream = StreamGenerator::new(
+        &m_fixture.machines,
+        &m_fixture.workloads,
+        &m_fixture.opts,
+        &StreamConfig {
+            pattern: StreamPattern::Zipfian,
+            requests: n,
+            seed: opts.seed,
+            runs: 1,
+        },
+    )
+    .take(n);
+    let m_service = build_service(
+        StreamPattern::Zipfian,
+        &m_fixture.machines,
+        &m_specs,
+        &m_fixture.opts,
+        opts.threads,
+        0,
+        AdmissionPolicy::Lru,
+        0,
+    );
+    let m_server = EvalServer::listen(
+        "127.0.0.1:0",
+        NetOptions::new()
+            .pipeline(PipelineOptions::new().depth(4).chunk(64))
+            .max_connections(1),
+    )
+    .expect("loopback listener binds");
+    let m_local = m_server.local_addr();
+    let m_handle = m_server.handle();
+    let wires: Vec<String> = (0..streams)
+        .map(|c| to_wire(&stream.iter().skip(c).step_by(streams).cloned().collect::<Vec<_>>()))
+        .collect();
+    let wall = Instant::now();
+    std::thread::scope(|scope| {
+        let serving = scope.spawn(|| m_server.serve(&m_service));
+        exchange_v2(m_local, &wires).expect("v2 loopback exchange");
+        m_handle.shutdown();
+        serving.join().expect("server thread").expect("accept loop");
+    });
+    let elapsed = wall.elapsed().as_secs_f64();
+    let measure = measure_from_service(&m_service, n as u64, elapsed, &mut Vec::new());
+    log(&format!(
+        "v2_loopback: {n} requests over {streams} multiplexed streams in {elapsed:.3} s \
+         ({:.0} req/s)",
+        measure.throughput_rps
+    ));
+    ScenarioResult {
+        name: "v2_loopback",
+        probe_config,
+        determinism,
+        measure_config,
+        measure,
+    }
+}
+
 fn scenario_mixed_tenant(opts: &HarnessOptions, log: &mut dyn FnMut(&str)) -> ScenarioResult {
     let fixture = Fixture::probe();
     let specs = fixture.specs();
@@ -811,11 +938,16 @@ pub fn run_suite(opts: &HarnessOptions, log: &mut dyn FnMut(&str)) -> Vec<Scenar
         scenario_serve_batched(opts, log),
         scenario_serve_pipelined(opts, &shared_probe, log),
         scenario_tcp_loopback(opts, &shared_probe, log),
+        scenario_v2_loopback(opts, &shared_probe, log),
         scenario_mixed_tenant(opts, log),
     ];
     assert_eq!(
         results[2].determinism.response_hash, results[3].determinism.response_hash,
         "transport must not change response bytes (pipelined vs TCP probe)"
+    );
+    assert_eq!(
+        results[2].determinism.response_hash, results[4].determinism.response_hash,
+        "framing must not change response bytes (pipelined vs v2 multiplexed probe)"
     );
     results
 }

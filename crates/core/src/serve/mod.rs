@@ -201,6 +201,9 @@
 //! ```
 
 pub mod net;
+pub mod proto;
+mod reactor;
+mod ring;
 
 use crate::cache::{AdmissionPolicy, CacheQuotas, CacheStats, PairKey, PairParts, ProfileCache};
 use crate::evaluate::{evaluate_method_with_seeds, ErrorStats};
@@ -211,8 +214,8 @@ use ct_sim::MachineModel;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
+use ring::ring_channel;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::sync_channel;
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
@@ -1302,7 +1305,8 @@ impl<'a> EvalService<'a> {
     /// ```
     ///
     /// Each stage runs on its own scoped thread (evaluation on the
-    /// calling thread), connected by bounded queues holding at most
+    /// calling thread), connected by bounded lock-free SPSC ring
+    /// buffers holding at most
     /// [`PipelineOptions::depth`] chunks of [`PipelineOptions::chunk`]
     /// requests — so while chunk N evaluates, chunk N+1's reference
     /// profiles are already building through the cache and chunk N+2 is
@@ -1342,9 +1346,9 @@ impl<'a> EvalService<'a> {
 
         std::thread::scope(|scope| {
             let (parsed_tx, parsed_rx) =
-                sync_channel::<std::io::Result<ParsedChunk>>(depth);
-            let (planned_tx, planned_rx) = sync_channel::<Chunk>(depth);
-            let (built_tx, built_rx) = sync_channel::<Chunk>(depth);
+                ring_channel::<std::io::Result<ParsedChunk>>(depth);
+            let (planned_tx, planned_rx) = ring_channel::<Chunk>(depth);
+            let (built_tx, built_rx) = ring_channel::<Chunk>(depth);
 
             // Stage 1 — intake: read and parse lines incrementally,
             // cutting a chunk every `chunk_size` non-empty lines. An

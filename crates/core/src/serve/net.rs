@@ -1,31 +1,42 @@
 //! TCP network intake for the evaluation service.
 //!
 //! [`EvalServer`] is the socket front door of [`EvalService`]: it binds a
-//! [`TcpListener`], accepts connections and drives each one through
-//! [`EvalService::serve_pipelined`] on its own scoped worker thread —
-//! the wire format over the socket is exactly the offline JSON-lines
-//! format, so a connection's response stream is **byte-identical** to an
-//! offline pipelined run over the same request lines (same catalogs,
-//! same determinism contract; the shared [`crate::cache::ProfileCache`]
-//! only changes how often references are rebuilt across connections).
+//! [`TcpListener`] and drives every accepted connection through a fixed
+//! pool of connection workers. Each connection is protocol-negotiated by
+//! its first bytes (see [`super::proto`]): the original **v1** wire
+//! format — one EOF-delimited JSON-lines stream, answered through
+//! [`EvalService::serve_pipelined`], byte-identical to an offline
+//! pipelined run — and the keep-alive, multiplexed **v2** framing,
+//! whose per-stream responses are byte-identical to the same lines over
+//! their own v1 connection. v1 clients need no changes and see no
+//! difference.
+//!
+//! The accept path is event-driven (the `serve::reactor` module):
+//! the listener blocks in the kernel until a connection is ready, and
+//! handing a connection to the worker pool blocks while all
+//! [`NetOptions::max_connections`] workers are busy. An idle or at-cap
+//! server parks — there is no fixed-interval poll anywhere.
 //!
 //! Operational guarantees:
 //!
-//! * **Connection cap** ([`NetOptions::max_connections`]): when the cap
-//!   is reached, the server simply stops accepting until a slot frees —
-//!   pending clients wait in the OS backlog instead of being dropped.
+//! * **Connection cap** ([`NetOptions::max_connections`]): the pool has
+//!   exactly that many workers; when all are busy the server stops
+//!   accepting until one frees — pending clients wait in the OS backlog
+//!   instead of being dropped.
 //! * **Graceful shutdown** ([`ServerHandle::shutdown`]): the accept loop
-//!   stops taking new connections, every in-flight connection drains to
-//!   completion, then [`EvalServer::serve`] returns its [`NetStats`].
+//!   stops taking new connections (a loopback wake-up unparks a blocked
+//!   accept), every in-flight connection drains to completion, then
+//!   [`EvalServer::serve`] returns its [`NetStats`].
 //! * **Per-connection error isolation**: a connection that fails mid-I/O
-//!   (client gone, socket reset) — or whose worker *panics* — is counted
-//!   in [`NetStats::io_errors`] and logged to stderr; it never takes
-//!   down the accept loop or any sibling connection, and its connection
-//!   slot is always released (the `active` count is decremented by a
-//!   drop guard, so even a panicking worker cannot permanently consume
-//!   a slot of the [`NetOptions::max_connections`] cap). Malformed
+//!   (client gone, socket reset) is counted in [`NetStats::io_errors`];
+//!   a connection whose worker *panics* is counted separately in
+//!   [`NetStats::worker_panics`]. Both are logged to stderr and neither
+//!   takes down the accept loop or any sibling connection. Malformed
 //!   request lines are not errors at this layer at all — the pipeline
 //!   answers them in-order, per its contract.
+//! * **No lost accounting**: if the *listener itself* fails, the error
+//!   comes back as an [`AcceptError`] that still carries the
+//!   [`NetStats`] of everything served up to that point.
 //!
 //! # Examples
 //!
@@ -78,16 +89,25 @@
 //! assert_eq!(served.as_bytes(), expected.as_slice());
 //! ```
 
+use super::proto::{self, Negotiated};
+use super::reactor::{run_reactor, AcceptSource, ConnectionRegistry};
 use super::{EvalService, PipelineOptions};
-use std::io::{BufReader, BufWriter, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// How long the accept loop naps when there is nothing to accept (the
-/// listener is non-blocking so shutdown is always observed promptly).
-const ACCEPT_POLL: Duration = Duration::from_millis(1);
+/// Default socket read/write timeout of the [`exchange`] /
+/// [`super::proto::exchange_v2`] client helpers: generous enough for a
+/// full reference build between responses, finite enough that a stalled
+/// server cannot hang a bench client forever.
+pub const DEFAULT_EXCHANGE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// How long [`ServerHandle::shutdown`] waits for its loopback wake-up
+/// connection; purely best-effort (a server that is not blocked in
+/// accept does not need waking).
+const WAKE_TIMEOUT: Duration = Duration::from_millis(200);
 
 /// Shape of a network-served evaluation tier.
 #[derive(Debug, Clone, Copy)]
@@ -95,8 +115,9 @@ pub struct NetOptions {
     /// The pipeline every connection is driven through.
     pub pipeline: PipelineOptions,
     /// Maximum concurrently served connections (values below 1 are
-    /// served as 1). The accept loop pauses at the cap; waiting clients
-    /// queue in the OS listen backlog.
+    /// served as 1) — the size of the connection worker pool. The
+    /// accept loop blocks at the cap; waiting clients queue in the OS
+    /// listen backlog.
     pub max_connections: usize,
 }
 
@@ -133,9 +154,10 @@ impl NetOptions {
 }
 
 /// Counters of one [`EvalServer::serve`] run. Connection-level I/O
-/// failures land in [`NetStats::io_errors`]; request-level failures are
-/// ordinary error responses inside their stream and are counted by the
-/// service's [`super::ServeStats`] as usual.
+/// failures land in [`NetStats::io_errors`], crashed workers in
+/// [`NetStats::worker_panics`]; request-level failures are ordinary
+/// error responses inside their stream and are counted by the service's
+/// [`super::ServeStats`] as usual.
 ///
 /// The line/request/response counters cover **cleanly completed**
 /// connections only: a connection that dies mid-stream contributes just
@@ -157,6 +179,37 @@ pub struct NetStats {
     /// Connections that ended in an I/O error (client disconnected
     /// mid-stream, socket reset); each was isolated to its own worker.
     pub io_errors: u64,
+    /// Connections whose worker panicked. Kept apart from
+    /// [`NetStats::io_errors`] so a crashing handler is
+    /// distinguishable from a flaky client.
+    pub worker_panics: u64,
+}
+
+/// A failed [`EvalServer::serve`] run: the listener-level error **plus**
+/// the [`NetStats`] accumulated before it — connections drained up to
+/// the failure are never silently discarded.
+#[derive(Debug)]
+pub struct AcceptError {
+    /// What the listener failed with.
+    pub error: std::io::Error,
+    /// Everything served before the failure.
+    pub stats: NetStats,
+}
+
+impl std::fmt::Display for AcceptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "accept loop failed after {} connections ({} responses): {}",
+            self.stats.connections, self.stats.responses, self.error
+        )
+    }
+}
+
+impl std::error::Error for AcceptError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
 }
 
 /// A handle that requests a graceful shutdown of a serving
@@ -164,13 +217,27 @@ pub struct NetStats {
 #[derive(Debug, Clone)]
 pub struct ServerHandle {
     stop: Arc<AtomicBool>,
+    addr: SocketAddr,
 }
 
 impl ServerHandle {
     /// Asks the server to stop accepting connections and drain. Safe to
     /// call from any thread, any number of times.
+    ///
+    /// The accept loop blocks in the kernel when idle, so after raising
+    /// the stop flag this opens (and immediately drops) one loopback
+    /// connection to unpark it; the server recognizes and discards it.
     pub fn shutdown(&self) {
         self.stop.store(true, Ordering::Release);
+        let mut addr = self.addr;
+        if addr.ip().is_unspecified() {
+            // `0.0.0.0`/`::` is a bind address, not a destination.
+            addr.set_ip(match addr.ip() {
+                IpAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+                IpAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect_timeout(&addr, WAKE_TIMEOUT);
     }
 }
 
@@ -187,11 +254,15 @@ pub struct EvalServer {
     /// only available once it returns) — e.g. to shut down only after
     /// known traffic was taken in.
     accepted: AtomicU64,
+    /// Live in-flight connection count/peak, observable while serving.
+    registry: ConnectionRegistry,
 }
 
 impl EvalServer {
     /// Binds `addr` (use port `0` for an ephemeral port — the resolved
-    /// address is [`EvalServer::local_addr`]) without serving yet.
+    /// address is [`EvalServer::local_addr`]) without serving yet. The
+    /// listener stays in blocking mode: accepting parks in the kernel
+    /// until a connection is ready.
     ///
     /// # Errors
     ///
@@ -199,8 +270,6 @@ impl EvalServer {
     /// unavailable.
     pub fn listen(addr: impl ToSocketAddrs, options: NetOptions) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
-        // Non-blocking accepts keep the loop responsive to shutdown.
-        listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         Ok(Self {
             listener,
@@ -208,6 +277,7 @@ impl EvalServer {
             options,
             stop: Arc::new(AtomicBool::new(false)),
             accepted: AtomicU64::new(0),
+            registry: ConnectionRegistry::default(),
         })
     }
 
@@ -216,6 +286,19 @@ impl EvalServer {
     #[must_use]
     pub fn connections_accepted(&self) -> u64 {
         self.accepted.load(Ordering::Acquire)
+    }
+
+    /// Connections being served right now (live).
+    #[must_use]
+    pub fn active_connections(&self) -> usize {
+        self.registry.active()
+    }
+
+    /// Most connections ever served at once (live) — never exceeds the
+    /// [`NetOptions::max_connections`] worker-pool size.
+    #[must_use]
+    pub fn peak_connections(&self) -> usize {
+        self.registry.peak()
     }
 
     /// The address the server actually bound (resolves port `0`).
@@ -229,20 +312,24 @@ impl EvalServer {
     pub fn handle(&self) -> ServerHandle {
         ServerHandle {
             stop: self.stop.clone(),
+            addr: self.local_addr,
         }
     }
 
-    /// Accepts connections and serves each through
-    /// [`EvalService::serve_pipelined`] on its own scoped worker thread,
-    /// until the [`ServerHandle`] asks for shutdown; in-flight
-    /// connections drain before this returns.
+    /// Accepts connections and serves each on one of
+    /// [`NetOptions::max_connections`] pooled workers — v1 connections
+    /// through [`EvalService::serve_pipelined`], v2 connections through
+    /// the framed [`super::proto`] session — until the [`ServerHandle`]
+    /// asks for shutdown; in-flight connections drain before this
+    /// returns.
     ///
     /// # Errors
     ///
-    /// Returns the first *listener* error (a failing `accept` that is
-    /// not just an empty backlog). Per-connection I/O errors never
-    /// surface here — they are counted in [`NetStats::io_errors`].
-    pub fn serve(&self, service: &EvalService<'_>) -> std::io::Result<NetStats> {
+    /// Returns an [`AcceptError`] on the first *listener* error (a
+    /// failing `accept`), carrying the stats accumulated so far.
+    /// Per-connection I/O errors never surface here — they are counted
+    /// in [`NetStats::io_errors`].
+    pub fn serve(&self, service: &EvalService<'_>) -> Result<NetStats, AcceptError> {
         self.serve_with(service, serve_connection)
     }
 
@@ -252,10 +339,10 @@ impl EvalServer {
     /// panics on purpose).
     ///
     /// The contract the accept loop owes every handler: each connection
-    /// runs on its own scoped worker; a handler returning `Err` counts
-    /// one [`NetStats::io_errors`]; a handler that **panics** is caught,
-    /// counted the same way, and its connection slot is released — the
-    /// server keeps accepting either way.
+    /// runs on a pooled worker; a handler returning `Err` counts one
+    /// [`NetStats::io_errors`]; a handler that **panics** is caught,
+    /// counted in [`NetStats::worker_panics`], and its worker keeps
+    /// serving — the server accepts more connections either way.
     ///
     /// # Errors
     ///
@@ -264,109 +351,87 @@ impl EvalServer {
         &self,
         service: &EvalService<'_>,
         handler: H,
-    ) -> std::io::Result<NetStats>
+    ) -> Result<NetStats, AcceptError>
     where
         H: Fn(&EvalService<'_>, &TcpStream, &PipelineOptions) -> std::io::Result<super::PipelineStats>
             + Sync,
     {
-        let cap = self.options.max_connections.max(1);
+        self.serve_on_source(&self.listener, service, handler)
+    }
+
+    /// The full serve loop over any [`AcceptSource`] — `serve_with`
+    /// against the real listener, fault-injection tests against a
+    /// source that fails on command.
+    pub(crate) fn serve_on_source<S, H>(
+        &self,
+        source: &S,
+        service: &EvalService<'_>,
+        handler: H,
+    ) -> Result<NetStats, AcceptError>
+    where
+        S: AcceptSource + ?Sized,
+        H: Fn(&EvalService<'_>, &TcpStream, &PipelineOptions) -> std::io::Result<super::PipelineStats>
+            + Sync,
+    {
+        let workers = self.options.max_connections.max(1);
         let pipeline = self.options.pipeline;
         let handler = &handler;
-        let active = AtomicUsize::new(0);
         let connections = AtomicU64::new(0);
         let lines = AtomicU64::new(0);
         let requests = AtomicU64::new(0);
         let parse_errors = AtomicU64::new(0);
         let responses = AtomicU64::new(0);
         let io_errors = AtomicU64::new(0);
-        let mut accept_error: Option<std::io::Error> = None;
+        let worker_panics = AtomicU64::new(0);
 
-        std::thread::scope(|scope| {
-            while !self.stop.load(Ordering::Acquire) {
-                if active.load(Ordering::Acquire) >= cap {
-                    // At the cap: let in-flight connections drain before
-                    // accepting more (backpressure via the OS backlog).
-                    std::thread::sleep(ACCEPT_POLL);
-                    continue;
+        let accept_error = run_reactor(source, &self.stop, workers, |stream: TcpStream| {
+            // Registered before any handler work; the guard deregisters
+            // on every exit path, panics included.
+            let _slot = self.registry.register();
+            connections.fetch_add(1, Ordering::Relaxed);
+            self.accepted.fetch_add(1, Ordering::Release);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                handler(service, &stream, &pipeline)
+            }));
+            let _ = stream.shutdown(Shutdown::Both);
+            match outcome {
+                Ok(Ok(stats)) => {
+                    lines.fetch_add(stats.lines, Ordering::Relaxed);
+                    requests.fetch_add(stats.requests, Ordering::Relaxed);
+                    parse_errors.fetch_add(stats.parse_errors, Ordering::Relaxed);
+                    responses.fetch_add(stats.responses, Ordering::Relaxed);
                 }
-                let stream = match self.listener.accept() {
-                    Ok((stream, _peer)) => stream,
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(ACCEPT_POLL);
-                        continue;
-                    }
-                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-                    Err(e) => {
-                        accept_error = Some(e);
-                        break;
-                    }
-                };
-                connections.fetch_add(1, Ordering::Relaxed);
-                self.accepted.fetch_add(1, Ordering::Release);
-                active.fetch_add(1, Ordering::AcqRel);
-                let active = &active;
-                let lines = &lines;
-                let requests = &requests;
-                let parse_errors = &parse_errors;
-                let responses = &responses;
-                let io_errors = &io_errors;
-                scope.spawn(move || {
-                    // The slot is released by a drop guard, not a
-                    // trailing statement: a panicking handler would
-                    // otherwise leak its slot forever (and, unwinding
-                    // out of the thread scope, tear the whole server
-                    // down with it).
-                    struct SlotGuard<'a>(&'a AtomicUsize);
-                    impl Drop for SlotGuard<'_> {
-                        fn drop(&mut self) {
-                            self.0.fetch_sub(1, Ordering::AcqRel);
-                        }
-                    }
-                    let _slot = SlotGuard(active);
-                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-                        || handler(service, &stream, &pipeline),
-                    ));
-                    let _ = stream.shutdown(Shutdown::Both);
-                    match outcome {
-                        Ok(Ok(stats)) => {
-                            lines.fetch_add(stats.lines, Ordering::Relaxed);
-                            requests.fetch_add(stats.requests, Ordering::Relaxed);
-                            parse_errors.fetch_add(stats.parse_errors, Ordering::Relaxed);
-                            responses.fetch_add(stats.responses, Ordering::Relaxed);
-                        }
-                        Ok(Err(e)) => {
-                            // Isolation: this connection's failure stays
-                            // its own; the server keeps serving.
-                            io_errors.fetch_add(1, Ordering::Relaxed);
-                            eprintln!("warning: connection failed: {e}");
-                        }
-                        Err(panic) => {
-                            // A worker panic is a connection failure,
-                            // never a server failure: count it, release
-                            // the slot (the guard), keep accepting.
-                            io_errors.fetch_add(1, Ordering::Relaxed);
-                            eprintln!(
-                                "warning: connection worker panicked: {}",
-                                panic_message(panic.as_ref())
-                            );
-                        }
-                    }
-                });
+                Ok(Err(e)) => {
+                    // Isolation: this connection's failure stays its
+                    // own; the server keeps serving.
+                    io_errors.fetch_add(1, Ordering::Relaxed);
+                    eprintln!("warning: connection failed: {e}");
+                }
+                Err(panic) => {
+                    // A worker panic is a connection failure, never a
+                    // server failure: count it apart from client I/O,
+                    // keep the worker serving.
+                    worker_panics.fetch_add(1, Ordering::Relaxed);
+                    eprintln!(
+                        "warning: connection worker panicked: {}",
+                        panic_message(panic.as_ref())
+                    );
+                }
             }
-            // Leaving the scope joins every connection worker: graceful
-            // drain of all in-flight streams.
         });
 
+        let stats = NetStats {
+            connections: connections.into_inner(),
+            lines: lines.into_inner(),
+            requests: requests.into_inner(),
+            parse_errors: parse_errors.into_inner(),
+            responses: responses.into_inner(),
+            io_errors: io_errors.into_inner(),
+            worker_panics: worker_panics.into_inner(),
+        };
         match accept_error {
-            Some(e) => Err(e),
-            None => Ok(NetStats {
-                connections: connections.into_inner(),
-                lines: lines.into_inner(),
-                requests: requests.into_inner(),
-                parse_errors: parse_errors.into_inner(),
-                responses: responses.into_inner(),
-                io_errors: io_errors.into_inner(),
-            }),
+            Some(error) => Err(AcceptError { error, stats }),
+            None => Ok(stats),
         }
     }
 }
@@ -383,36 +448,68 @@ fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
     }
 }
 
-/// Drives one accepted connection through the staged pipeline: requests
-/// in, responses out, on the same socket.
+/// Drives one accepted connection: sniffs the protocol version from its
+/// first bytes, then serves v1 through the staged pipeline or v2
+/// through the framed session. The consumed sniff bytes of a v1
+/// connection are replayed in front of the socket, so v1 service is
+/// byte-identical to a pre-negotiation server.
 fn serve_connection(
     service: &EvalService<'_>,
     stream: &TcpStream,
     pipeline: &PipelineOptions,
 ) -> std::io::Result<super::PipelineStats> {
-    // Accepted sockets may inherit the listener's non-blocking mode on
-    // some platforms; the pipeline wants plain blocking reads.
+    // Accepted sockets may inherit listener flags on some platforms;
+    // both protocols want plain blocking I/O.
     stream.set_nonblocking(false)?;
-    let reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    let stats = service.serve_pipelined(reader, &mut writer, pipeline)?;
-    writer.flush()?;
-    // Half-close tells well-behaved clients the response stream is done
-    // even if they keep their write side open.
-    let _ = stream.shutdown(Shutdown::Write);
-    Ok(stats)
+    match proto::negotiate_server(stream)? {
+        Negotiated::V2 => {
+            let stats = proto::serve_v2(service, stream, pipeline)?;
+            let _ = stream.shutdown(Shutdown::Write);
+            Ok(stats)
+        }
+        Negotiated::V1 { consumed } => {
+            let replay = std::io::Cursor::new(consumed);
+            let reader = BufReader::new(replay.chain(stream.try_clone()?));
+            let mut writer = BufWriter::new(stream);
+            let stats = service.serve_pipelined(reader, &mut writer, pipeline)?;
+            writer.flush()?;
+            // Half-close tells well-behaved clients the response stream
+            // is done even if they keep their write side open.
+            let _ = stream.shutdown(Shutdown::Write);
+            Ok(stats)
+        }
+    }
 }
 
 /// Client-side convenience: sends a JSON-lines request stream over one
-/// TCP connection and returns the full response stream. Used by the
-/// bench/client tooling; servers never call this.
+/// v1 TCP connection and returns the full response stream. Used by the
+/// bench/client tooling; servers never call this. Socket reads and
+/// writes time out after [`DEFAULT_EXCHANGE_TIMEOUT`] — use
+/// [`exchange_with`] to change or disable that.
 ///
 /// # Errors
 ///
-/// Returns any connect/write/read error.
+/// Returns any connect/write/read error; a stalled server surfaces as
+/// the platform's timeout error (`WouldBlock`/`TimedOut`) instead of
+/// hanging forever.
 pub fn exchange(addr: impl ToSocketAddrs, wire: &str) -> std::io::Result<String> {
-    use std::io::Read;
+    exchange_with(addr, wire, Some(DEFAULT_EXCHANGE_TIMEOUT))
+}
+
+/// [`exchange`] with an explicit socket read/write timeout (`None`
+/// blocks forever, the pre-timeout behavior).
+///
+/// # Errors
+///
+/// As [`exchange`].
+pub fn exchange_with(
+    addr: impl ToSocketAddrs,
+    wire: &str,
+    timeout: Option<Duration>,
+) -> std::io::Result<String> {
     let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(timeout)?;
+    stream.set_write_timeout(timeout)?;
     stream.write_all(wire.as_bytes())?;
     stream.shutdown(Shutdown::Write)?;
     let mut response = String::new();
@@ -443,5 +540,118 @@ mod tests {
         handle.shutdown();
         handle.shutdown();
         assert!(server.stop.load(Ordering::Acquire));
+    }
+
+    #[test]
+    fn exchange_times_out_against_a_server_that_never_responds() {
+        // A bound listener that never accepts: the connect succeeds via
+        // the OS backlog, the write lands in socket buffers, and the
+        // read would previously have hung forever.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let started = std::time::Instant::now();
+        let err = exchange_with(addr, "{\"x\":1}\n", Some(Duration::from_millis(100)))
+            .expect_err("a never-responding server must time out");
+        assert!(
+            matches!(
+                err.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ),
+            "unexpected error kind: {err:?}"
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "timeout must fire promptly, not hang"
+        );
+    }
+
+    #[test]
+    fn failing_listener_returns_the_stats_it_accumulated() {
+        use crate::grid::WorkloadSpec;
+        use crate::methods::MethodOptions;
+        use ct_isa::asm::assemble;
+        use ct_sim::{MachineModel, RunConfig};
+        use std::sync::atomic::AtomicUsize;
+
+        /// Accepts `good` real connections, then fails like a listener
+        /// whose descriptor went bad.
+        struct FailingSource {
+            listener: TcpListener,
+            good: usize,
+            taken: AtomicUsize,
+        }
+        impl AcceptSource for FailingSource {
+            fn accept_stream(&self) -> std::io::Result<TcpStream> {
+                if self.taken.fetch_add(1, Ordering::SeqCst) >= self.good {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::Other,
+                        "injected listener failure",
+                    ));
+                }
+                self.listener.accept().map(|(s, _)| s)
+            }
+        }
+
+        let program = assemble(
+            "k",
+            ".func main\n movi r1, 2000\ntop:\n addi r2, r2, 1\n subi r1, r1, 1\n brnz r1, top\n halt\n.endfunc",
+        )
+        .unwrap();
+        let run_config = RunConfig::default();
+        let workloads =
+            [WorkloadSpec { name: "k", program: &program, run_config: &run_config }];
+        let machines = [MachineModel::ivy_bridge()];
+        let service = EvalService::new(&machines, &workloads)
+            .method_options(MethodOptions::fast())
+            .threads(1);
+        let wire = "{\"machine\":\"Ivy Bridge (Xeon E3-1265L)\",\"workload\":\"k\",\"method\":\"classic\",\"runs\":1,\"seed\":3}\n";
+
+        // The server object still owns a (never-used) real listener; the
+        // injected source wraps its own.
+        let server = EvalServer::listen("127.0.0.1:0", NetOptions::default()).unwrap();
+        let source_listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = source_listener.local_addr().unwrap();
+        let source = FailingSource {
+            listener: source_listener,
+            good: 2,
+            taken: AtomicUsize::new(0),
+        };
+
+        let result = std::thread::scope(|scope| {
+            let serving =
+                scope.spawn(|| server.serve_on_source(&source, &service, serve_connection));
+            for c in 0..2 {
+                let response = exchange(addr, wire).expect("exchange");
+                assert!(!response.is_empty(), "connection {c} got its response");
+            }
+            serving.join().expect("server thread")
+        });
+
+        // The regression: the listener error used to discard the drained
+        // connections' stats entirely.
+        let failure = result.expect_err("the injected listener failure must surface");
+        assert_eq!(failure.error.to_string(), "injected listener failure");
+        assert_eq!(failure.stats.connections, 2, "drained work is not lost");
+        assert_eq!(failure.stats.requests, 2);
+        assert_eq!(failure.stats.responses, 2);
+        assert_eq!(failure.stats.io_errors, 0);
+        assert!(failure.to_string().contains("2 connections"));
+    }
+
+    #[test]
+    fn accept_error_display_names_the_drained_work() {
+        let err = AcceptError {
+            error: std::io::Error::new(std::io::ErrorKind::Other, "boom"),
+            stats: NetStats {
+                connections: 3,
+                responses: 7,
+                ..NetStats::default()
+            },
+        };
+        let text = err.to_string();
+        assert!(text.contains("3 connections"), "{text}");
+        assert!(text.contains("7 responses"), "{text}");
+        assert!(text.contains("boom"), "{text}");
+        assert!(std::error::Error::source(&err).is_some());
     }
 }

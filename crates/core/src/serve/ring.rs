@@ -1,0 +1,390 @@
+//! Bounded single-producer / single-consumer ring channel for the
+//! pipeline stages.
+//!
+//! [`EvalService::serve_pipelined`](super::EvalService::serve_pipelined)
+//! connects each pair of adjacent stages with exactly one producer and
+//! one consumer, so the general-purpose `std::sync::mpsc::sync_channel`
+//! (which takes a lock on every send/recv to coordinate any number of
+//! senders) is more machinery than the topology needs. This ring
+//! commits to the SPSC shape at the type level — [`RingSender`] and
+//! [`RingReceiver`] are `Send + !Sync` and not cloneable — and in
+//! exchange moves items through a fixed slot array with one atomic
+//! store per side on the uncontended path.
+//!
+//! * **Lock-free fast path** — `send` and `recv` read the opposite
+//!   side's cursor (`Acquire`), move the item through its slot, and
+//!   publish their own cursor (`Release`). No mutex is touched while
+//!   the ring is neither empty nor full.
+//! * **Blocking edges** — a full `send` / empty `recv` parks on a
+//!   `Condvar` after registering itself in a waiter count, re-checking
+//!   the cursors in between so a wakeup can never be lost. The park
+//!   uses a coarse timeout purely as a belt-and-suspenders backstop;
+//!   progress is signalled by the opposite side, not by polling.
+//! * **Close semantics** match `sync_channel`: dropping the sender
+//!   makes `recv` drain the ring then return `None`; dropping the
+//!   receiver makes `send` fail, handing the item back.
+//!
+//! Capacity is at least 1 (a rendezvous ring would re-introduce a
+//! lock-step barrier between stages, which is exactly what the
+//! pipeline's `depth` exists to avoid).
+
+use std::cell::UnsafeCell;
+use std::marker::PhantomData;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Backstop for the parked edge cases; real wakeups come from the
+/// opposite side's `notify_all`, this only bounds the damage of an
+/// (impossible-by-construction, but cheap to defend against) missed
+/// signal.
+const PARK_BACKSTOP: Duration = Duration::from_millis(50);
+
+struct Shared<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// Monotonic count of items written; slot = head % capacity.
+    head: AtomicUsize,
+    /// Monotonic count of items read; slot = tail % capacity.
+    tail: AtomicUsize,
+    sender_alive: AtomicBool,
+    receiver_alive: AtomicBool,
+    /// Number of threads parked (or about to park) on `cond`.
+    waiters: AtomicUsize,
+    lock: Mutex<()>,
+    cond: Condvar,
+}
+
+// SAFETY: the slot array is only touched according to the SPSC
+// protocol — the producer writes slot `head % cap` strictly before
+// publishing `head` (Release), the consumer reads slot `tail % cap`
+// only after observing `head > tail` (Acquire) and before publishing
+// `tail`. Each slot is therefore owned by exactly one side at any
+// time, so sharing `Shared<T>` across the two endpoint threads is
+// sound whenever `T: Send`.
+unsafe impl<T: Send> Send for Shared<T> {}
+unsafe impl<T: Send> Sync for Shared<T> {}
+
+impl<T> Shared<T> {
+    fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Wake the opposite side if (and only if) it might be parked.
+    fn wake(&self) {
+        if self.waiters.load(Ordering::SeqCst) > 0 {
+            // Take the lock so the notification cannot slip into the
+            // window between a waiter's cursor re-check and its park.
+            let _guard = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+            self.cond.notify_all();
+        }
+    }
+
+    /// Park until `ready()` holds. `ready` must only read atomics.
+    fn park_until(&self, ready: impl Fn() -> bool) {
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        let mut guard = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+        while !ready() {
+            let (next, _timeout) = self
+                .cond
+                .wait_timeout(guard, PARK_BACKSTOP)
+                .unwrap_or_else(|e| e.into_inner());
+            guard = next;
+        }
+        drop(guard);
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Producer half of an SPSC [`ring_channel`]. `Send` but deliberately
+/// `!Sync` and not `Clone`: exactly one thread may feed the ring.
+pub(crate) struct RingSender<T> {
+    shared: Arc<Shared<T>>,
+    _not_sync: PhantomData<std::cell::Cell<()>>,
+}
+
+/// Consumer half of an SPSC [`ring_channel`]. `Send` but `!Sync`,
+/// not `Clone`; iterate it (`for item in rx`) to drain until the
+/// sender hangs up.
+pub(crate) struct RingReceiver<T> {
+    shared: Arc<Shared<T>>,
+    _not_sync: PhantomData<std::cell::Cell<()>>,
+}
+
+// SAFETY: the endpoints own no thread-affine state; moving one to
+// another thread just relocates which thread plays producer/consumer.
+// `!Sync` (via the PhantomData<Cell>) keeps each role single-threaded.
+unsafe impl<T: Send> Send for RingSender<T> {}
+unsafe impl<T: Send> Send for RingReceiver<T> {}
+
+/// Create a bounded SPSC channel holding at most `capacity.max(1)`
+/// in-flight items.
+pub(crate) fn ring_channel<T>(capacity: usize) -> (RingSender<T>, RingReceiver<T>) {
+    let capacity = capacity.max(1);
+    let slots = (0..capacity)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect::<Vec<_>>()
+        .into_boxed_slice();
+    let shared = Arc::new(Shared {
+        slots,
+        head: AtomicUsize::new(0),
+        tail: AtomicUsize::new(0),
+        sender_alive: AtomicBool::new(true),
+        receiver_alive: AtomicBool::new(true),
+        waiters: AtomicUsize::new(0),
+        lock: Mutex::new(()),
+        cond: Condvar::new(),
+    });
+    (
+        RingSender {
+            shared: Arc::clone(&shared),
+            _not_sync: PhantomData,
+        },
+        RingReceiver {
+            shared,
+            _not_sync: PhantomData,
+        },
+    )
+}
+
+impl<T> RingSender<T> {
+    /// Block until a slot frees up, then enqueue `item`. Fails —
+    /// returning the item — once the receiver is gone.
+    pub(crate) fn send(&self, item: T) -> Result<(), T> {
+        let shared = &*self.shared;
+        let cap = shared.capacity();
+        loop {
+            if !shared.receiver_alive.load(Ordering::Acquire) {
+                return Err(item);
+            }
+            let head = shared.head.load(Ordering::Relaxed);
+            let tail = shared.tail.load(Ordering::Acquire);
+            if head.wrapping_sub(tail) < cap {
+                // SAFETY: `head - tail < cap` means slot `head % cap`
+                // has been consumed (or never filled); only this
+                // producer may write it until `head` is published.
+                unsafe {
+                    (*shared.slots[head % cap].get()).write(item);
+                }
+                shared.head.store(head.wrapping_add(1), Ordering::Release);
+                shared.wake();
+                return Ok(());
+            }
+            // Ring full: park until the consumer advances or leaves.
+            shared.park_until(|| {
+                let head = shared.head.load(Ordering::Relaxed);
+                let tail = shared.tail.load(Ordering::Acquire);
+                head.wrapping_sub(tail) < cap
+                    || !shared.receiver_alive.load(Ordering::Acquire)
+            });
+        }
+    }
+}
+
+impl<T> RingReceiver<T> {
+    /// Block until an item is available; `None` once the sender has
+    /// hung up **and** the ring is drained.
+    pub(crate) fn recv(&self) -> Option<T> {
+        let shared = &*self.shared;
+        let cap = shared.capacity();
+        loop {
+            let tail = shared.tail.load(Ordering::Relaxed);
+            let head = shared.head.load(Ordering::Acquire);
+            if head != tail {
+                // SAFETY: `head > tail` means slot `tail % cap` holds a
+                // value the producer fully wrote before its Release
+                // store to `head`, which our Acquire load observed.
+                let item = unsafe { (*shared.slots[tail % cap].get()).assume_init_read() };
+                shared.tail.store(tail.wrapping_add(1), Ordering::Release);
+                shared.wake();
+                return Some(item);
+            }
+            if !shared.sender_alive.load(Ordering::Acquire) {
+                return None;
+            }
+            // Ring empty: park until the producer advances or leaves.
+            shared.park_until(|| {
+                let tail = shared.tail.load(Ordering::Relaxed);
+                let head = shared.head.load(Ordering::Acquire);
+                head != tail || !shared.sender_alive.load(Ordering::Acquire)
+            });
+        }
+    }
+}
+
+impl<T> Drop for RingSender<T> {
+    fn drop(&mut self) {
+        self.shared.sender_alive.store(false, Ordering::Release);
+        self.shared.wake();
+    }
+}
+
+impl<T> Drop for RingReceiver<T> {
+    fn drop(&mut self) {
+        self.shared.receiver_alive.store(false, Ordering::Release);
+        // Drain anything still enqueued so in-flight items are dropped
+        // exactly once, here (the producer never reclaims a slot it
+        // already published).
+        let shared = &*self.shared;
+        let cap = shared.capacity();
+        let mut tail = shared.tail.load(Ordering::Relaxed);
+        let head = shared.head.load(Ordering::Acquire);
+        while tail != head {
+            // SAFETY: same slot-ownership argument as `recv`; the
+            // producer can no longer free-running publish into these
+            // slots because `head` is fixed from its perspective until
+            // it observes `receiver_alive == false` and bails.
+            unsafe {
+                (*shared.slots[tail % cap].get()).assume_init_drop();
+            }
+            tail = tail.wrapping_add(1);
+        }
+        shared.tail.store(tail, Ordering::Release);
+        shared.wake();
+    }
+}
+
+/// Draining iterator: yields until the sender disconnects.
+pub(crate) struct RingIter<T> {
+    receiver: RingReceiver<T>,
+}
+
+impl<T> Iterator for RingIter<T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.receiver.recv()
+    }
+}
+
+impl<T> IntoIterator for RingReceiver<T> {
+    type Item = T;
+    type IntoIter = RingIter<T>;
+
+    fn into_iter(self) -> RingIter<T> {
+        RingIter { receiver: self }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_order_across_threads() {
+        let (tx, rx) = ring_channel::<u64>(2);
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                for i in 0..10_000u64 {
+                    tx.send(i).expect("receiver alive");
+                }
+            });
+            let mut expected = 0u64;
+            for item in rx {
+                assert_eq!(item, expected);
+                expected += 1;
+            }
+            assert_eq!(expected, 10_000);
+        });
+    }
+
+    #[test]
+    fn capacity_bounds_in_flight_items() {
+        // With capacity 2 a third send must block until a recv frees a
+        // slot; observe the bound through a side counter.
+        let (tx, rx) = ring_channel::<usize>(2);
+        let sent = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let sent = &sent;
+            scope.spawn(move || {
+                for i in 0..4 {
+                    tx.send(i).expect("receiver alive");
+                    sent.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+            // Give the producer time to run ahead as far as it can.
+            let deadline = std::time::Instant::now() + Duration::from_secs(2);
+            while sent.load(Ordering::SeqCst) < 2 && std::time::Instant::now() < deadline {
+                std::thread::yield_now();
+            }
+            std::thread::sleep(Duration::from_millis(20));
+            assert_eq!(sent.load(Ordering::SeqCst), 2, "third send must block");
+            let drained: Vec<usize> = rx.into_iter().collect();
+            assert_eq!(drained, vec![0, 1, 2, 3]);
+        });
+    }
+
+    #[test]
+    fn recv_returns_none_after_sender_drop() {
+        let (tx, rx) = ring_channel::<u8>(4);
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Some(7));
+        assert_eq!(rx.recv(), None);
+        assert_eq!(rx.recv(), None, "disconnect is sticky");
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drop() {
+        let (tx, rx) = ring_channel::<String>(1);
+        drop(rx);
+        assert_eq!(tx.send("lost".into()), Err("lost".into()));
+    }
+
+    #[test]
+    fn receiver_drop_releases_blocked_sender() {
+        let (tx, rx) = ring_channel::<u32>(1);
+        tx.send(1).unwrap();
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(move || tx.send(2));
+            std::thread::sleep(Duration::from_millis(20));
+            drop(rx);
+            assert_eq!(handle.join().unwrap(), Err(2));
+        });
+    }
+
+    #[test]
+    fn in_flight_items_drop_exactly_once() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        #[derive(Debug)]
+        struct Counted;
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        DROPS.store(0, Ordering::SeqCst);
+        let (tx, rx) = ring_channel::<Counted>(4);
+        tx.send(Counted).unwrap();
+        tx.send(Counted).unwrap();
+        tx.send(Counted).unwrap();
+        drop(rx.recv()); // one consumed
+        drop(rx); // two drained by the receiver's Drop
+        assert!(tx.send(Counted).is_err()); // handed back, dropped by caller
+        drop(tx);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn stress_many_items_small_ring() {
+        for cap in [1usize, 2, 3, 8] {
+            let (tx, rx) = ring_channel::<usize>(cap);
+            std::thread::scope(|scope| {
+                scope.spawn(move || {
+                    for i in 0..50_000 {
+                        if tx.send(i).is_err() {
+                            return;
+                        }
+                    }
+                });
+                let mut next = 0usize;
+                for item in rx {
+                    assert_eq!(item, next);
+                    next += 1;
+                }
+                assert_eq!(next, 50_000, "cap {cap}");
+            });
+        }
+    }
+}

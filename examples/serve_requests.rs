@@ -3,7 +3,10 @@
 //! round-robin fairness, so neither tenant can starve the other —
 //! JSON-lines requests streamed through the staged intake pipeline
 //! (intake → plan(registry) → build → evaluate) with per-request latency
-//! stamping, and the per-tenant accounting printed last.
+//! stamping, and the per-tenant accounting printed last. A coda serves
+//! the same service over TCP and drives it with a keep-alive
+//! protocol-v2 client multiplexing two logical streams on one
+//! connection.
 //!
 //! ```text
 //! cargo run --release -p countertrust --example serve_requests
@@ -131,4 +134,52 @@ this line is not a request at all
         );
     }
     println!("cache: {cache}");
+
+    // --- Protocol v2 coda: the same service behind a socket --------------
+    // One keep-alive connection carries two logical streams of tagged
+    // frames — tenant traffic for "apps" on stream 0, default-catalog
+    // traffic on stream 1. Within a stream, responses come back in
+    // request order and are byte-identical to what a plain v1 connection
+    // carrying that stream's lines would return (the server negotiates
+    // the protocol per connection; v1 clients need no changes).
+    use countertrust::serve::net::{EvalServer, NetOptions};
+    use countertrust::serve::proto::exchange_v2;
+
+    let server = EvalServer::listen("127.0.0.1:0", NetOptions::default())
+        .expect("loopback listener binds");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let streams = [
+        concat!(
+            r#"{"machine":"Westmere (Xeon X5650)","workload":"mcf","method":"precise","runs":2,"seed":9,"catalog":"apps"}"#,
+            "\n",
+            r#"{"machine":"Ivy Bridge (Xeon E3-1265L)","workload":"povray","method":"lbr","runs":1,"seed":5,"catalog":"apps"}"#,
+            "\n"
+        )
+        .to_string(),
+        concat!(
+            r#"{"machine":"Ivy Bridge (Xeon E3-1265L)","workload":"callchain","method":"classic","runs":3,"seed":7}"#,
+            "\n"
+        )
+        .to_string(),
+    ];
+    let replies = std::thread::scope(|scope| {
+        let serving = scope.spawn(|| server.serve(&service));
+        let replies = exchange_v2(addr, &streams).expect("v2 loopback exchange");
+        handle.shutdown();
+        serving
+            .join()
+            .expect("server thread")
+            .expect("accept loop stays clean");
+        replies
+    });
+    println!(
+        "# protocol v2: one keep-alive connection, {} multiplexed streams",
+        streams.len()
+    );
+    for (s, reply) in replies.iter().enumerate() {
+        for line in reply.lines() {
+            println!("stream {s}: {line}");
+        }
+    }
 }

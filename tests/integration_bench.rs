@@ -1,8 +1,9 @@
 //! End-to-end tests of the `bench_suite` harness binary: the smoke run
-//! must produce a parseable `BENCH_6.json` covering the whole scenario
+//! must produce a parseable `BENCH_7.json` covering the whole scenario
 //! matrix, back-to-back runs must report identical determinism
-//! fingerprints, and `--compare` must hard-fail on a fingerprint
-//! mismatch while staying green against an honest baseline.
+//! fingerprints, and `--compare` / `--compare-files` must hard-fail on
+//! a fingerprint mismatch while staying green against an honest
+//! baseline.
 //!
 //! The sharded-cache audit test performs in-process reference
 //! collections against the process-global counter; the bench_suite
@@ -122,11 +123,64 @@ fn compare_passes_against_an_honest_baseline_and_fails_a_tampered_one() {
 }
 
 #[test]
+fn compare_files_mode_diffs_two_reports_without_running() {
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let baseline_path = dir.join(format!("bench_cf_base_{pid}.json"));
+    let new_path = dir.join(format!("bench_cf_new_{pid}.json"));
+    let text = run_smoke("cf", &[]);
+    std::fs::write(&baseline_path, &text).unwrap();
+    std::fs::write(&new_path, &text).unwrap();
+
+    // Identical files: exit 0, no suite run (so this is near-instant).
+    let same = Command::new(env!("CARGO_BIN_EXE_bench_suite"))
+        .arg("--compare-files")
+        .arg(&baseline_path)
+        .arg(&new_path)
+        .output()
+        .unwrap();
+    assert!(
+        same.status.success(),
+        "identical reports must compare clean:\n{}",
+        String::from_utf8_lossy(&same.stderr)
+    );
+
+    // Tampered new report: exit 1 and a named determinism mismatch.
+    let tampered = text.replacen("\"response_hash\": \"0x", "\"response_hash\": \"0xf", 1);
+    assert_ne!(tampered, text);
+    std::fs::write(&new_path, &tampered).unwrap();
+    let caught = Command::new(env!("CARGO_BIN_EXE_bench_suite"))
+        .arg("--compare-files")
+        .arg(&baseline_path)
+        .arg(&new_path)
+        .output()
+        .unwrap();
+    assert_eq!(
+        caught.status.code(),
+        Some(1),
+        "a tampered report must hard-fail:\n{}",
+        String::from_utf8_lossy(&caught.stderr)
+    );
+    assert!(String::from_utf8_lossy(&caught.stderr).contains("DETERMINISM MISMATCH"));
+
+    // A missing operand is a usage error (exit 2), not a crash.
+    let usage = Command::new(env!("CARGO_BIN_EXE_bench_suite"))
+        .arg("--compare-files")
+        .arg(&baseline_path)
+        .output()
+        .unwrap();
+    assert_eq!(usage.status.code(), Some(2));
+
+    let _ = std::fs::remove_file(&baseline_path);
+    let _ = std::fs::remove_file(&new_path);
+}
+
+#[test]
 fn checked_in_report_matches_the_harness_schema() {
-    // BENCH_6.json at the repo root is the tracked baseline CI compares
+    // BENCH_7.json at the repo root is the tracked baseline CI compares
     // against; it must always parse and carry the full matrix.
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_6.json");
-    let text = std::fs::read_to_string(path).expect("BENCH_6.json is checked in at the repo root");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_7.json");
+    let text = std::fs::read_to_string(path).expect("BENCH_7.json is checked in at the repo root");
     let report = parse_report(&text).expect("checked-in report parses");
     assert_eq!(report.version, BENCH_VERSION);
     assert_eq!(report.mode, "full", "the tracked baseline is a full-mode run");

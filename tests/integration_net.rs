@@ -310,7 +310,8 @@ fn panicking_connection_worker_leaves_the_server_serving() {
     });
 
     assert_eq!(stats.connections, 2);
-    assert_eq!(stats.io_errors, 1, "the panic is counted as a connection failure");
+    assert_eq!(stats.worker_panics, 1, "the panic is counted as a worker panic");
+    assert_eq!(stats.io_errors, 0, "a crashed handler is not blamed on the client");
     assert_eq!(stats.responses, 1, "only the clean connection contributes responses");
     if let Ok(first) = first {
         assert!(first.is_empty(), "the panicked connection never got bytes");
@@ -325,6 +326,41 @@ fn panicking_connection_worker_leaves_the_server_serving() {
         .serve_pipelined(good_wire.as_bytes(), &mut expected, &PipelineOptions::default())
         .unwrap();
     assert_eq!(second.as_bytes(), expected.as_slice());
+}
+
+#[test]
+fn idle_server_shutdown_is_prompt_because_accept_blocks_on_readiness() {
+    // The accept loop parks in the kernel instead of sleep-polling; the
+    // shutdown handle's loopback wake-up must unpark it essentially
+    // immediately. (Bound generously for loaded CI machines — the old
+    // 1 ms poll would also pass this latency-wise, but the real guard
+    // is that a *blocking* accept without the wake-up would hang here
+    // forever.)
+    let program = kernel(1_000);
+    let run_config = RunConfig::default();
+    let workloads = [WorkloadSpec { name: "k", program: &program, run_config: &run_config }];
+    let machines = [MachineModel::ivy_bridge()];
+    let service = EvalService::new(&machines, &workloads)
+        .method_options(MethodOptions::fast())
+        .threads(1);
+
+    let server = EvalServer::listen("127.0.0.1:0", NetOptions::default()).unwrap();
+    let handle = server.handle();
+    let (elapsed, stats) = std::thread::scope(|scope| {
+        let serving = scope.spawn(|| server.serve(&service));
+        // Give the server time to park in accept with no traffic at all.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let started = std::time::Instant::now();
+        handle.shutdown();
+        let stats = serving.join().unwrap().unwrap();
+        (started.elapsed(), stats)
+    });
+    assert!(
+        elapsed < std::time::Duration::from_millis(500),
+        "idle shutdown took {elapsed:?}"
+    );
+    assert_eq!(stats.connections, 0, "the wake-up connection is not traffic");
+    assert_eq!(server.active_connections(), 0);
 }
 
 #[test]

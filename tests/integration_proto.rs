@@ -1,0 +1,346 @@
+//! Protocol v2 guarantees: negotiation never disturbs v1 clients, a v2
+//! connection carrying N interleaved streams answers each stream with
+//! bytes identical to N separate v1 connections (and to the offline
+//! pipeline), sessions are genuinely keep-alive, and malformed frames
+//! are answered with in-order `ERR` frames after everything that
+//! preceded them.
+
+use countertrust::grid::WorkloadSpec;
+use countertrust::methods::MethodOptions;
+use countertrust::serve::net::{exchange, EvalServer, NetOptions};
+use countertrust::serve::proto::{
+    exchange_v2, read_frame, write_frame, Frame, FrameKind, V2Client, V2_ACK, V2_PREAMBLE,
+};
+use countertrust::serve::{EvalRequest, EvalService, PipelineOptions};
+use ct_isa::asm::assemble;
+use ct_isa::Program;
+use ct_sim::{MachineModel, RunConfig};
+use std::io::{BufReader, Read, Write};
+use std::net::TcpStream;
+
+fn kernel(n: u64) -> Program {
+    assemble(
+        "k",
+        &format!(
+            r#"
+            .func main
+                movi r1, {n}
+            top:
+                addi r2, r2, 1
+                subi r1, r1, 1
+                brnz r1, top
+                halt
+            .endfunc
+        "#
+        ),
+    )
+    .unwrap()
+}
+
+fn wire(requests: &[EvalRequest]) -> String {
+    requests
+        .iter()
+        .map(|r| serde_json::to_string(r).unwrap() + "\n")
+        .collect()
+}
+
+fn streams_for(machines: &[MachineModel], count: usize) -> Vec<Vec<EvalRequest>> {
+    let methods = ["classic", "lbr", "precise", "precise+rand"];
+    (0..count)
+        .map(|s| {
+            (0..3)
+                .map(|i| {
+                    EvalRequest::new(
+                        &machines[(s + i) % machines.len()].name,
+                        "k",
+                        methods[(s + i) % methods.len()],
+                        1,
+                        (s * 31 + i) as u64,
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Runs `body` against a freshly bound loopback server and returns its
+/// result after a graceful shutdown.
+fn with_server<R>(
+    service: &EvalService<'_>,
+    options: NetOptions,
+    body: impl FnOnce(std::net::SocketAddr) -> R,
+) -> R {
+    let server = EvalServer::listen("127.0.0.1:0", options).expect("loopback bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    std::thread::scope(|scope| {
+        let serving = scope.spawn(|| server.serve(service));
+        let result = body(addr);
+        handle.shutdown();
+        serving.join().expect("server thread").expect("accept loop");
+        result
+    })
+}
+
+#[test]
+fn multiplexed_streams_match_separate_v1_connections_and_offline() {
+    let program = kernel(8_000);
+    let run_config = RunConfig::default();
+    let workloads = [WorkloadSpec { name: "k", program: &program, run_config: &run_config }];
+    let machines = [MachineModel::ivy_bridge(), MachineModel::westmere()];
+    let streams = streams_for(&machines, 4);
+    let wires: Vec<String> = streams.iter().map(|s| wire(s)).collect();
+    let service = EvalService::new(&machines, &workloads)
+        .method_options(MethodOptions::fast())
+        .threads(4);
+
+    // One keep-alive v2 connection carrying all four interleaved
+    // streams, then the same four wires over four separate v1
+    // connections, against the same server.
+    let (v2_replies, v1_replies) = with_server(&service, NetOptions::default(), |addr| {
+        let v2 = exchange_v2(addr, &wires).expect("v2 exchange");
+        let v1: Vec<String> = wires
+            .iter()
+            .map(|w| exchange(addr, w).expect("v1 exchange"))
+            .collect();
+        (v2, v1)
+    });
+
+    for (s, (v2, v1)) in v2_replies.iter().zip(&v1_replies).enumerate() {
+        assert_eq!(
+            v2.as_bytes(),
+            v1.as_bytes(),
+            "stream {s}: multiplexed v2 diverged from its own v1 connection"
+        );
+    }
+
+    // And both match a fresh offline pipelined run — the full
+    // cross-version byte-identity triangle.
+    for (s, sub) in streams.iter().enumerate() {
+        let offline = EvalService::new(&machines, &workloads)
+            .method_options(MethodOptions::fast())
+            .threads(4);
+        let mut expected = Vec::new();
+        offline
+            .serve_pipelined(wire(sub).as_bytes(), &mut expected, &PipelineOptions::default())
+            .unwrap();
+        assert_eq!(v2_replies[s].as_bytes(), expected.as_slice(), "stream {s} vs offline");
+    }
+}
+
+#[test]
+fn v2_session_is_keep_alive_across_request_rounds() {
+    let program = kernel(5_000);
+    let run_config = RunConfig::default();
+    let workloads = [WorkloadSpec { name: "k", program: &program, run_config: &run_config }];
+    let machines = [MachineModel::ivy_bridge()];
+    let requests = streams_for(&machines, 1).remove(0);
+    let service = EvalService::new(&machines, &workloads)
+        .method_options(MethodOptions::fast())
+        .threads(2);
+
+    let (rounds, connections) = {
+        let server = EvalServer::listen("127.0.0.1:0", NetOptions::default()).unwrap();
+        let addr = server.local_addr();
+        let handle = server.handle();
+        std::thread::scope(|scope| {
+            let serving = scope.spawn(|| server.serve(&service));
+            // Three request/response rounds over ONE connection — each
+            // round waits for its response before sending the next, so
+            // the server demonstrably answers without seeing EOF or BYE.
+            let mut client = V2Client::connect(addr).expect("v2 connect");
+            let mut rounds = Vec::new();
+            for (i, request) in requests.iter().enumerate() {
+                let line = serde_json::to_string(request).unwrap();
+                client.send_line(i as u32, &line).expect("send");
+                client.flush().expect("flush");
+                let (stream, text) = client.recv().expect("recv").expect("open session");
+                assert_eq!(stream, i as u32);
+                rounds.push(text);
+            }
+            client.bye().expect("bye");
+            handle.shutdown();
+            let stats = serving.join().unwrap().expect("accept loop");
+            (rounds, stats.connections)
+        })
+    };
+    assert_eq!(connections, 1, "three rounds, one connection: keep-alive works");
+
+    // Each round's response line matches the offline bytes for that
+    // request alone (each stream had exactly one line).
+    for (i, request) in requests.iter().enumerate() {
+        let offline = EvalService::new(&machines, &workloads)
+            .method_options(MethodOptions::fast())
+            .threads(2);
+        let expected = offline.serve_jsonl(std::slice::from_ref(request));
+        assert_eq!(rounds[i], expected, "round {i}");
+    }
+}
+
+#[test]
+fn v1_clients_and_nul_prefixed_garbage_negotiate_to_v1() {
+    let program = kernel(4_000);
+    let run_config = RunConfig::default();
+    let workloads = [WorkloadSpec { name: "k", program: &program, run_config: &run_config }];
+    let machines = [MachineModel::ivy_bridge()];
+    let request = EvalRequest::new("Ivy Bridge (Xeon E3-1265L)", "k", "classic", 1, 11);
+    let good_wire = wire(std::slice::from_ref(&request));
+    let service = EvalService::new(&machines, &workloads)
+        .method_options(MethodOptions::fast())
+        .threads(2);
+
+    let (plain, nul_led, empty) = with_server(&service, NetOptions::default(), |addr| {
+        // A plain v1 client is served as v1 (the doctest and the whole
+        // existing suite cover the byte-identity; here we pin the
+        // negotiation matrix edges).
+        let plain = exchange(addr, &good_wire).expect("v1 exchange");
+        // A stream that *starts* like the preamble but diverges: the
+        // consumed bytes must be replayed, reaching the v1 pipeline as
+        // the line `\0CTgarbage` — answered with a parse error, not
+        // swallowed.
+        let nul_led = exchange(addr, "\0CTgarbage\n").expect("nul-led exchange");
+        // An immediately-closed connection is a valid, empty v1 stream.
+        let empty = exchange(addr, "").expect("empty exchange");
+        (plain, nul_led, empty)
+    });
+
+    let offline = EvalService::new(&machines, &workloads)
+        .method_options(MethodOptions::fast())
+        .threads(2);
+    let mut expected = Vec::new();
+    offline
+        .serve_pipelined(good_wire.as_bytes(), &mut expected, &PipelineOptions::default())
+        .unwrap();
+    assert_eq!(plain.as_bytes(), expected.as_slice());
+
+    assert!(
+        nul_led.contains("parse error on line 1"),
+        "diverging preamble bytes must be replayed into the v1 stream: {nul_led}"
+    );
+    assert!(empty.is_empty(), "an empty v1 stream gets an empty response stream");
+}
+
+#[test]
+fn v2_handshake_acks_and_full_preamble_is_never_served_as_v1() {
+    let program = kernel(4_000);
+    let run_config = RunConfig::default();
+    let workloads = [WorkloadSpec { name: "k", program: &program, run_config: &run_config }];
+    let machines = [MachineModel::ivy_bridge()];
+    let service = EvalService::new(&machines, &workloads)
+        .method_options(MethodOptions::fast())
+        .threads(1);
+
+    with_server(&service, NetOptions::default(), |addr| {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(&V2_PREAMBLE).unwrap();
+        let mut ack = [0u8; 8];
+        stream.read_exact(&mut ack).unwrap();
+        assert_eq!(ack, V2_ACK, "full preamble must be acknowledged as v2");
+        // A clean immediate BYE ends the session without responses.
+        write_frame(&mut stream, FrameKind::Bye, 0, &[]).unwrap();
+        let mut rest = Vec::new();
+        stream.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty(), "no frames after BYE, got {} bytes", rest.len());
+    });
+}
+
+#[test]
+fn malformed_frames_get_in_order_error_frames_after_prior_responses() {
+    let program = kernel(4_000);
+    let run_config = RunConfig::default();
+    let workloads = [WorkloadSpec { name: "k", program: &program, run_config: &run_config }];
+    let machines = [MachineModel::ivy_bridge()];
+    let request = EvalRequest::new("Ivy Bridge (Xeon E3-1265L)", "k", "classic", 1, 23);
+    let line = serde_json::to_string(&request).unwrap();
+    let service = EvalService::new(&machines, &workloads)
+        .method_options(MethodOptions::fast())
+        .threads(2);
+
+    // Three flavours of bad frame, each preceded by one valid request:
+    // the response to the valid request must arrive BEFORE the ERR
+    // frame, and the ERR frame must name the failure.
+    let cases: Vec<(&str, Vec<u8>)> = vec![
+        ("bad kind", {
+            let mut bytes = vec![0x7Fu8];
+            bytes.extend_from_slice(&0u32.to_le_bytes());
+            bytes.extend_from_slice(&0u32.to_le_bytes());
+            bytes
+        }),
+        ("oversized", {
+            let mut bytes = vec![FrameKind::Req as u8];
+            bytes.extend_from_slice(&0u32.to_le_bytes());
+            bytes.extend_from_slice(&(64u32 << 20).to_le_bytes());
+            bytes
+        }),
+        ("truncated", {
+            // A REQ header promising 100 payload bytes, then EOF.
+            let mut bytes = vec![FrameKind::Req as u8];
+            bytes.extend_from_slice(&0u32.to_le_bytes());
+            bytes.extend_from_slice(&100u32.to_le_bytes());
+            bytes.extend_from_slice(b"only a few");
+            bytes
+        }),
+    ];
+
+    for (label, bad_bytes) in cases {
+        with_server(&service, NetOptions::default(), |addr| {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.write_all(&V2_PREAMBLE).unwrap();
+            let mut ack = [0u8; 8];
+            stream.read_exact(&mut ack).unwrap();
+            assert_eq!(ack, V2_ACK);
+            // One valid request on stream 9, then the bad frame.
+            write_frame(&mut stream, FrameKind::Req, 9, line.as_bytes()).unwrap();
+            stream.write_all(&bad_bytes).unwrap();
+            let _ = stream.shutdown(std::net::Shutdown::Write);
+
+            let mut reader = BufReader::new(&stream);
+            let first: Frame = read_frame(&mut reader)
+                .expect("first frame decodes")
+                .expect("response before the error");
+            assert_eq!(first.kind, FrameKind::Resp, "{label}: response precedes ERR");
+            assert_eq!(first.stream, 9, "{label}");
+            let second: Frame = read_frame(&mut reader)
+                .expect("second frame decodes")
+                .unwrap_or_else(|| panic!("{label}: missing ERR frame"));
+            assert_eq!(second.kind, FrameKind::Err, "{label}");
+            let message = String::from_utf8_lossy(&second.payload).into_owned();
+            assert!(message.contains("protocol error"), "{label}: {message}");
+            assert!(
+                read_frame(&mut reader).expect("clean close").is_none(),
+                "{label}: connection closes after ERR"
+            );
+        });
+    }
+}
+
+#[test]
+fn malformed_json_inside_v2_matches_v1_parse_errors() {
+    let program = kernel(4_000);
+    let run_config = RunConfig::default();
+    let workloads = [WorkloadSpec { name: "k", program: &program, run_config: &run_config }];
+    let machines = [MachineModel::ivy_bridge()];
+    let request = EvalRequest::new("Ivy Bridge (Xeon E3-1265L)", "k", "lbr", 1, 4);
+    let mixed = format!(
+        "not json at all\n{}\n\nalso not json\n",
+        serde_json::to_string(&request).unwrap()
+    );
+    let service = EvalService::new(&machines, &workloads)
+        .method_options(MethodOptions::fast())
+        .threads(2);
+
+    let (v2, v1) = with_server(&service, NetOptions::default(), |addr| {
+        let v2 = exchange_v2(addr, std::slice::from_ref(&mixed.to_string()))
+            .expect("v2 exchange")
+            .remove(0);
+        let v1 = exchange(addr, &mixed).expect("v1 exchange");
+        (v2, v1)
+    });
+    assert_eq!(
+        v2.as_bytes(),
+        v1.as_bytes(),
+        "parse errors (and their line numbers, counting blanks) must match v1"
+    );
+    assert!(v2.contains("parse error on line 1"));
+    assert!(v2.contains("parse error on line 4"), "blank line 3 still counts");
+}
