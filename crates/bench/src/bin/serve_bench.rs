@@ -10,8 +10,16 @@
 //!     [--capacity N] [--quota N] [--fairness fcfs|weighted] [--runs N] \
 //!     [--scale F] [--seed N] [--threads N] [--record-latency] \
 //!     [--listen ADDR] [--connect ADDR|self] [--connections N] \
-//!     [--proto v1|v2] [--smoke]
+//!     [--proto v1|v2] [--snapshot-dir DIR] [--smoke]
 //! ```
+//!
+//! `--snapshot-dir DIR` backs the reference-profile cache with the
+//! on-disk snapshot store (`countertrust::store`): cold builds write
+//! validated snapshots behind, later runs on the same directory
+//! warm-start — zero instrumented executions (see the audited
+//! `reference runs` summary line), byte-identical output. Under
+//! `--smoke` the determinism replicas share the directory, so the
+//! byte-compares double as a warm-vs-cold identity proof.
 //!
 //! `--pattern mixed` generates the two-tenant interference stream (90%
 //! hot default-catalog zipfian, 10% cold `tenant-b` zipfian) and
@@ -111,6 +119,9 @@ struct ServeCli {
     /// Client wire protocol: `false` = one v1 connection per sub-stream,
     /// `true` = one keep-alive v2 connection multiplexing them all.
     proto_v2: bool,
+    /// Snapshot-store directory backing the profile cache
+    /// (`countertrust::store`); `None` = no persistence.
+    snapshot_dir: Option<String>,
     smoke: bool,
 }
 
@@ -165,6 +176,7 @@ fn parse(args: &[String]) -> ServeCli {
         connect: None,
         connections: 4,
         proto_v2: false,
+        snapshot_dir: None,
         smoke: false,
     };
     let mut i = 0;
@@ -292,6 +304,11 @@ fn parse(args: &[String]) -> ServeCli {
                             if cli.proto_v2 { "v2" } else { "v1" }
                         ),
                     }
+                }
+            }
+            "--snapshot-dir" => {
+                if let Some(v) = take(&mut i) {
+                    cli.snapshot_dir = Some(v.clone());
                 }
             }
             "--smoke" => cli.smoke = true,
@@ -502,6 +519,10 @@ fn main() {
         cli.admission,
         cli.quota,
     );
+    if let Some(dir) = &cli.snapshot_dir {
+        service.attach_snapshot_dir(dir.as_str());
+        eprintln!("serve_bench: snapshot store at {dir}");
+    }
 
     let audit = CollectionAudit::begin();
     let wall = Instant::now();
@@ -533,6 +554,14 @@ fn main() {
             cli.pattern, &machines, &specs, &opts, 4, cli.capacity,
             AdmissionPolicy::Frequency, 1.max(cli.quota),
         );
+        if let Some(dir) = &cli.snapshot_dir {
+            // The replicas share the main run's store: every replica
+            // warm-starts from the snapshots the main run just wrote, so
+            // the byte-compares below are also the warm==cold proof.
+            narrow.attach_snapshot_dir(dir.as_str());
+            wide.attach_snapshot_dir(dir.as_str());
+            piped.attach_snapshot_dir(dir.as_str());
+        }
         let (narrow_out, _) = drive(&narrow, &stream, cli.batch);
         let (wide_out, _) = drive(&wide, &stream, stream.len());
         let piped_out = drive_pipelined(
@@ -614,17 +643,24 @@ fn run_networked(
         )
     };
 
+    // Snapshot persistence rides in on the server's options: the dir is
+    // attached to the served service before the first accept, so a
+    // restarted server on the same directory warm-starts.
+    let net_options = |connections: usize| {
+        let mut options = NetOptions::new().pipeline(*pipeline).max_connections(connections);
+        if let Some(dir) = &cli.snapshot_dir {
+            options = options.snapshot_dir(dir.as_str());
+            eprintln!("serve_bench: snapshot store at {dir}");
+        }
+        options
+    };
+
     match (&cli.listen, &cli.connect) {
         (Some(addr), Some(_)) => {
             let connections = cli.connections.max(1);
             let served = service();
-            let server = EvalServer::listen(
-                addr.as_str(),
-                NetOptions::new()
-                    .pipeline(*pipeline)
-                    .max_connections(connections),
-            )
-            .expect("--listen address must bind");
+            let server = EvalServer::listen(addr.as_str(), net_options(connections))
+                .expect("--listen address must bind");
             let local = server.local_addr();
             let handle = server.handle();
             if cli.proto_v2 {
@@ -716,13 +752,8 @@ fn run_networked(
         }
         (Some(addr), None) => {
             let served = service();
-            let server = EvalServer::listen(
-                addr.as_str(),
-                NetOptions::new()
-                    .pipeline(*pipeline)
-                    .max_connections(cli.connections.max(1)),
-            )
-            .expect("--listen address must bind");
+            let server = EvalServer::listen(addr.as_str(), net_options(cli.connections.max(1)))
+                .expect("--listen address must bind");
             eprintln!(
                 "serve_bench: serving on {} (kill to stop)",
                 server.local_addr()
@@ -845,6 +876,14 @@ mod tests {
         assert_eq!(cli.fairness, FairnessPolicy::Fcfs, "bad fairness keeps the default");
         let cli = parse(&args(&["--pattern", "mixed"]));
         assert_eq!(cli.pattern, StreamPattern::Mixed);
+    }
+
+    #[test]
+    fn snapshot_dir_flag_parses() {
+        let cli = parse(&args(&[]));
+        assert_eq!(cli.snapshot_dir, None, "persistence is opt-in");
+        let cli = parse(&args(&["--snapshot-dir", "/tmp/snaps"]));
+        assert_eq!(cli.snapshot_dir.as_deref(), Some("/tmp/snaps"));
     }
 
     #[test]

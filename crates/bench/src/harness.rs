@@ -43,19 +43,20 @@ use crate::workload_specs;
 
 /// Report version — the `<n>` of `BENCH_<n>.json`, bumped when a PR
 /// regenerates the tracked report.
-pub const BENCH_VERSION: u64 = 7;
+pub const BENCH_VERSION: u64 = 8;
 
 /// File name of the tracked report at the repo root.
-pub const BENCH_FILE: &str = "BENCH_7.json";
+pub const BENCH_FILE: &str = "BENCH_8.json";
 
 /// The fixed scenario matrix, in execution (and report) order.
-pub const MATRIX: [&str; 6] = [
+pub const MATRIX: [&str; 7] = [
     "grid_sweep",
     "serve_batched",
     "serve_pipelined",
     "tcp_loopback",
     "v2_loopback",
     "mixed_tenant_zipfian",
+    "warm_start",
 ];
 
 /// Harness-wide knobs (everything else is pinned per scenario).
@@ -908,6 +909,121 @@ fn scenario_mixed_tenant(opts: &HarnessOptions, log: &mut dyn FnMut(&str)) -> Sc
     }
 }
 
+fn scenario_warm_start(
+    opts: &HarnessOptions,
+    shared_probe: &[EvalRequest],
+    log: &mut dyn FnMut(&str),
+) -> ScenarioResult {
+    let fixture = Fixture::probe();
+    let specs = fixture.specs();
+    // A fresh scratch directory per run; it is deliberately NOT part of
+    // either config fingerprint — the fingerprint pins the warm-start
+    // *semantics* (same stream, snapshot-backed restart), not where the
+    // snapshot bytes happen to live this run.
+    let dir = std::env::temp_dir().join(format!(
+        "ctstore_warm_{}_{}",
+        std::process::id(),
+        opts.seed
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let pipeline = PipelineOptions::new().depth(4).chunk(PROBE_BATCH);
+    let probe_config = {
+        let mut c = stream_config_pairs(StreamPattern::Zipfian, PROBE_REQUESTS, opts.seed, "1");
+        c.push(("depth", "4".to_string()));
+        c.push(("chunk", PROBE_BATCH.to_string()));
+        c.push(("snapshot", "warm".to_string()));
+        c
+    };
+    let probe_service = || {
+        let s = build_service(
+            StreamPattern::Zipfian,
+            &fixture.machines,
+            &specs,
+            &fixture.opts,
+            1,
+            0,
+            AdmissionPolicy::Lru,
+            0,
+        );
+        s.attach_snapshot_dir(&dir);
+        s
+    };
+    // Cold pass (unaudited): a throwaway service fills the snapshot
+    // directory via write-behind, then dies — a server shutting down.
+    let _ = serve_pipelined_jsonl(&probe_service(), shared_probe, &pipeline);
+    // Warm probe: a FRESH service on the same directory replays the
+    // SAME zipfian stream the pipelined/TCP/v2 probes hashed. The
+    // audited build count must be 0 (a warm restart re-runs nothing
+    // instrumented) and the response hash must equal theirs (the store
+    // may not change bytes) — both pinned by `run_suite`'s asserts and
+    // then PR over PR by the report comparison.
+    let determinism = probe_serve(&probe_service(), |s| {
+        serve_pipelined_jsonl(s, shared_probe, &pipeline)
+    });
+
+    // Measurement: warm-replay throughput — the serving rate a restarted
+    // server sustains when every reference profile loads from disk
+    // instead of being re-collected. The unaudited filler pass first
+    // snapshots any pair the probe stream never touched.
+    let n = measure_requests(opts, 3_000);
+    let m_pipeline = PipelineOptions::new().depth(4).chunk(64);
+    let measure_config = {
+        let mut c = stream_config_pairs(StreamPattern::Zipfian, n, opts.seed, "auto");
+        c.push(("depth", "4".to_string()));
+        c.push(("chunk", "64".to_string()));
+        c.push(("snapshot", "warm".to_string()));
+        c
+    };
+    let m_fixture = Fixture::measure(opts);
+    let m_specs = m_fixture.specs();
+    let stream = StreamGenerator::new(
+        &m_fixture.machines,
+        &m_fixture.workloads,
+        &m_fixture.opts,
+        &StreamConfig {
+            pattern: StreamPattern::Zipfian,
+            requests: n,
+            seed: opts.seed,
+            runs: 1,
+        },
+    )
+    .take(n);
+    let m_service = || {
+        let s = build_service(
+            StreamPattern::Zipfian,
+            &m_fixture.machines,
+            &m_specs,
+            &m_fixture.opts,
+            opts.threads,
+            0,
+            AdmissionPolicy::Lru,
+            0,
+        );
+        s.attach_snapshot_dir(&dir);
+        s
+    };
+    let _ = serve_pipelined_jsonl(&m_service(), &stream, &m_pipeline);
+    let warm = m_service();
+    let wall = Instant::now();
+    let _ = serve_pipelined_jsonl(&warm, &stream, &m_pipeline);
+    let elapsed = wall.elapsed().as_secs_f64();
+    let measure = measure_from_service(&warm, n as u64, elapsed, &mut Vec::new());
+    let snapshot_hits = warm.cache_stats().snapshot_hits;
+    let _ = std::fs::remove_dir_all(&dir);
+    log(&format!(
+        "warm_start: {n} requests warm-replayed in {elapsed:.3} s ({:.0} req/s, \
+         {snapshot_hits} snapshot loads)",
+        measure.throughput_rps
+    ));
+    ScenarioResult {
+        name: "warm_start",
+        probe_config,
+        determinism,
+        measure_config,
+        measure,
+    }
+}
+
 /// Runs the full scenario matrix in order, logging one progress line per
 /// scenario through `log` (stderr in the binary, a sink in tests).
 #[must_use]
@@ -940,6 +1056,7 @@ pub fn run_suite(opts: &HarnessOptions, log: &mut dyn FnMut(&str)) -> Vec<Scenar
         scenario_tcp_loopback(opts, &shared_probe, log),
         scenario_v2_loopback(opts, &shared_probe, log),
         scenario_mixed_tenant(opts, log),
+        scenario_warm_start(opts, &shared_probe, log),
     ];
     assert_eq!(
         results[2].determinism.response_hash, results[3].determinism.response_hash,
@@ -948,6 +1065,14 @@ pub fn run_suite(opts: &HarnessOptions, log: &mut dyn FnMut(&str)) -> Vec<Scenar
     assert_eq!(
         results[2].determinism.response_hash, results[4].determinism.response_hash,
         "framing must not change response bytes (pipelined vs v2 multiplexed probe)"
+    );
+    assert_eq!(
+        results[2].determinism.response_hash, results[6].determinism.response_hash,
+        "the snapshot store must not change response bytes (pipelined vs warm-start probe)"
+    );
+    assert_eq!(
+        results[6].determinism.reference_builds, 0,
+        "a warm restart must not re-run a single instrumented reference collection"
     );
     results
 }

@@ -36,10 +36,13 @@
 
 use crate::error::CoreError;
 use crate::session::Session;
+use crate::store::SnapshotStore;
 use ct_instrument::ReferenceProfile;
 use ct_isa::{Cfg, Program};
 use ct_sim::{MachineModel, RunConfig};
 use std::fmt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 /// Cache key: a `(machine, workload)` pair *namespaced by its catalog*.
@@ -296,6 +299,17 @@ pub struct CacheStats {
     /// that never did appears with all-zero counters), empty for an
     /// untouched cache.
     pub tenants: Vec<TenantCacheStats>,
+    /// Whether a [`SnapshotStore`] backing directory is attached.
+    pub snapshot_store: bool,
+    /// Cold builds avoided by loading a validated snapshot from the
+    /// backing store (each still counts in `builds`, preserving the
+    /// "one build per miss" accounting — the saving shows up in the
+    /// [`ct_instrument::CollectionAudit`] instead).
+    pub snapshot_hits: u64,
+    /// Snapshots present but rejected (corrupt, truncated, stale
+    /// fingerprint, unreadable); each fell back to a cold build that
+    /// then rewrote the snapshot.
+    pub snapshot_rejects: u64,
 }
 
 impl CacheStats {
@@ -323,6 +337,12 @@ impl CacheStats {
                 .map(|t| format!("{}:{}/{}", t.catalog, t.resident, t.quota))
                 .collect();
             line.push_str(&format!(" | quotas [{}]", caps.join(" ")));
+        }
+        if self.snapshot_store {
+            line.push_str(&format!(
+                " | snapshots {} hits / {} rejects",
+                self.snapshot_hits, self.snapshot_rejects
+            ));
         }
         line
     }
@@ -380,6 +400,17 @@ impl Drop for FlightGuard<'_> {
         *result = Some(Err(CoreError::BuildPanicked));
         self.flight.ready.notify_all();
     }
+}
+
+/// An attached [`SnapshotStore`] plus its outcome counters. Shared by
+/// `Arc` so the serving layer can rebuild its cache (capacity/admission/
+/// quota knobs) without losing the backing directory or its counters;
+/// counters are atomics because loads and saves happen outside the map
+/// lock, in the builder's flight-guarded region.
+pub(crate) struct SnapshotBacking {
+    pub(crate) store: SnapshotStore,
+    hits: AtomicU64,
+    rejects: AtomicU64,
 }
 
 /// Halve every frequency count after this many lookups, so stale
@@ -559,6 +590,11 @@ pub struct ProfileCache {
     /// and the frequency sketch are provably inert, so hits skip the
     /// LRU reorder and sketch bookkeeping (and the map may shard).
     exact_unbounded: bool,
+    /// Optional on-disk [`SnapshotStore`] backing: read-through on a
+    /// miss, write-behind after a cold build. Interior-mutable so a
+    /// served `&ProfileCache` can be given a directory after
+    /// construction (see [`Self::attach_snapshot_store`]).
+    snapshot: Mutex<Option<Arc<SnapshotBacking>>>,
 }
 
 impl ProfileCache {
@@ -608,8 +644,13 @@ impl ProfileCache {
     /// counters of `self` are discarded, so call it before first use.
     #[must_use]
     pub fn with_shard_count(self, shards: usize) -> Self {
-        let inner = self.lock();
-        Self::build(inner.capacity, inner.policy, inner.quotas.clone(), shards)
+        let backing = self.snapshot_backing();
+        let rebuilt = {
+            let inner = self.lock();
+            Self::build(inner.capacity, inner.policy, inner.quotas.clone(), shards)
+        };
+        rebuilt.set_snapshot_backing(backing);
+        rebuilt
     }
 
     /// Number of lock shards (`1` for any bounded or quota'd cache).
@@ -644,7 +685,45 @@ impl ProfileCache {
         Self {
             shards,
             exact_unbounded,
+            snapshot: Mutex::new(None),
         }
+    }
+
+    /// Attaches an on-disk [`SnapshotStore`] over `dir`: subsequent
+    /// fingerprinted misses read through it before building, and cold
+    /// builds write behind into it. Attaching resets the snapshot
+    /// counters; the resident set and ordinary counters are untouched.
+    /// Takes `&self` so a service already behind a shared reference
+    /// (e.g. one being served over a socket) can still be given a store.
+    pub fn attach_snapshot_store(&self, dir: impl Into<PathBuf>) {
+        self.set_snapshot_backing(Some(Arc::new(SnapshotBacking {
+            store: SnapshotStore::new(dir),
+            hits: AtomicU64::new(0),
+            rejects: AtomicU64::new(0),
+        })));
+    }
+
+    /// Whether a snapshot backing directory is attached.
+    #[must_use]
+    pub fn has_snapshot_store(&self) -> bool {
+        self.snapshot_backing().is_some()
+    }
+
+    /// The attached backing directory, if any.
+    #[must_use]
+    pub fn snapshot_dir(&self) -> Option<PathBuf> {
+        self.snapshot_backing().map(|b| b.store.dir().to_path_buf())
+    }
+
+    pub(crate) fn snapshot_backing(&self) -> Option<Arc<SnapshotBacking>> {
+        self.snapshot.lock().expect("snapshot lock never poisoned").clone()
+    }
+
+    /// Carries an existing backing (with its counters) onto this cache —
+    /// how the serving layer's cache-rebuilding builders preserve the
+    /// store across capacity/admission/quota changes.
+    pub(crate) fn set_snapshot_backing(&self, backing: Option<Arc<SnapshotBacking>>) {
+        *self.snapshot.lock().expect("snapshot lock never poisoned") = backing;
     }
 
     /// The shard owning `key` (FNV-1a over the key's three indices; a
@@ -695,6 +774,30 @@ impl ProfileCache {
     pub fn get_or_build<F>(
         &self,
         key: PairKey,
+        build: F,
+    ) -> Result<(Arc<PairParts>, bool), CoreError>
+    where
+        F: FnOnce() -> Result<PairParts, CoreError>,
+    {
+        self.get_or_build_with_fingerprint(key, None, build)
+    }
+
+    /// [`Self::get_or_build`] with an optional pair fingerprint
+    /// ([`crate::store::pair_fingerprint`]) enabling the snapshot store.
+    ///
+    /// On a miss with a fingerprint and an attached store, the builder
+    /// first tries to load `<fingerprint>.snap` from the backing
+    /// directory: a validated snapshot substitutes for the build (a
+    /// *snapshot hit* — no instrumented execution, though it still
+    /// counts as a cache build so residency accounting is unchanged); a
+    /// corrupt, truncated or stale snapshot is counted as a *snapshot
+    /// reject* and the cold build proceeds exactly as without a store,
+    /// rewriting the snapshot on success (write-behind, best-effort).
+    /// `None` (or no attached store) is byte-for-byte the plain path.
+    pub fn get_or_build_with_fingerprint<F>(
+        &self,
+        key: PairKey,
+        fingerprint: Option<u64>,
         build: F,
     ) -> Result<(Arc<PairParts>, bool), CoreError>
     where
@@ -767,7 +870,7 @@ impl ProfileCache {
                 flight: &flight,
                 armed: true,
             };
-            let built = build().map(Arc::new);
+            let built = self.load_or_build(fingerprint, build).map(Arc::new);
             guard.armed = false;
             built
         };
@@ -796,6 +899,41 @@ impl ProfileCache {
         flight.ready.notify_all();
         drop(result);
         built.map(|parts| (parts, false))
+    }
+
+    /// The build step of a miss, routed through the snapshot store when
+    /// one is attached and the caller supplied a fingerprint. Runs in
+    /// the flight-guarded region, outside the map lock. Cache contents
+    /// are pure functions of the pair and equal fingerprints name equal
+    /// inputs, so a validated snapshot load is indistinguishable (byte
+    /// for byte) from the build it replaces.
+    fn load_or_build<F>(&self, fingerprint: Option<u64>, build: F) -> Result<PairParts, CoreError>
+    where
+        F: FnOnce() -> Result<PairParts, CoreError>,
+    {
+        let backing = match (fingerprint, self.snapshot_backing()) {
+            (Some(fp), Some(backing)) => (fp, backing),
+            _ => return build(),
+        };
+        let (fp, backing) = backing;
+        match backing.store.load(fp) {
+            Ok(Some(parts)) => {
+                backing.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(parts);
+            }
+            // A cold store is the normal first run: neither hit nor reject.
+            Ok(None) => {}
+            // Typed rejection (corruption, staleness, I/O): count it and
+            // fall back to the cold build, which repairs the file below.
+            Err(_) => {
+                backing.rejects.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let parts = build()?;
+        // Write-behind is best-effort: a full disk must not fail the
+        // request — the response is already in hand.
+        let _ = backing.store.save(fp, &parts);
+        Ok(parts)
     }
 
     /// Whether `key` is currently resident (no LRU touch, no counters).
@@ -829,6 +967,11 @@ impl ProfileCache {
     #[must_use]
     pub fn stats(&self) -> CacheStats {
         let mut stats = CacheStats::default();
+        if let Some(backing) = self.snapshot_backing() {
+            stats.snapshot_store = true;
+            stats.snapshot_hits = backing.hits.load(Ordering::Relaxed);
+            stats.snapshot_rejects = backing.rejects.load(Ordering::Relaxed);
+        }
         let mut tallies: Vec<TenantTally> = Vec::new();
         let mut resident: Vec<usize> = Vec::new();
         for shard in &*self.shards {

@@ -28,6 +28,9 @@
 //!   the cache, batched ([`serve::EvalService::serve`]) or as a staged
 //!   intake pipeline ([`serve::EvalService::serve_pipelined`]), with
 //!   byte-identical responses for any thread count;
+//! * [`store`] — versioned, checksummed on-disk snapshots of
+//!   [`cache::PairParts`] ([`store::SnapshotStore`]) so a restarted server
+//!   warm-starts at full hit rate without re-running a single reference;
 //! * [`report`] — table formatting and JSON export for the bench binaries.
 //!
 //! # Examples
@@ -77,6 +80,7 @@ pub mod profile;
 pub mod report;
 pub mod serve;
 pub mod session;
+pub mod store;
 pub mod tripcount;
 
 pub use cache::{AdmissionPolicy, CacheStats, PairKey, PairParts, ProfileCache};
@@ -91,3 +95,4 @@ pub use serve::{
     ServeStats,
 };
 pub use session::{MethodRun, Session};
+pub use store::{SnapshotReader, SnapshotStore, SnapshotWriter, StoreError};

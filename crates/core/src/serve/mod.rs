@@ -214,6 +214,7 @@ use ct_sim::MachineModel;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
+use std::path::PathBuf;
 use ring::ring_channel;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -1005,6 +1006,11 @@ pub struct EvalService<'a> {
     /// Per-catalog counters, one per registered catalog in registry
     /// order (aggregated into [`ServeStats::tenants`]).
     tenants: Vec<TenantCounters>,
+    /// Memoized [`crate::store::pair_fingerprint`]s, keyed by pair.
+    /// Fingerprints hash the machine model and whole program, so they
+    /// are computed once per pair (and only when a snapshot store is
+    /// attached), not once per miss.
+    snapshot_fingerprints: Mutex<HashMap<PairKey, u64>>,
 }
 
 impl<'a> EvalService<'a> {
@@ -1031,6 +1037,7 @@ impl<'a> EvalService<'a> {
             errors: AtomicU64::new(0),
             latencies_us: Mutex::new(LatencyWindow::default()),
             tenants,
+            snapshot_fingerprints: Mutex::new(HashMap::new()),
         }
     }
 
@@ -1053,8 +1060,10 @@ impl<'a> EvalService<'a> {
     /// Responses do not depend on this — only build counts do.
     #[must_use]
     pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        let backing = self.cache.snapshot_backing();
         self.cache =
             ProfileCache::with_config(capacity, self.cache.policy(), self.cache.quotas());
+        self.cache.set_snapshot_backing(backing);
         self
     }
 
@@ -1063,8 +1072,10 @@ impl<'a> EvalService<'a> {
     /// this — only build counts do.
     #[must_use]
     pub fn admission(mut self, policy: AdmissionPolicy) -> Self {
+        let backing = self.cache.snapshot_backing();
         self.cache =
             ProfileCache::with_config(self.cache.capacity(), policy, self.cache.quotas());
+        self.cache.set_snapshot_backing(backing);
         self
     }
 
@@ -1074,9 +1085,31 @@ impl<'a> EvalService<'a> {
     /// only build counts and per-tenant hit rates do.
     #[must_use]
     pub fn cache_quotas(mut self, quotas: CacheQuotas) -> Self {
+        let backing = self.cache.snapshot_backing();
         self.cache =
             ProfileCache::with_config(self.cache.capacity(), self.cache.policy(), quotas);
+        self.cache.set_snapshot_backing(backing);
         self
+    }
+
+    /// Backs the profile cache with an on-disk snapshot store over `dir`
+    /// (see [`crate::store`]): cache misses read through validated
+    /// snapshots instead of re-running references, and cold builds write
+    /// behind into the directory — so a service restarted on the same
+    /// directory warm-starts at full hit rate with **zero** instrumented
+    /// executions, byte-identical to the cold run. Survives the
+    /// cache-rebuilding builders above in either order.
+    #[must_use]
+    pub fn snapshot_dir(self, dir: impl Into<PathBuf>) -> Self {
+        self.attach_snapshot_dir(dir);
+        self
+    }
+
+    /// [`Self::snapshot_dir`] through a shared reference — how
+    /// [`net::NetOptions::snapshot_dir`] attaches the store to a service
+    /// already behind the server's `&self`.
+    pub fn attach_snapshot_dir(&self, dir: impl Into<PathBuf>) {
+        self.cache.attach_snapshot_store(dir);
     }
 
     /// Sets the method options requests against the **default** catalog
@@ -1551,7 +1584,14 @@ impl<'a> EvalService<'a> {
         let catalog = self.registry.catalog(key.catalog);
         let machine = &catalog.machines[key.machine];
         let workload = &catalog.workloads[key.workload];
-        let built = self.cache.get_or_build(key, || {
+        // Fingerprints only matter (and only cost anything) when a
+        // snapshot store is attached; without one the call is exactly
+        // the plain get_or_build.
+        let fingerprint = self
+            .cache
+            .has_snapshot_store()
+            .then(|| self.pair_fingerprint(key));
+        let built = self.cache.get_or_build_with_fingerprint(key, fingerprint, || {
             PairParts::collect(
                 machine,
                 workload.program,
@@ -1586,6 +1626,31 @@ impl<'a> EvalService<'a> {
         self.cache_hits.fetch_add(hits, Ordering::Relaxed);
         tenant.cache_hits.fetch_add(hits, Ordering::Relaxed);
         Some(parts)
+    }
+
+    /// The pair generation fingerprint for `key`
+    /// ([`crate::store::pair_fingerprint`] over the catalog name and the
+    /// resolved machine/program/run-config/options), memoized per
+    /// service.
+    fn pair_fingerprint(&self, key: PairKey) -> u64 {
+        let mut memo = self
+            .snapshot_fingerprints
+            .lock()
+            .expect("fingerprint memo lock never poisoned");
+        if let Some(&fp) = memo.get(&key) {
+            return fp;
+        }
+        let (name, catalog) = &self.registry.catalogs[key.catalog];
+        let workload = &catalog.workloads[key.workload];
+        let fp = crate::store::pair_fingerprint(
+            name,
+            &catalog.machines[key.machine],
+            workload.program,
+            workload.run_config,
+            &catalog.opts,
+        );
+        memo.insert(key, fp);
+        fp
     }
 
     /// Evaluates one request against its shard's shared pair state.

@@ -110,7 +110,7 @@ pub const DEFAULT_EXCHANGE_TIMEOUT: Duration = Duration::from_secs(30);
 const WAKE_TIMEOUT: Duration = Duration::from_millis(200);
 
 /// Shape of a network-served evaluation tier.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct NetOptions {
     /// The pipeline every connection is driven through.
     pub pipeline: PipelineOptions,
@@ -119,6 +119,13 @@ pub struct NetOptions {
     /// accept loop blocks at the cap; waiting clients queue in the OS
     /// listen backlog.
     pub max_connections: usize,
+    /// Optional snapshot-store directory ([`crate::store`]) attached to
+    /// the served service's cache before the first accept: reference
+    /// profiles persist across server restarts, so a server restarted
+    /// on the same directory warm-starts at full hit rate with zero
+    /// instrumented executions. `None` (the default) serves exactly as
+    /// before.
+    pub snapshot_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for NetOptions {
@@ -126,6 +133,7 @@ impl Default for NetOptions {
         Self {
             pipeline: PipelineOptions::default(),
             max_connections: 8,
+            snapshot_dir: None,
         }
     }
 }
@@ -149,6 +157,14 @@ impl NetOptions {
     #[must_use]
     pub fn max_connections(mut self, cap: usize) -> Self {
         self.max_connections = cap;
+        self
+    }
+
+    /// Backs the served service's cache with an on-disk snapshot store
+    /// (see [`EvalService::snapshot_dir`]).
+    #[must_use]
+    pub fn snapshot_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.snapshot_dir = Some(dir.into());
         self
     }
 }
@@ -375,6 +391,9 @@ impl EvalServer {
     {
         let workers = self.options.max_connections.max(1);
         let pipeline = self.options.pipeline;
+        if let Some(dir) = &self.options.snapshot_dir {
+            service.attach_snapshot_dir(dir.clone());
+        }
         let handler = &handler;
         let connections = AtomicU64::new(0);
         let lines = AtomicU64::new(0);

@@ -367,6 +367,136 @@ mod tests {
     }
 
     #[test]
+    fn park_backstop_recovers_without_a_wakeup() {
+        // Drive the parking primitive directly with a readiness flag
+        // that is flipped WITHOUT any `wake()` — the only thing that can
+        // unpark the thread is the PARK_BACKSTOP re-check, so returning
+        // at all (and promptly) pins the backstop behaviour the module
+        // docs promise for a missed signal.
+        let (tx, _rx) = ring_channel::<()>(1);
+        let shared = Arc::clone(&tx.shared);
+        let ready = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&ready);
+        let flipper = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(120));
+            flag.store(true, Ordering::SeqCst);
+            // Deliberately no notify: the backstop must notice alone.
+        });
+        let start = std::time::Instant::now();
+        shared.park_until(|| ready.load(Ordering::SeqCst));
+        let elapsed = start.elapsed();
+        flipper.join().unwrap();
+        assert!(
+            elapsed >= Duration::from_millis(120),
+            "park_until returned before the flag was set ({elapsed:?})"
+        );
+        assert!(
+            elapsed < Duration::from_secs(2),
+            "backstop wakeup never fired; parked {elapsed:?} past the flag"
+        );
+        assert_eq!(
+            shared.waiters.load(Ordering::SeqCst),
+            0,
+            "waiter registration must drain after unpark"
+        );
+    }
+
+    #[test]
+    fn blocked_sides_survive_multiple_backstop_periods() {
+        // Each side parked for ~120 ms — several 50 ms backstop periods,
+        // so the condvar wait times out and re-checks more than once
+        // before the opposite side finally acts. Both edges must
+        // complete and the waiter count must return to zero.
+        let (tx, rx) = ring_channel::<u8>(1);
+
+        // Receiver parks on an empty ring well before the send.
+        let rx = std::thread::scope(|scope| {
+            let parked = scope.spawn(move || {
+                assert_eq!(rx.recv(), Some(9));
+                rx
+            });
+            std::thread::sleep(Duration::from_millis(120));
+            tx.send(9).unwrap();
+            parked.join().unwrap()
+        });
+
+        // Sender parks on a full ring equally long before a recv frees
+        // a slot.
+        tx.send(1).unwrap();
+        std::thread::scope(|scope| {
+            let parked = scope.spawn(move || tx.send(2).unwrap());
+            std::thread::sleep(Duration::from_millis(120));
+            assert_eq!(rx.recv(), Some(1));
+            parked.join().unwrap();
+        });
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(
+            rx.shared.waiters.load(Ordering::SeqCst),
+            0,
+            "no stale waiter registrations after both parks resolved"
+        );
+    }
+
+    #[test]
+    fn dropping_either_end_of_a_full_ring_drops_queued_items_exactly_once() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        #[derive(Debug)]
+        struct Counted(usize);
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+
+        // Receiver dropped while the ring is full AND the producer is
+        // parked mid-send: the receiver's Drop drains the three queued
+        // items, the parked send fails handing its item back (dropped by
+        // the producer thread), and nothing is dropped twice.
+        DROPS.store(0, Ordering::SeqCst);
+        let (tx, rx) = ring_channel::<Counted>(3);
+        for i in 0..3 {
+            tx.send(Counted(i)).unwrap();
+        }
+        std::thread::scope(|scope| {
+            let parked = scope.spawn(move || tx.send(Counted(3)).is_err());
+            std::thread::sleep(Duration::from_millis(60));
+            assert_eq!(
+                DROPS.load(Ordering::SeqCst),
+                0,
+                "nothing may drop while both endpoints are alive"
+            );
+            drop(rx);
+            assert!(
+                parked.join().unwrap(),
+                "the parked send must fail once the receiver is gone"
+            );
+        });
+        assert_eq!(
+            DROPS.load(Ordering::SeqCst),
+            4,
+            "3 drained by the receiver's Drop + 1 handed back to the sender"
+        );
+
+        // Sender dropped while the ring is full: close is graceful in
+        // this direction — the receiver drains every queued item in
+        // order, then sees the disconnect, and each item drops exactly
+        // once at the consumer.
+        DROPS.store(0, Ordering::SeqCst);
+        let (tx, rx) = ring_channel::<Counted>(3);
+        for i in 0..3 {
+            tx.send(Counted(i)).unwrap();
+        }
+        drop(tx);
+        let mut seen = 0;
+        for item in rx {
+            assert_eq!(item.0, seen, "full-ring drain must preserve order");
+            seen += 1;
+        }
+        assert_eq!(seen, 3, "every queued item survives the sender's drop");
+        assert_eq!(DROPS.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
     fn stress_many_items_small_ring() {
         for cap in [1usize, 2, 3, 8] {
             let (tx, rx) = ring_channel::<usize>(cap);

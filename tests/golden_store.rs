@@ -1,0 +1,100 @@
+//! Golden snapshot fixture: one small, fully deterministic snapshot
+//! checked in byte-for-byte (`tests/fixtures/golden_pair.snap`).
+//!
+//! The snapshot format is a *persistence* format — files written by one
+//! build of the repo are read by later builds — so accidental drift in
+//! any layer it pins (the header layout, the section framing, the FNV
+//! checksum, the canonical JSON of `Cfg`/`ReferenceProfile`, the
+//! `pair_fingerprint` inputs, or the reference collection itself) must
+//! fail loudly here, not silently orphan every snapshot directory in
+//! the field.
+//!
+//! Regenerating (only legitimate when the format version is bumped or
+//! an input structure deliberately changes — never to silence a drift
+//! you cannot explain):
+//!
+//! ```text
+//! GOLDEN_STORE_REGEN=1 cargo test -p countertrust --test golden_store -- --nocapture
+//! ```
+
+use countertrust::cache::PairParts;
+use countertrust::methods::MethodOptions;
+use countertrust::store::{pair_fingerprint, SnapshotReader, SnapshotWriter};
+use ct_isa::asm::assemble;
+use ct_isa::{Cfg, Program};
+use ct_sim::{MachineModel, RunConfig};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn kernel() -> Program {
+    assemble(
+        "golden",
+        r#"
+        .func main
+            movi r1, 64
+        top:
+            addi r2, r2, 1
+            subi r1, r1, 1
+            brnz r1, top
+            halt
+        .endfunc
+    "#,
+    )
+    .unwrap()
+}
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/golden_pair.snap")
+}
+
+#[test]
+fn golden_snapshot_is_pinned_byte_for_byte() {
+    let program = kernel();
+    let machine = MachineModel::ivy_bridge();
+    let run_config = RunConfig::default();
+    let opts = MethodOptions::fast();
+    let fingerprint = pair_fingerprint("default", &machine, &program, &run_config, &opts);
+    let cfg = Arc::new(Cfg::build(&program));
+    let parts = PairParts::collect(&machine, &program, &run_config, cfg).unwrap();
+    let bytes = SnapshotWriter::encode(fingerprint, &parts);
+
+    let path = fixture_path();
+    if std::env::var_os("GOLDEN_STORE_REGEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &bytes).unwrap();
+        eprintln!(
+            "regenerated {} ({} bytes, fingerprint {fingerprint:#018x})",
+            path.display(),
+            bytes.len()
+        );
+        return;
+    }
+
+    let golden = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); regenerate with GOLDEN_STORE_REGEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        golden.len(),
+        bytes.len(),
+        "snapshot size drifted — the format or an encoded structure changed"
+    );
+    assert!(
+        golden == bytes,
+        "snapshot bytes drifted from the checked-in fixture — the on-disk \
+         format changed; if deliberate, bump SNAPSHOT_VERSION and regenerate \
+         with GOLDEN_STORE_REGEN=1"
+    );
+
+    // The checked-in fixture must itself decode against the live
+    // fingerprint — this is exactly the warm-start read path of a server
+    // built today reading a snapshot written at pin time.
+    let back = SnapshotReader::decode(&golden, fingerprint).expect("golden fixture decodes");
+    assert_eq!(*back.cfg, *parts.cfg);
+    assert_eq!(
+        serde_json::to_string(&*back.reference).unwrap(),
+        serde_json::to_string(&*parts.reference).unwrap()
+    );
+}

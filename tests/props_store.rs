@@ -1,0 +1,147 @@
+//! Property tests for the snapshot store (`countertrust::store`).
+//!
+//! The format's two load-bearing guarantees, exercised over arbitrary
+//! inputs:
+//!
+//! 1. **Round-trip fidelity + determinism** — any `PairParts` (small
+//!    machine × workload pairs, varied run configs) encodes to bytes
+//!    that decode back to structurally equal parts, and two encodes of
+//!    the same parts are byte-identical (the property the trailing
+//!    checksum and the golden fixture both depend on).
+//! 2. **No silent acceptance** — any truncation prefix and any
+//!    single-bit flip of a valid snapshot is rejected with a typed
+//!    `StoreError`; nothing panics, nothing decodes wrong.
+
+use countertrust::cache::PairParts;
+use countertrust::store::{SnapshotReader, SnapshotWriter};
+use ct_isa::asm::assemble;
+use ct_isa::{Cfg, Program};
+use ct_sim::{MachineModel, RunConfig};
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+
+fn loop_kernel(iters: u64) -> Program {
+    assemble(
+        "k",
+        &format!(
+            r#"
+            .func main
+                movi r1, {iters}
+            top:
+                addi r2, r2, 1
+                subi r1, r1, 1
+                brnz r1, top
+                halt
+            .endfunc
+        "#
+        ),
+    )
+    .unwrap()
+}
+
+fn call_kernel(iters: u64) -> Program {
+    assemble(
+        "c",
+        &format!(
+            r#"
+            .func main
+                movi r1, {iters}
+            top:
+                call leaf
+                subi r1, r1, 1
+                brnz r1, top
+                halt
+            .endfunc
+            .func leaf
+                addi r3, r3, 1
+                addi r4, r4, 1
+                ret
+            .endfunc
+        "#
+        ),
+    )
+    .unwrap()
+}
+
+fn collect(machine: &MachineModel, program: &Program) -> PairParts {
+    let cfg = Arc::new(Cfg::build(program));
+    PairParts::collect(machine, program, &RunConfig::default(), cfg)
+        .expect("small kernels collect cleanly")
+}
+
+/// One fixed valid snapshot, built once — the corruption properties
+/// mutate copies of it, so they stay cheap per case.
+fn fixed_snapshot() -> &'static [u8] {
+    static SNAPSHOT: OnceLock<Vec<u8>> = OnceLock::new();
+    SNAPSHOT.get_or_init(|| {
+        let program = loop_kernel(25);
+        SnapshotWriter::encode(0xA11CE, &collect(&MachineModel::ivy_bridge(), &program))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Encode→decode over arbitrary (machine, kernel shape, trip count,
+    /// fingerprint) combinations preserves the CFG and reference profile
+    /// exactly, and encoding is deterministic — two encodes of the same
+    /// parts, and an encode of the *decoded* parts, are all
+    /// byte-identical.
+    #[test]
+    fn roundtrip_is_exact_and_deterministic(
+        raw in (0usize..3, 0usize..2, 1u64..40, 0u64..u64::MAX),
+    ) {
+        let (machine, kind, iters, fp) = raw;
+        let machines = MachineModel::paper_machines();
+        let program = if kind == 0 { loop_kernel(iters) } else { call_kernel(iters) };
+        let parts = collect(&machines[machine], &program);
+
+        let bytes = SnapshotWriter::encode(fp, &parts);
+        prop_assert_eq!(&bytes, &SnapshotWriter::encode(fp, &parts), "double-encode drifted");
+
+        let back = SnapshotReader::decode(&bytes, fp).expect("valid snapshot decodes");
+        prop_assert_eq!(&*back.cfg, &*parts.cfg);
+        // ReferenceProfile carries no PartialEq; its canonical JSON is
+        // the structural identity the snapshot itself is built from.
+        prop_assert_eq!(
+            serde_json::to_string(&*back.reference).unwrap(),
+            serde_json::to_string(&*parts.reference).unwrap()
+        );
+        prop_assert_eq!(&bytes, &SnapshotWriter::encode(fp, &back), "re-encode is canonical");
+    }
+
+    /// Every truncation prefix of a valid snapshot is rejected with a
+    /// typed error — never a panic, never a partial decode.
+    #[test]
+    fn every_truncation_prefix_is_rejected(cut in 0usize..1 << 20) {
+        let bytes = fixed_snapshot();
+        let cut = cut % bytes.len();
+        prop_assert!(SnapshotReader::decode(&bytes[..cut], 0xA11CE).is_err());
+    }
+
+    /// Every single-bit flip of a valid snapshot is rejected with a
+    /// typed error (magic, version, checksum — some typed rejection).
+    #[test]
+    fn every_bit_flip_is_rejected(pos in 0usize..1 << 20, bit in 0u8..8) {
+        let mut bytes = fixed_snapshot().to_vec();
+        let pos = pos % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        prop_assert!(SnapshotReader::decode(&bytes, 0xA11CE).is_err());
+    }
+
+    /// A valid snapshot presented with the wrong expected fingerprint is
+    /// always the staleness rejection — and never decodes.
+    #[test]
+    fn wrong_fingerprint_never_decodes(expected in 0u64..u64::MAX) {
+        prop_assume!(expected != 0xA11CE);
+        let err = SnapshotReader::decode(fixed_snapshot(), expected)
+            .expect_err("stale fingerprint must reject");
+        prop_assert_eq!(
+            err,
+            countertrust::store::StoreError::FingerprintMismatch {
+                expected,
+                found: 0xA11CE,
+            }
+        );
+    }
+}
