@@ -43,13 +43,13 @@ use crate::workload_specs;
 
 /// Report version — the `<n>` of `BENCH_<n>.json`, bumped when a PR
 /// regenerates the tracked report.
-pub const BENCH_VERSION: u64 = 8;
+pub const BENCH_VERSION: u64 = 9;
 
 /// File name of the tracked report at the repo root.
-pub const BENCH_FILE: &str = "BENCH_8.json";
+pub const BENCH_FILE: &str = "BENCH_9.json";
 
 /// The fixed scenario matrix, in execution (and report) order.
-pub const MATRIX: [&str; 7] = [
+pub const MATRIX: [&str; 8] = [
     "grid_sweep",
     "serve_batched",
     "serve_pipelined",
@@ -57,6 +57,7 @@ pub const MATRIX: [&str; 7] = [
     "v2_loopback",
     "mixed_tenant_zipfian",
     "warm_start",
+    "sim_replay",
 ];
 
 /// Harness-wide knobs (everything else is pinned per scenario).
@@ -1024,6 +1025,118 @@ fn scenario_warm_start(
     }
 }
 
+/// One retained-`Cpu` replay pass over every machine × kernel pair,
+/// appending each run's full [`ct_sim::RunSummary`] to `digest` (when
+/// given) and returning the number of runs performed.
+fn sim_replay_pass(
+    machines: &[MachineModel],
+    workloads: &[Workload],
+    replays: usize,
+    mut digest: Option<&mut String>,
+) -> u64 {
+    use std::fmt::Write as _;
+    let mut runs = 0u64;
+    for machine in machines {
+        // One interpreter per machine: its scratch tables (decode
+        // buffer, data memory, cache ways, predictor state) are
+        // allocated on the first run and only reset afterwards — this
+        // scenario times exactly the allocation-free steady state the
+        // alloc_audit suite pins.
+        let mut cpu = ct_sim::Cpu::new(machine);
+        for w in workloads {
+            for _ in 0..replays {
+                let s = cpu
+                    .run_silent(&w.program, &w.run_config)
+                    .expect("registry kernels run to completion");
+                runs += 1;
+                if let Some(out) = digest.as_deref_mut() {
+                    writeln!(
+                        out,
+                        "{};{};{};{};{};{};{};{};{};{};{};{:?}",
+                        machine.name,
+                        w.name,
+                        s.instructions,
+                        s.uops,
+                        s.cycles,
+                        s.taken_branches,
+                        s.mispredicts,
+                        s.bp_lookups,
+                        s.l1_hits,
+                        s.l2_hits,
+                        s.mem_accesses,
+                        s.result,
+                    )
+                    .expect("writing to a String never fails");
+                }
+            }
+        }
+    }
+    runs
+}
+
+fn scenario_sim_replay(opts: &HarnessOptions, log: &mut dyn FnMut(&str)) -> ScenarioResult {
+    let fixture = Fixture::probe();
+    // Probe: two replays of every machine × kernel pair on retained
+    // interpreters; the "response bytes" are every run's full summary
+    // (instruction/uop/cycle counts, predictor and cache counters,
+    // result register), so a single counter drifting anywhere in the
+    // interpreter core moves the hash. The audit pins that pure replay
+    // never triggers an instrumented reference collection.
+    const PROBE_REPLAYS: usize = 2;
+    let probe_config = vec![
+        ("grid", "kernels".to_string()),
+        ("replays", PROBE_REPLAYS.to_string()),
+        ("scale", PROBE_SCALE.to_string()),
+        ("threads", "1".to_string()),
+    ];
+    let audit = CollectionAudit::begin();
+    let mut digest = String::new();
+    let probe_runs = sim_replay_pass(
+        &fixture.machines,
+        &fixture.workloads,
+        PROBE_REPLAYS,
+        Some(&mut digest),
+    );
+    let determinism = Determinism {
+        response_hash: fnv1a(digest.as_bytes()),
+        reference_builds: audit.collections() as u64,
+        requests: probe_runs,
+    };
+
+    // Measurement: raw replay throughput of the interpreter core —
+    // runs per second over the same pairs, warm after the first lap.
+    let replays = if opts.smoke { PROBE_REPLAYS } else { 40 };
+    let measure_config = vec![
+        ("grid", "kernels".to_string()),
+        ("replays", replays.to_string()),
+        ("scale", PROBE_SCALE.to_string()),
+        ("threads", "1".to_string()),
+    ];
+    let wall = Instant::now();
+    let runs = sim_replay_pass(&fixture.machines, &fixture.workloads, replays, None);
+    let elapsed = wall.elapsed().as_secs_f64();
+    log(&format!(
+        "sim_replay: {runs} retained-CPU runs in {elapsed:.3} s ({:.1} runs/s)",
+        runs as f64 / elapsed.max(1e-9)
+    ));
+    ScenarioResult {
+        name: "sim_replay",
+        probe_config,
+        determinism,
+        measure_config,
+        measure: Measure {
+            requests: runs,
+            elapsed_s: elapsed,
+            throughput_rps: runs as f64 / elapsed.max(1e-9),
+            p50_ms: None,
+            p99_ms: None,
+            cache_hit_rate: None,
+            cache_hits: 0,
+            builds: 0,
+        },
+    }
+}
+
 /// Runs the full scenario matrix in order, logging one progress line per
 /// scenario through `log` (stderr in the binary, a sink in tests).
 #[must_use]
@@ -1057,6 +1170,7 @@ pub fn run_suite(opts: &HarnessOptions, log: &mut dyn FnMut(&str)) -> Vec<Scenar
         scenario_v2_loopback(opts, &shared_probe, log),
         scenario_mixed_tenant(opts, log),
         scenario_warm_start(opts, &shared_probe, log),
+        scenario_sim_replay(opts, log),
     ];
     assert_eq!(
         results[2].determinism.response_hash, results[3].determinism.response_hash,
@@ -1073,6 +1187,10 @@ pub fn run_suite(opts: &HarnessOptions, log: &mut dyn FnMut(&str)) -> Vec<Scenar
     assert_eq!(
         results[6].determinism.reference_builds, 0,
         "a warm restart must not re-run a single instrumented reference collection"
+    );
+    assert_eq!(
+        results[7].determinism.reference_builds, 0,
+        "pure interpreter replay must never trigger an instrumented collection"
     );
     results
 }

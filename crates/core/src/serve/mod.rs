@@ -378,15 +378,6 @@ impl Deserialize for EvalResponse {
 }
 
 impl EvalResponse {
-    fn ok(request: EvalRequest, stats: ErrorStats) -> Self {
-        Self {
-            request,
-            stats: Some(stats),
-            error: None,
-            latency: None,
-        }
-    }
-
     fn err(request: EvalRequest, error: String) -> Self {
         Self {
             request,
@@ -412,6 +403,40 @@ impl EvalResponse {
     #[must_use]
     pub fn is_ok(&self) -> bool {
         self.stats.is_some()
+    }
+}
+
+/// A response minus the request it answers: what the attach/evaluate
+/// stages actually compute. Slots hold bodies so the final in-order
+/// assembly can *move* each request out of the batch into its response —
+/// the echoed request is never cloned on the serve hot path.
+struct ResponseBody {
+    stats: Option<ErrorStats>,
+    error: Option<String>,
+}
+
+impl ResponseBody {
+    fn ok(stats: ErrorStats) -> Self {
+        Self {
+            stats: Some(stats),
+            error: None,
+        }
+    }
+
+    fn err(error: String) -> Self {
+        Self {
+            stats: None,
+            error: Some(error),
+        }
+    }
+
+    fn into_response(self, request: EvalRequest) -> EvalResponse {
+        EvalResponse {
+            request,
+            stats: self.stats,
+            error: self.error,
+            latency: None,
+        }
     }
 }
 
@@ -752,9 +777,10 @@ struct Batch {
     /// first-appearance order; each holds the indices of its member
     /// requests.
     shards: Vec<(PairKey, Vec<usize>)>,
-    /// One response slot per request, filled by the attach stage (build
-    /// failures) or the evaluate stage.
-    slots: Vec<Mutex<Option<EvalResponse>>>,
+    /// One response-body slot per request, filled by the attach stage
+    /// (build failures) or the evaluate stage; the request itself is
+    /// moved in during the final in-order assembly.
+    slots: Vec<Mutex<Option<ResponseBody>>>,
     /// One attachment per shard (`None` until attached, or on build
     /// failure — those members' slots already hold error responses).
     attachments: Vec<Option<Arc<PairParts>>>,
@@ -1198,9 +1224,7 @@ impl<'a> EvalService<'a> {
             batch.shards.iter().map(|_| Mutex::new(None)).collect();
         for_each_index(self.threads, batch.shards.len(), |s| {
             let (key, members) = &batch.shards[s];
-            if let Some(parts) =
-                self.attach_shard(*key, members, &batch.requests, &batch.slots)
-            {
+            if let Some(parts) = self.attach_shard(*key, members, &batch.slots) {
                 *attachments[s].lock().expect("no poisoned slots") = Some(parts);
             }
         });
@@ -1272,7 +1296,7 @@ impl<'a> EvalService<'a> {
                 };
                 let unresolved = resolution.is_err();
                 let mut response = match slot.into_inner().expect("no poisoned slots") {
-                    Some(response) => response,
+                    Some(body) => body.into_response(request),
                     None => {
                         let error =
                             resolution.err().expect("unfilled slots are unresolved");
@@ -1322,9 +1346,8 @@ impl<'a> EvalService<'a> {
     pub fn serve_jsonl(&self, requests: &[EvalRequest]) -> String {
         let mut out = String::new();
         for response in self.serve(requests) {
-            out.push_str(
-                &serde_json::to_string(&response).expect("responses always serialize"),
-            );
+            serde_json::to_string_into(&response, &mut out)
+                .expect("responses always serialize");
             out.push('\n');
         }
         out
@@ -1482,7 +1505,10 @@ impl<'a> EvalService<'a> {
             });
 
             // Stage 4 — evaluate and emit, on the calling thread, in
-            // stream order.
+            // stream order. One serialization buffer serves the whole
+            // stream: each response appends into it and it is flushed to
+            // the writer per line, so steady state allocates nothing.
+            let mut json = String::new();
             'emit: for chunk in built_rx {
                 stats.chunks += 1;
                 let mut responses = self.evaluate_batch(chunk.batch).into_iter();
@@ -1499,9 +1525,11 @@ impl<'a> EvalService<'a> {
                             EvalResponse::parse_err(error)
                         }
                     };
-                    let json = serde_json::to_string(&response)
+                    json.clear();
+                    serde_json::to_string_into(&response, &mut json)
                         .expect("responses always serialize");
-                    if let Err(e) = writeln!(writer, "{json}") {
+                    json.push('\n');
+                    if let Err(e) = writer.write_all(json.as_bytes()) {
                         io_result = Err(e);
                         break 'emit;
                     }
@@ -1572,14 +1600,13 @@ impl<'a> EvalService<'a> {
 
     /// Attaches one pair shard to its (cached or freshly built) pair
     /// state, recording per-request hit/build accounting. On build
-    /// failure, fills every member's slot with an error response and
+    /// failure, fills every member's slot with an error body and
     /// returns `None`.
     fn attach_shard(
         &self,
         key: PairKey,
         members: &[usize],
-        requests: &[EvalRequest],
-        slots: &[Mutex<Option<EvalResponse>>],
+        slots: &[Mutex<Option<ResponseBody>>],
     ) -> Option<Arc<PairParts>> {
         let catalog = self.registry.catalog(key.catalog);
         let machine = &catalog.machines[key.machine];
@@ -1606,10 +1633,8 @@ impl<'a> EvalService<'a> {
                 self.errors.fetch_add(members.len() as u64, Ordering::Relaxed);
                 tenant.errors.fetch_add(members.len() as u64, Ordering::Relaxed);
                 for &i in members {
-                    *slots[i].lock().expect("no poisoned slots") = Some(EvalResponse::err(
-                        requests[i].clone(),
-                        format!("reference collection failed: {e}"),
-                    ));
+                    *slots[i].lock().expect("no poisoned slots") =
+                        Some(ResponseBody::err(format!("reference collection failed: {e}")));
                 }
                 return None;
             }
@@ -1653,14 +1678,16 @@ impl<'a> EvalService<'a> {
         fp
     }
 
-    /// Evaluates one request against its shard's shared pair state.
+    /// Evaluates one request against its shard's shared pair state,
+    /// returning the response body (the request is moved in later, by
+    /// the in-order assembly — never cloned here).
     fn evaluate_request(
         &self,
         request: &EvalRequest,
         res: &Resolved,
         key: PairKey,
         parts: &PairParts,
-    ) -> EvalResponse {
+    ) -> ResponseBody {
         let catalog = self.registry.catalog(key.catalog);
         let machine = &catalog.machines[key.machine];
         let workload = &catalog.workloads[key.workload];
@@ -1670,11 +1697,11 @@ impl<'a> EvalService<'a> {
             .map(|r| request_seed(request.seed, r))
             .collect();
         match evaluate_method_with_seeds(&mut session, &res.instance, &res.label, &seeds) {
-            Ok(stats) => EvalResponse::ok(request.clone(), stats),
+            Ok(stats) => ResponseBody::ok(stats),
             Err(e) => {
                 self.errors.fetch_add(1, Ordering::Relaxed);
                 self.tenants[key.catalog].errors.fetch_add(1, Ordering::Relaxed);
-                EvalResponse::err(request.clone(), format!("evaluation failed: {e}"))
+                ResponseBody::err(format!("evaluation failed: {e}"))
             }
         }
     }

@@ -316,9 +316,15 @@ pub(crate) fn serve_v2(
     let mut ack_writer = stream;
     ack_writer.write_all(&V2_ACK)?;
     let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream.try_clone()?);
+    let mut writer = stream.try_clone()?;
     let chunk_size = options.chunk.max(1);
     let mut stats = PipelineStats::default();
+    // Reused across bursts: one JSON serialization buffer and one frame
+    // accumulation buffer, so the steady-state emit path allocates
+    // nothing and a burst of small RESP frames leaves in a single
+    // socket write instead of two per frame.
+    let mut json = String::new();
+    let mut burst_out: Vec<u8> = Vec::new();
     // Per-stream line numbers, so a malformed payload is reported as
     // "parse error on line N" with N counting that stream's lines —
     // byte-identical to the same lines arriving over their own v1
@@ -406,6 +412,7 @@ pub(crate) fn serve_v2(
             let mut batch = service.plan_batch(requests, parsed_at, options.fairness);
             service.attach_batch(&mut batch);
             let mut responses = service.evaluate_batch(batch).into_iter();
+            burst_out.clear();
             for item in layout {
                 stats.lines += 1;
                 let (stream_id, response) = match item {
@@ -420,14 +427,18 @@ pub(crate) fn serve_v2(
                     }
                     V2Item::Blank => continue,
                 };
-                let mut json = serde_json::to_string(&response)
+                json.clear();
+                serde_json::to_string_into(&response, &mut json)
                     .expect("responses always serialize");
                 json.push('\n');
-                write_frame(&mut writer, FrameKind::Resp, stream_id, json.as_bytes())?;
+                write_frame(&mut burst_out, FrameKind::Resp, stream_id, json.as_bytes())?;
                 stats.responses += 1;
             }
+            // The whole burst — same frame bytes in the same order —
+            // leaves in one write.
+            writer.write_all(&burst_out)?;
+            writer.flush()?;
         }
-        writer.flush()?;
     }
 
     if let Some(e) = protocol_error {
@@ -578,6 +589,49 @@ pub fn exchange_v2(addr: impl ToSocketAddrs, streams: &[String]) -> io::Result<V
     exchange_v2_with(addr, streams, Some(super::net::DEFAULT_EXCHANGE_TIMEOUT))
 }
 
+/// Request-writer coalescing threshold: at every round-robin round
+/// boundary, [`send_streams`] ships the accumulated frames once they
+/// exceed this many bytes. Small exchanges still leave as one write;
+/// large ones leave in bounded installments, so a slowly-draining
+/// server sees steady progress instead of one giant flush racing the
+/// socket write timeout at `BYE`.
+const SEND_COALESCE_BYTES: usize = 16 * 1024;
+
+/// Writes every stream's lines round-robin as `REQ` frames followed by
+/// one `BYE`, accumulating frames in a reusable buffer and shipping it
+/// at round boundaries once it passes `coalesce` bytes (and always at
+/// the end). The byte sequence on the wire is identical for every
+/// `coalesce` value — only the write granularity changes.
+fn send_streams<W: Write>(
+    writer: &mut W,
+    streams: &[String],
+    coalesce: usize,
+) -> io::Result<()> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut cursors: Vec<std::str::Lines<'_>> = streams.iter().map(|s| s.lines()).collect();
+    // Round-robin across streams: one line from each stream per turn —
+    // genuine interleaving on the wire.
+    let mut remaining = cursors.len();
+    while remaining > 0 {
+        remaining = 0;
+        for (id, cursor) in cursors.iter_mut().enumerate() {
+            if let Some(line) = cursor.next() {
+                #[allow(clippy::cast_possible_truncation)]
+                write_frame(&mut buf, FrameKind::Req, id as u32, line.as_bytes())?;
+                remaining += 1;
+            }
+        }
+        if buf.len() >= coalesce {
+            writer.write_all(&buf)?;
+            writer.flush()?;
+            buf.clear();
+        }
+    }
+    write_frame(&mut buf, FrameKind::Bye, 0, &[])?;
+    writer.write_all(&buf)?;
+    writer.flush()
+}
+
 /// [`exchange_v2`] with an explicit socket timeout (`None` waits
 /// forever).
 ///
@@ -615,24 +669,8 @@ pub fn exchange_v2_with(
     let mut buffers: Vec<String> = vec![String::new(); streams.len()];
     std::thread::scope(|scope| -> io::Result<()> {
         let sender = scope.spawn(move || -> io::Result<()> {
-            let mut writer = BufWriter::new(write_half);
-            let mut cursors: Vec<std::str::Lines<'_>> =
-                streams.iter().map(|s| s.lines()).collect();
-            // Round-robin across streams: one line from each stream per
-            // turn — genuine interleaving on the wire.
-            let mut remaining = cursors.len();
-            while remaining > 0 {
-                remaining = 0;
-                for (id, cursor) in cursors.iter_mut().enumerate() {
-                    if let Some(line) = cursor.next() {
-                        #[allow(clippy::cast_possible_truncation)]
-                        write_frame(&mut writer, FrameKind::Req, id as u32, line.as_bytes())?;
-                        remaining += 1;
-                    }
-                }
-            }
-            write_frame(&mut writer, FrameKind::Bye, 0, &[])?;
-            writer.flush()
+            let mut writer = write_half;
+            send_streams(&mut writer, streams, SEND_COALESCE_BYTES)
         });
 
         let mut reader = BufReader::new(&stream);
@@ -760,5 +798,114 @@ mod tests {
         assert_eq!(V2_PREAMBLE.len(), 8);
         assert_eq!(V2_ACK.len(), 8);
         assert_ne!(V2_PREAMBLE, V2_ACK);
+    }
+
+    /// Records every `write`/`flush` the sender issues, so tests can pin
+    /// the coalescing cadence.
+    struct RecordingWriter {
+        writes: Vec<usize>,
+        flushes: usize,
+        bytes: Vec<u8>,
+    }
+
+    impl RecordingWriter {
+        fn new() -> Self {
+            Self {
+                writes: Vec::new(),
+                flushes: 0,
+                bytes: Vec::new(),
+            }
+        }
+    }
+
+    impl Write for RecordingWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.writes.push(buf.len());
+            self.bytes.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            self.flushes += 1;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn sender_coalesces_at_round_boundaries() {
+        // 3 streams × 40 lines of ~64 bytes: each round accumulates
+        // ~220 bytes of frames, so a 1 KiB threshold ships roughly
+        // every 5 rounds instead of once at BYE.
+        let line = "x".repeat(64);
+        let streams: Vec<String> = (0..3)
+            .map(|_| format!("{}\n", vec![line.clone(); 40].join("\n")))
+            .collect();
+        let mut recorder = RecordingWriter::new();
+        send_streams(&mut recorder, &streams, 1024).unwrap();
+        assert!(
+            recorder.writes.len() > 3,
+            "a large exchange must leave in installments, got {} writes",
+            recorder.writes.len()
+        );
+        assert_eq!(recorder.flushes, recorder.writes.len(), "one flush per installment");
+        // Nothing stranded: every installment except the last already
+        // passed the threshold when it shipped.
+        for &w in &recorder.writes[..recorder.writes.len() - 1] {
+            assert!(w >= 1024, "installment of {w} bytes shipped early");
+        }
+        // And the wire bytes are identical to a single-shot send.
+        let mut single = RecordingWriter::new();
+        send_streams(&mut single, &streams, usize::MAX).unwrap();
+        assert_eq!(single.writes.len(), 1, "usize::MAX threshold means one write");
+        assert_eq!(recorder.bytes, single.bytes, "coalescing never changes the bytes");
+    }
+
+    #[test]
+    fn small_exchanges_still_leave_as_one_write() {
+        let streams = vec!["{\"a\":1}\n".to_string(), "{\"b\":2}\n".to_string()];
+        let mut recorder = RecordingWriter::new();
+        send_streams(&mut recorder, &streams, SEND_COALESCE_BYTES).unwrap();
+        assert_eq!(recorder.writes.len(), 1, "requests + BYE in one write");
+        assert_eq!(recorder.flushes, 1);
+    }
+
+    #[test]
+    fn never_reading_server_times_out_instead_of_hanging() {
+        // A server that accepts and never reads: once the socket
+        // buffers fill, the sender's bounded installments hit the write
+        // timeout instead of blocking forever on one giant flush.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+        let hold = std::thread::spawn(move || {
+            let (socket, _) = listener.accept().unwrap();
+            // Keep the connection open, unread, until the client is done.
+            let _ = done_rx.recv();
+            drop(socket);
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_write_timeout(Some(Duration::from_millis(200)))
+            .unwrap();
+        // ~8 MiB of frames: far beyond any default socket buffer.
+        let big = format!("{}\n", vec!["y".repeat(1024); 8192].join("\n"));
+        let streams = vec![big];
+        let started = Instant::now();
+        let err = send_streams(&mut stream, &streams, SEND_COALESCE_BYTES).unwrap_err();
+        assert!(
+            matches!(
+                err.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ),
+            "expected a write timeout, got: {err}"
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(4),
+            "sender must fail fast, took {:?}",
+            started.elapsed()
+        );
+        drop(stream);
+        done_tx.send(()).unwrap();
+        hold.join().unwrap();
     }
 }

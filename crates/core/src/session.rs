@@ -45,6 +45,11 @@ pub struct Session<'a> {
     run_config: RunConfig,
     reference: Option<Arc<ReferenceProfile>>,
     reference_summary: Option<RunSummary>,
+    /// Retained interpreter: its scratch tables (decoded program, data
+    /// memory, call stack, predictor and cache state) are allocated on the
+    /// first [`Session::run_method`] call and reset — not reallocated —
+    /// on every subsequent method × seed replay.
+    cpu: Cpu<'a>,
 }
 
 impl<'a> Session<'a> {
@@ -116,6 +121,7 @@ impl<'a> Session<'a> {
             run_config,
             reference,
             reference_summary: None,
+            cpu: Cpu::new(machine),
         }
     }
 
@@ -173,7 +179,8 @@ impl<'a> Session<'a> {
         config.seed = seed;
         let mut sampler = Sampler::new(self.machine, &config)?;
         let nominal = sampler.nominal_period();
-        Cpu::new(self.machine).run(self.program, &self.run_config, &mut [&mut sampler])?;
+        self.cpu
+            .run_observed(self.program, &self.run_config, &mut sampler)?;
         let stats = sampler.stats();
         let batch = sampler.into_batch();
         let bb_mass = attrib::attribute(&batch, &self.cfg, method.attribution, nominal);

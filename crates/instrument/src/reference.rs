@@ -3,7 +3,7 @@
 use crate::bbcount::BbCounter;
 use crate::callgraph::CallGraphObserver;
 use ct_isa::{Cfg, Program};
-use ct_sim::{Cpu, MachineModel, RunConfig, RunSummary, SimError};
+use ct_sim::{Cpu, MachineModel, RetireEvent, RetireObserver, RunConfig, RunSummary, SimError};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -96,7 +96,26 @@ impl ReferenceProfile {
         COLLECTIONS.fetch_add(1, Ordering::Relaxed);
         let mut bb = BbCounter::new(cfg);
         let mut cg = CallGraphObserver::new(program);
-        let summary = Cpu::new(machine).run(program, config, &mut [&mut bb, &mut cg])?;
+        // Fuse the two instrumentation observers into one statically-typed
+        // sink so both inline into the dispatch loop (a dyn-slice run would
+        // pay two virtual calls per retired instruction).
+        struct BothObservers<'a>(&'a mut BbCounter, &'a mut CallGraphObserver);
+        impl RetireObserver for BothObservers<'_> {
+            #[inline]
+            fn on_retire(&mut self, ev: &RetireEvent) {
+                self.0.on_retire(ev);
+                self.1.on_retire(ev);
+            }
+            fn on_finish(&mut self, final_cycle: u64) {
+                self.0.on_finish(final_cycle);
+                self.1.on_finish(final_cycle);
+            }
+        }
+        let summary = Cpu::new(machine).run_observed(
+            program,
+            config,
+            &mut BothObservers(&mut bb, &mut cg),
+        )?;
         Ok((
             Self {
                 bb_instructions: bb.instruction_counts().to_vec(),

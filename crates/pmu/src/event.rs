@@ -36,6 +36,7 @@ pub enum PmuEvent {
 impl PmuEvent {
     /// How much this event increments for a given retired instruction.
     #[must_use]
+    #[inline]
     pub fn increment(self, ev: &RetireEvent) -> u64 {
         match self {
             PmuEvent::InstRetiredAny

@@ -90,6 +90,7 @@ impl LbrStack {
 
     /// Feeds one retired instruction; records it when it is a taken
     /// transfer admitted by the filter.
+    #[inline]
     pub fn observe(&mut self, ev: &RetireEvent) {
         if self.depth == 0 {
             return;

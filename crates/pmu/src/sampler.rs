@@ -254,6 +254,7 @@ impl Sampler {
     /// Step 1: resolve any in-flight capture against the current event
     /// (before the LBR sees it, so frozen snapshots end at the last branch
     /// *before* the reported instruction — what the IP+1 fix needs).
+    #[inline]
     fn resolve_pending(&mut self, ev: &RetireEvent) {
         match self.state {
             CaptureState::Idle => {}
@@ -292,6 +293,7 @@ impl Sampler {
     }
 
     /// Step 3: count the event and handle overflow.
+    #[inline]
     fn count_and_overflow(&mut self, ev: &RetireEvent) {
         let inc = self.event.increment(ev);
         if inc == 0 {
@@ -364,6 +366,10 @@ impl Sampler {
 }
 
 impl RetireObserver for Sampler {
+    // The serving layer runs this once per retired instruction through
+    // `Cpu::run_observed`; the hint lets the whole per-event path inline
+    // into the dispatch loop across the crate boundary.
+    #[inline]
     fn on_retire(&mut self, ev: &RetireEvent) {
         if ev.cycle != self.last_cycle {
             self.cycle_head = (ev.addr, ev.seq);

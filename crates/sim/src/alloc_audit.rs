@@ -1,0 +1,71 @@
+//! Test-only counting global allocator (feature `alloc_audit`).
+//!
+//! Enabling the feature installs a [`GlobalAlloc`] that forwards to the
+//! system allocator while counting every allocation event, so a test
+//! can prove a hot path allocation-free: snapshot the counters, run the
+//! steady state, and assert the delta. The counters are process-global
+//! and monotonic — audits of concurrent code should measure the whole
+//! process and reason in per-unit-of-work bounds.
+//!
+//! Never enable this feature in a benchmarking or production build: the
+//! two atomic increments per allocation are cheap but not free, and the
+//! point of the audited hot paths is that they do not allocate at all.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Forwards to [`System`], counting allocation events (`alloc` and
+/// growth-side `realloc`) and bytes requested.
+pub struct CountingAllocator;
+
+// SAFETY: defers entirely to the system allocator; the counters are
+// plain relaxed atomics with no allocation of their own.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTING: CountingAllocator = CountingAllocator;
+
+/// A point-in-time reading of the process-global allocation counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocSnapshot {
+    /// Allocation events (calls to `alloc` plus reallocations) so far.
+    pub allocations: u64,
+    /// Total bytes requested by those events.
+    pub bytes: u64,
+}
+
+impl AllocSnapshot {
+    /// Reads the current counters.
+    #[must_use]
+    pub fn now() -> Self {
+        Self {
+            allocations: ALLOCATIONS.load(Ordering::Relaxed),
+            bytes: ALLOCATED_BYTES.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Allocation events since `earlier`.
+    #[must_use]
+    pub fn allocations_since(&self, earlier: &Self) -> u64 {
+        self.allocations - earlier.allocations
+    }
+}

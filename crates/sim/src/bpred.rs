@@ -41,6 +41,16 @@ impl BranchPredictor {
         }
     }
 
+    /// Restores the initial state (weakly-not-taken counters, cleared
+    /// targets, zero counters) without reallocating the tables — the
+    /// replay loop's per-run reset.
+    pub fn reset(&mut self) {
+        self.counters.fill(1);
+        self.targets.fill(0);
+        self.lookups = 0;
+        self.mispredicts = 0;
+    }
+
     fn slot(addr: Addr) -> usize {
         // Multiplicative hash spreads loop bodies across the table.
         ((addr as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (64 - TABLE_BITS as u32)) as usize
@@ -48,6 +58,7 @@ impl BranchPredictor {
 
     /// Records a conditional-branch outcome; returns `true` when the
     /// prediction was wrong.
+    #[inline]
     pub fn predict_conditional(&mut self, addr: Addr, taken: bool) -> bool {
         self.lookups += 1;
         let c = &mut self.counters[Self::slot(addr)];
@@ -64,6 +75,7 @@ impl BranchPredictor {
 
     /// Records an indirect jump/call resolution; returns `true` on target
     /// mispredict.
+    #[inline]
     pub fn predict_indirect(&mut self, addr: Addr, target: Addr) -> bool {
         self.lookups += 1;
         let t = &mut self.targets[Self::slot(addr)];
@@ -119,6 +131,28 @@ mod tests {
         assert!(!p.predict_indirect(7, 1000));
         assert!(p.predict_indirect(7, 2000), "target change mispredicts");
         assert!(!p.predict_indirect(7, 2000));
+    }
+
+    #[test]
+    fn reset_matches_a_fresh_predictor() {
+        let mut reused = BranchPredictor::new();
+        for i in 0..200 {
+            reused.predict_conditional(i * 3, i % 3 == 0);
+            reused.predict_indirect(i * 7, i);
+        }
+        reused.reset();
+        let mut fresh = BranchPredictor::new();
+        for i in 0..100 {
+            assert_eq!(
+                reused.predict_conditional(i * 5, i % 2 == 0),
+                fresh.predict_conditional(i * 5, i % 2 == 0)
+            );
+            assert_eq!(
+                reused.predict_indirect(i * 11, i * 2),
+                fresh.predict_indirect(i * 11, i * 2)
+            );
+        }
+        assert_eq!(reused.stats(), fresh.stats());
     }
 
     #[test]

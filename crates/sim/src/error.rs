@@ -16,6 +16,16 @@ pub enum SimError {
     CallStackOverflow { pc: Addr, depth: usize },
     /// An indirect call landed on an address that is not a function entry.
     IndirectCallNotFunction { pc: Addr, target: Addr },
+    /// A machine's cache geometry cannot be modeled: the line size must
+    /// be a power of two, each level's word count a nonzero multiple of
+    /// it, and the ways must divide the lines into a power-of-two number
+    /// of sets (with `ways <= lines`).
+    BadCacheGeometry {
+        level: &'static str,
+        words: usize,
+        ways: usize,
+        line_words: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -37,6 +47,19 @@ impl fmt::Display for SimError {
                 write!(
                     f,
                     "pc {pc}: indirect call target {target} is not a function entry"
+                )
+            }
+            SimError::BadCacheGeometry {
+                level,
+                words,
+                ways,
+                line_words,
+            } => {
+                write!(
+                    f,
+                    "{level} cache geometry is degenerate ({words} words, {ways} ways, \
+                     {line_words}-word lines): line size must be a power of two dividing \
+                     the level size, with ways <= lines and a power-of-two set count"
                 )
             }
         }

@@ -71,6 +71,9 @@ pub struct RunSummary {
     pub cycles: u64,
     pub taken_branches: u64,
     pub mispredicts: u64,
+    /// Branch-predictor lookups (conditional + indirect resolutions) —
+    /// the denominator for `mispredicts`.
+    pub bp_lookups: u64,
     pub l1_hits: u64,
     pub l2_hits: u64,
     pub mem_accesses: u64,
@@ -92,8 +95,33 @@ impl RunSummary {
 }
 
 /// The simulated CPU for one machine model.
+///
+/// A `Cpu` owns reusable run state (`SimScratch`): the decoded
+/// instruction table, the flat data memory, the call stack, the branch
+/// predictor tables and the cache tag/stamp arrays are allocated once and
+/// *reset* at the start of every [`Cpu::run`]. Replaying `runs ×
+/// workloads` on a retained `Cpu` therefore performs zero steady-state
+/// heap allocations (pinned by the `alloc_audit` test tier); one-shot
+/// `Cpu::new(&m).run(..)` callers pay exactly the old per-run cost.
 pub struct Cpu<'m> {
     machine: &'m MachineModel,
+    scratch: SimScratch,
+}
+
+/// Run-to-run reusable interpreter state. Every container is cleared or
+/// refilled — never re-`vec!`'d — between runs; capacities ratchet up to
+/// the largest program replayed and stay there.
+struct SimScratch {
+    /// Flat data memory, resized (within retained capacity) to the
+    /// program's data segment each run.
+    mem: Vec<i64>,
+    call_stack: Vec<Addr>,
+    /// Predecoded instruction table, rebuilt in place each run.
+    decoded: Vec<Decoded>,
+    /// Built lazily on first run (construction validates the machine's
+    /// cache geometry, which can fail); reset on every later run.
+    cache: Option<CacheModel>,
+    bpred: BranchPredictor,
 }
 
 /// One statically-decoded instruction: opcode plus every per-step
@@ -116,11 +144,77 @@ struct Decoded {
     latency: u32,
 }
 
+/// Internal observer-set abstraction for the dispatch loop.
+///
+/// [`Cpu::run`] takes `&mut [&mut dyn RetireObserver]`, which forces a
+/// virtual call per *retired instruction* — the sampler's whole
+/// per-event path (pending-capture resolution, LBR shift, period
+/// countdown) hides behind it and can never inline. Monomorphizing the
+/// loop over this sink instead lets the single-observer entry points
+/// ([`Cpu::run_observed`], [`Cpu::run_silent`]) compile the observer
+/// body straight into the interpreter. Semantics are identical across
+/// all sinks: same events, same order, same `on_finish` timing.
+trait RetireSink {
+    fn retire(&mut self, ev: &RetireEvent);
+    fn finish(&mut self, final_cycle: u64);
+}
+
+/// No observers: the sink compiles away entirely (pure replay).
+struct NoSink;
+
+impl RetireSink for NoSink {
+    #[inline(always)]
+    fn retire(&mut self, _ev: &RetireEvent) {}
+    #[inline(always)]
+    fn finish(&mut self, _final_cycle: u64) {}
+}
+
+/// Exactly one observer, statically typed — the hot-path sink.
+struct OneSink<'a, O: RetireObserver + ?Sized>(&'a mut O);
+
+impl<O: RetireObserver + ?Sized> RetireSink for OneSink<'_, O> {
+    #[inline(always)]
+    fn retire(&mut self, ev: &RetireEvent) {
+        self.0.on_retire(ev);
+    }
+    #[inline(always)]
+    fn finish(&mut self, final_cycle: u64) {
+        self.0.on_finish(final_cycle);
+    }
+}
+
+/// Arbitrary observer set behind dyn dispatch (the [`Cpu::run`] API).
+struct SliceSink<'a, 'b>(&'a mut [&'b mut dyn RetireObserver]);
+
+impl RetireSink for SliceSink<'_, '_> {
+    #[inline]
+    fn retire(&mut self, ev: &RetireEvent) {
+        for obs in self.0.iter_mut() {
+            obs.on_retire(ev);
+        }
+    }
+    #[inline]
+    fn finish(&mut self, final_cycle: u64) {
+        for obs in self.0.iter_mut() {
+            obs.on_finish(final_cycle);
+        }
+    }
+}
+
 impl<'m> Cpu<'m> {
     /// Creates a CPU implementing `machine`.
     #[must_use]
     pub fn new(machine: &'m MachineModel) -> Self {
-        Self { machine }
+        Self {
+            machine,
+            scratch: SimScratch {
+                mem: Vec::new(),
+                call_stack: Vec::with_capacity(64),
+                decoded: Vec::new(),
+                cache: None,
+                bpred: BranchPredictor::new(),
+            },
+        }
     }
 
     /// The machine model this CPU implements.
@@ -131,44 +225,95 @@ impl<'m> Cpu<'m> {
 
     /// Runs `program` to completion, publishing every retired instruction
     /// to `observers` in order.
+    ///
+    /// Every run starts from the identical architectural cold state
+    /// (cleared memory, empty call stack, invalid cache ways,
+    /// weakly-not-taken predictor), so results do not depend on what the
+    /// retained scratch ran before — a reused `Cpu` is bit-identical to a
+    /// fresh one.
     pub fn run(
-        &self,
+        &mut self,
         program: &Program,
         config: &RunConfig,
         observers: &mut [&mut dyn RetireObserver],
     ) -> Result<RunSummary, SimError> {
+        self.run_sink(program, config, &mut SliceSink(observers))
+    }
+
+    /// Like [`Cpu::run`] with exactly one observer, monomorphized over
+    /// its concrete type: the observer's `on_retire` inlines into the
+    /// dispatch loop instead of paying a virtual call per retired
+    /// instruction. The serving layer runs its PMU sampler through
+    /// this entry point.
+    pub fn run_observed<O: RetireObserver + ?Sized>(
+        &mut self,
+        program: &Program,
+        config: &RunConfig,
+        observer: &mut O,
+    ) -> Result<RunSummary, SimError> {
+        self.run_sink(program, config, &mut OneSink(observer))
+    }
+
+    /// Like [`Cpu::run`] with no observers at all: the event stream is
+    /// not materialized for anyone, leaving the pure interpreter +
+    /// timing model (the `sim_replay` bench scenario measures this).
+    pub fn run_silent(
+        &mut self,
+        program: &Program,
+        config: &RunConfig,
+    ) -> Result<RunSummary, SimError> {
+        self.run_sink(program, config, &mut NoSink)
+    }
+
+    fn run_sink<S: RetireSink>(
+        &mut self,
+        program: &Program,
+        config: &RunConfig,
+        sink: &mut S,
+    ) -> Result<RunSummary, SimError> {
         let m = self.machine;
+        let SimScratch {
+            mem,
+            call_stack,
+            decoded,
+            cache: cache_slot,
+            bpred,
+        } = &mut self.scratch;
         let mut regs = [0i64; ct_isa::reg::NUM_REGS];
         let mut fregs = [0f64; ct_isa::reg::NUM_FREGS];
         for (i, &a) in config.args.iter().enumerate().take(5) {
             regs[i + 1] = a;
         }
-        let mut mem = vec![0i64; program.data_words];
+        mem.clear();
+        mem.resize(program.data_words, 0);
         for &(idx, v) in &program.init_data {
             if idx < mem.len() {
                 mem[idx] = v;
             }
         }
-        let mut call_stack: Vec<Addr> = Vec::with_capacity(64);
-        let mut cache = CacheModel::new(m.cache);
-        let mut bpred = BranchPredictor::new();
+        call_stack.clear();
+        let cache = match cache_slot {
+            Some(c) => {
+                c.reset();
+                c
+            }
+            None => cache_slot.insert(CacheModel::new(m.cache)?),
+        };
+        bpred.reset();
 
         // Predecode: amortize the per-step class/uops/latency matches over
         // the whole run (see [`Decoded`]). Indexing parallels the program,
         // so `decoded[pc]` is exactly `fetch(pc)` plus its attributes.
-        let decoded: Vec<Decoded> = program
-            .insns
-            .iter()
-            .map(|insn| {
-                let class = insn.class();
-                Decoded {
-                    op: insn.op,
-                    class,
-                    uops: insn.uops(),
-                    latency: m.class_latency(class),
-                }
-            })
-            .collect();
+        decoded.clear();
+        decoded.extend(program.insns.iter().map(|insn| {
+            let class = insn.class();
+            Decoded {
+                op: insn.op,
+                class,
+                uops: insn.uops(),
+                latency: m.class_latency(class),
+            }
+        }));
 
         let mut pc: Addr = program.entry;
         let mut cycle: u64 = 0;
@@ -388,9 +533,7 @@ impl<'m> Cpu<'m> {
                     );
                     instructions += 1;
                     uops += u64::from(insn.uops);
-                    for obs in observers.iter_mut() {
-                        obs.on_retire(&ev);
-                    }
+                    sink.retire(&ev);
                     break StopReason::Halted;
                 }
             }
@@ -413,20 +556,16 @@ impl<'m> Cpu<'m> {
             uops += u64::from(insn.uops);
             taken_branches += u64::from(taken_target.is_some());
             mispredicts += u64::from(mispredicted);
-            for obs in observers.iter_mut() {
-                obs.on_retire(&ev);
-            }
+            sink.retire(&ev);
             if mispredicted {
                 pending_bubble = u64::from(m.mispredict_penalty);
             }
             pc = next_pc;
         };
 
-        for obs in observers.iter_mut() {
-            obs.on_finish(cycle);
-        }
+        sink.finish(cycle);
         let (l1_hits, l2_hits, mem_accesses) = cache.stats();
-        let (_, bp_miss) = bpred.stats();
+        let (bp_lookups, bp_miss) = bpred.stats();
         debug_assert_eq!(bp_miss, mispredicts);
         Ok(RunSummary {
             instructions,
@@ -434,6 +573,7 @@ impl<'m> Cpu<'m> {
             cycles: cycle + 1,
             taken_branches,
             mispredicts,
+            bp_lookups,
             l1_hits,
             l2_hits,
             mem_accesses,
@@ -490,14 +630,16 @@ impl<'m> Cpu<'m> {
     }
 }
 
-/// Runs with a single observer (convenience wrapper over [`Cpu::run`]).
-pub fn run_with(
+/// Runs with a single observer (convenience wrapper over
+/// [`Cpu::run_observed`] — statically typed observers inline into the
+/// dispatch loop; `&mut dyn RetireObserver` still works).
+pub fn run_with<O: RetireObserver + ?Sized>(
     machine: &MachineModel,
     program: &Program,
     config: &RunConfig,
-    observer: &mut dyn RetireObserver,
+    observer: &mut O,
 ) -> Result<RunSummary, SimError> {
-    Cpu::new(machine).run(program, config, &mut [observer])
+    Cpu::new(machine).run_observed(program, config, observer)
 }
 
 #[cfg(test)]
@@ -895,6 +1037,70 @@ mod tests {
         let a = run(src);
         let b = run(src);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reused_cpu_is_bit_identical_to_fresh_runs() {
+        // Two programs with different data-segment sizes, call depths and
+        // branch patterns, interleaved on ONE retained Cpu: every summary
+        // must match a fresh single-use run, proving the scratch reset
+        // leaves no state behind (and handles shrinking/growing memory).
+        let a = assemble(
+            "a",
+            r#"
+            .data 64
+            .func main
+                movi r1, 500
+                movi r2, 7
+            top:
+                rem r3, r1, r2
+                store r3, [r3+0]
+                load r4, [r3+0]
+                subi r1, r1, 1
+                brnz r1, top
+                halt
+            .endfunc
+        "#,
+        )
+        .unwrap();
+        let b = assemble(
+            "b",
+            r#"
+            .data 8
+            .func main
+                movi r1, 40
+            top:
+                call bump
+                subi r1, r1, 1
+                brnz r1, top
+                halt
+            .endfunc
+            .func bump
+                addi r0, r0, 3
+                ret
+            .endfunc
+        "#,
+        )
+        .unwrap();
+        let m = MachineModel::westmere();
+        let cfg = RunConfig::default();
+        let mut cpu = Cpu::new(&m);
+        for _ in 0..3 {
+            for p in [&a, &b] {
+                let reused = cpu.run(p, &cfg, &mut [&mut NullObserver]).unwrap();
+                let fresh = run_with(&m, p, &cfg, &mut NullObserver).unwrap();
+                assert_eq!(reused, fresh);
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_cache_geometry_fails_the_run() {
+        let p = assemble("t", ".func main\n halt\n.endfunc\n").unwrap();
+        let mut m = MachineModel::ivy_bridge();
+        m.cache.l1_ways = m.cache.l1_words; // ways > lines
+        let err = run_with(&m, &p, &RunConfig::default(), &mut NullObserver).unwrap_err();
+        assert!(matches!(err, SimError::BadCacheGeometry { level: "L1", .. }));
     }
 
     #[test]

@@ -56,6 +56,8 @@
 
 #![deny(rustdoc::broken_intra_doc_links)]
 
+#[cfg(feature = "alloc_audit")]
+pub mod alloc_audit;
 pub mod bpred;
 pub mod cache;
 pub mod error;

@@ -90,6 +90,43 @@ impl Default for CacheConfig {
     }
 }
 
+impl CacheConfig {
+    /// Checks that both levels describe a modelable geometry: a
+    /// power-of-two line size, each level's word count a nonzero multiple
+    /// of it, at least one way, no more ways than lines, and a
+    /// power-of-two set count (`lines / ways`) so the cache model can
+    /// mask set indices instead of dividing. Degenerate geometries used
+    /// to be silently clamped (`max(1)`) into a mis-sized set array; now
+    /// they are a typed [`SimError`](crate::error::SimError).
+    pub fn validate(&self) -> Result<(), crate::error::SimError> {
+        for (level, words, ways) in [
+            ("L1", self.l1_words, self.l1_ways),
+            ("L2", self.l2_words, self.l2_ways),
+        ] {
+            let bad = || crate::error::SimError::BadCacheGeometry {
+                level,
+                words,
+                ways,
+                line_words: self.line_words,
+            };
+            if self.line_words == 0 || !self.line_words.is_power_of_two() {
+                return Err(bad());
+            }
+            if words == 0 || words % self.line_words != 0 {
+                return Err(bad());
+            }
+            let lines = words / self.line_words;
+            if ways == 0 || ways > lines || lines % ways != 0 {
+                return Err(bad());
+            }
+            if !(lines / ways).is_power_of_two() {
+                return Err(bad());
+            }
+        }
+        Ok(())
+    }
+}
+
 /// PMU capabilities of a machine, consumed by `ct-pmu` and the method
 /// registry in `countertrust`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]

@@ -37,6 +37,16 @@ pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     Ok(out)
 }
 
+/// Serializes a value as compact JSON *appended* to `out`, reusing the
+/// buffer's existing capacity. The caller owns clearing: a serve loop
+/// keeps one `String` per worker and emits many responses through it
+/// without a per-response allocation. Produces exactly the bytes
+/// [`to_string`] would.
+pub fn to_string_into<T: Serialize + ?Sized>(value: &T, out: &mut String) -> Result<(), Error> {
+    write_value(out, &value.to_value(), None, 0);
+    Ok(())
+}
+
 /// Serializes a value to pretty JSON (2-space indentation).
 pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
@@ -402,5 +412,22 @@ mod tests {
         assert!(parse("{").is_err());
         assert!(parse("[1,]").is_err());
         assert!(parse("12 34").is_err());
+    }
+
+    #[test]
+    fn to_string_into_appends_the_compact_encoding() {
+        let v = Value::Map(vec![
+            ("a".into(), Value::Int(3)),
+            ("b".into(), Value::Seq(vec![Value::Bool(true), Value::Null])),
+        ]);
+        let mut buf = String::from("prefix:");
+        to_string_into(&v, &mut buf).unwrap();
+        assert_eq!(buf, format!("prefix:{}", to_string(&v).unwrap()));
+        // Reuse without reallocation: clear keeps capacity.
+        let cap = buf.capacity();
+        buf.clear();
+        to_string_into(&v, &mut buf).unwrap();
+        assert_eq!(buf, to_string(&v).unwrap());
+        assert_eq!(buf.capacity(), cap);
     }
 }
