@@ -8,7 +8,7 @@
 //!     --compare-files BASELINE NEW
 //! ```
 //!
-//! * default — full measurement run; writes `BENCH_8.json` in the
+//! * default — full measurement run; writes the tracked `BENCH_<n>.json` in the
 //!   current directory (override with `--out`).
 //! * `--smoke` — identical determinism probes, miniature measurements;
 //!   what CI runs on every push.

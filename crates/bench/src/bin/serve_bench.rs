@@ -10,8 +10,19 @@
 //!     [--capacity N] [--quota N] [--fairness fcfs|weighted] [--runs N] \
 //!     [--scale F] [--seed N] [--threads N] [--record-latency] \
 //!     [--listen ADDR] [--connect ADDR|self] [--connections N] \
-//!     [--proto v1|v2] [--snapshot-dir DIR] [--smoke]
+//!     [--proto v1|v2] [--snapshot-dir DIR] [--workload-dir DIR] [--smoke]
 //! ```
+//!
+//! `--workload-dir DIR` swaps the compiled-in workload catalog for one
+//! compiled at startup from a directory of `.ctasm` + manifest pairs
+//! (`countertrust` loads it through `ct_workloads::loader`, the same
+//! path the registry's embedded built-ins take). Every downstream knob —
+//! stream generation, smoke replicas, network modes — then serves that
+//! catalog, so `--smoke --workload-dir crates/workloads/programs` must
+//! produce stdout byte-identical to plain `--smoke`: the CI proof that a
+//! data catalog served from disk answers exactly like the compiled-in
+//! one. A malformed directory is rejected with the loader's typed error
+//! before any request is generated.
 //!
 //! `--snapshot-dir DIR` backs the reference-profile cache with the
 //! on-disk snapshot store (`countertrust::store`): cold builds write
@@ -122,6 +133,9 @@ struct ServeCli {
     /// Snapshot-store directory backing the profile cache
     /// (`countertrust::store`); `None` = no persistence.
     snapshot_dir: Option<String>,
+    /// Directory of `.ctasm` + manifest pairs replacing the compiled-in
+    /// workload catalog; `None` = serve the registry built-ins.
+    workload_dir: Option<String>,
     smoke: bool,
 }
 
@@ -177,6 +191,7 @@ fn parse(args: &[String]) -> ServeCli {
         connections: 4,
         proto_v2: false,
         snapshot_dir: None,
+        workload_dir: None,
         smoke: false,
     };
     let mut i = 0;
@@ -311,6 +326,11 @@ fn parse(args: &[String]) -> ServeCli {
                     cli.snapshot_dir = Some(v.clone());
                 }
             }
+            "--workload-dir" => {
+                if let Some(v) = take(&mut i) {
+                    cli.workload_dir = Some(v.clone());
+                }
+            }
             "--smoke" => cli.smoke = true,
             _ => {}
         }
@@ -334,7 +354,7 @@ fn build_service<'a>(
     capacity: usize,
     admission: AdmissionPolicy,
     quota: usize,
-) -> EvalService<'a> {
+) -> EvalService {
     let catalog = || Catalog::new(machines, specs).method_options(opts.clone());
     let mut registry = CatalogRegistry::new(catalog());
     if pattern.is_multi_tenant() {
@@ -351,7 +371,7 @@ fn build_service<'a>(
 /// per-request wall-clock latencies (each request's latency is its
 /// batch's completion time — requests complete when their batch does).
 fn drive(
-    service: &EvalService<'_>,
+    service: &EvalService,
     requests: &[EvalRequest],
     batch: usize,
 ) -> (String, Vec<f64>) {
@@ -370,7 +390,7 @@ fn drive(
 /// serialized to its JSON-lines wire form and read back incrementally,
 /// exactly as a network intake would deliver it.
 fn drive_pipelined(
-    service: &EvalService<'_>,
+    service: &EvalService,
     requests: &[EvalRequest],
     options: &PipelineOptions,
 ) -> String {
@@ -395,7 +415,7 @@ fn fmt_ms(p: Option<f64>) -> String {
 /// in modes without per-batch timings (the latency line then reads
 /// `n/a` unless `--record-latency` supplied per-request percentiles).
 fn print_summary_tail(
-    service: &EvalService<'_>,
+    service: &EvalService,
     requests: usize,
     elapsed: f64,
     record_latency: bool,
@@ -485,7 +505,29 @@ fn main() {
         .fairness(cli.fairness);
 
     let machines = MachineModel::paper_machines();
-    let workloads = ct_workloads::all(scale);
+    // The whole benchmark — stream generation, every replica, every
+    // network mode — flows from this one catalog, so swapping in a
+    // `--workload-dir` here is all it takes for the data-catalog path to
+    // inherit every byte-identity check below.
+    let workloads = match &cli.workload_dir {
+        Some(dir) => {
+            let loaded = ct_workloads::loader::load_dir(
+                dir.as_str(),
+                scale,
+                &ct_workloads::LoaderLimits::default(),
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("serve_bench: --workload-dir {dir}: {e}");
+                std::process::exit(2);
+            });
+            eprintln!(
+                "serve_bench: workload catalog from {dir} ({} workloads)",
+                loaded.len()
+            );
+            loaded
+        }
+        None => ct_workloads::all(scale),
+    };
     let specs = workload_specs(&workloads);
     let opts = if cli.smoke {
         MethodOptions::fast()
@@ -884,6 +926,14 @@ mod tests {
         assert_eq!(cli.snapshot_dir, None, "persistence is opt-in");
         let cli = parse(&args(&["--snapshot-dir", "/tmp/snaps"]));
         assert_eq!(cli.snapshot_dir.as_deref(), Some("/tmp/snaps"));
+    }
+
+    #[test]
+    fn workload_dir_flag_parses() {
+        let cli = parse(&args(&[]));
+        assert_eq!(cli.workload_dir, None, "built-in catalog is the default");
+        let cli = parse(&args(&["--workload-dir", "programs"]));
+        assert_eq!(cli.workload_dir.as_deref(), Some("programs"));
     }
 
     #[test]

@@ -43,10 +43,10 @@ use crate::workload_specs;
 
 /// Report version — the `<n>` of `BENCH_<n>.json`, bumped when a PR
 /// regenerates the tracked report.
-pub const BENCH_VERSION: u64 = 9;
+pub const BENCH_VERSION: u64 = 10;
 
 /// File name of the tracked report at the repo root.
-pub const BENCH_FILE: &str = "BENCH_9.json";
+pub const BENCH_FILE: &str = "BENCH_10.json";
 
 /// The fixed scenario matrix, in execution (and report) order.
 pub const MATRIX: [&str; 8] = [
@@ -218,7 +218,7 @@ fn build_service<'a>(
     capacity: usize,
     admission: AdmissionPolicy,
     quota: usize,
-) -> EvalService<'a> {
+) -> EvalService {
     let catalog = || Catalog::new(machines, specs).method_options(opts.clone());
     let mut registry = CatalogRegistry::new(catalog());
     if pattern.is_multi_tenant() {
@@ -250,8 +250,8 @@ fn probe_stream(fixture: &Fixture, pattern: StreamPattern, seed: u64) -> Vec<Eva
 /// Runs `serve` under a collection audit with a single-threaded service
 /// and returns the scenario's determinism fingerprint.
 fn probe_serve(
-    service: &EvalService<'_>,
-    serve: impl FnOnce(&EvalService<'_>) -> String,
+    service: &EvalService,
+    serve: impl FnOnce(&EvalService) -> String,
 ) -> Determinism {
     let audit = CollectionAudit::begin();
     let jsonl = serve(service);
@@ -271,7 +271,7 @@ fn measure_requests(opts: &HarnessOptions, full: usize) -> usize {
 }
 
 fn serve_batched_jsonl(
-    service: &EvalService<'_>,
+    service: &EvalService,
     requests: &[EvalRequest],
     batch: usize,
 ) -> (String, Vec<f64>) {
@@ -287,7 +287,7 @@ fn serve_batched_jsonl(
 }
 
 fn serve_pipelined_jsonl(
-    service: &EvalService<'_>,
+    service: &EvalService,
     requests: &[EvalRequest],
     options: &PipelineOptions,
 ) -> String {
@@ -301,7 +301,7 @@ fn serve_pipelined_jsonl(
 }
 
 fn measure_from_service(
-    service: &EvalService<'_>,
+    service: &EvalService,
     requests: u64,
     elapsed_s: f64,
     latencies_ms: &mut Vec<f64>,

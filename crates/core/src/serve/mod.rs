@@ -209,12 +209,12 @@ use crate::cache::{AdmissionPolicy, CacheQuotas, CacheStats, PairKey, PairParts,
 use crate::evaluate::{evaluate_method_with_seeds, ErrorStats};
 use crate::grid::{default_threads, for_each_index, mix64, WorkloadSpec};
 use crate::methods::{MethodInstance, MethodKind, MethodOptions};
-use ct_isa::Cfg;
-use ct_sim::MachineModel;
+use ct_isa::{Cfg, Program};
+use ct_sim::{MachineModel, RunConfig};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use ring::ring_channel;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -616,34 +616,96 @@ struct TenantCounters {
 /// the catalog requests without a `catalog` field resolve to.
 pub const DEFAULT_CATALOG: &str = "default";
 
+/// One workload of an owned [`Catalog`]: the resolved name, program and
+/// run configuration a request's `workload` field binds to.
+///
+/// The program rides in an `Arc` so registering the same workload into
+/// several catalogs shares one copy.
+#[derive(Debug, Clone)]
+pub struct CatalogWorkload {
+    pub name: String,
+    pub program: Arc<Program>,
+    pub run_config: RunConfig,
+}
+
+impl From<ct_workloads::Workload> for CatalogWorkload {
+    fn from(w: ct_workloads::Workload) -> Self {
+        Self {
+            name: w.name,
+            program: Arc::new(w.program),
+            run_config: w.run_config,
+        }
+    }
+}
+
 /// A named, registrable evaluation catalog: the machines and workloads
 /// requests resolve their names against, plus the default
 /// [`MethodOptions`] those requests are instantiated with.
 ///
-/// Catalogs borrow their machine and workload slices (like
-/// [`crate::grid::GridRunner`] does) and are registered into a
-/// [`CatalogRegistry`]; the registry index becomes the cache namespace
-/// ([`PairKey::catalog`]).
-pub struct Catalog<'a> {
-    machines: &'a [MachineModel],
-    workloads: &'a [WorkloadSpec<'a>],
+/// Catalogs **own** their data (machines by value, programs behind
+/// `Arc`s), so a catalog can outlive whatever produced it — the
+/// property that lets [`Catalog::from_dir`] turn a directory of
+/// `.ctasm`/manifest files into a served tenant catalog. They are
+/// registered into a [`CatalogRegistry`]; the registry index becomes
+/// the cache namespace ([`PairKey::catalog`]).
+pub struct Catalog {
+    machines: Vec<MachineModel>,
+    workloads: Vec<CatalogWorkload>,
     opts: MethodOptions,
     /// Per-workload CFGs, built lazily (a CFG depends only on the
     /// program) and shared with every cached pair of that workload.
     cfgs: Vec<OnceLock<Arc<Cfg>>>,
 }
 
-impl<'a> Catalog<'a> {
+impl Catalog {
     /// A catalog over the given machines and workloads, with default
-    /// method options.
+    /// method options. The borrowed specs are cloned into owned
+    /// storage.
     #[must_use]
-    pub fn new(machines: &'a [MachineModel], workloads: &'a [WorkloadSpec<'a>]) -> Self {
+    pub fn new(machines: &[MachineModel], workloads: &[WorkloadSpec<'_>]) -> Self {
+        Self::from_parts(
+            machines.to_vec(),
+            workloads
+                .iter()
+                .map(|w| CatalogWorkload {
+                    name: w.name.to_string(),
+                    program: Arc::new(w.program.clone()),
+                    run_config: w.run_config.clone(),
+                })
+                .collect(),
+        )
+    }
+
+    /// A catalog from already-owned parts (no cloning).
+    #[must_use]
+    pub fn from_parts(machines: Vec<MachineModel>, workloads: Vec<CatalogWorkload>) -> Self {
+        let cfgs = (0..workloads.len()).map(|_| OnceLock::new()).collect();
         Self {
             machines,
             workloads,
             opts: MethodOptions::default(),
-            cfgs: (0..workloads.len()).map(|_| OnceLock::new()).collect(),
+            cfgs,
         }
+    }
+
+    /// A catalog compiled from a directory of `.ctasm` + JSON manifest
+    /// pairs through [`ct_workloads::loader`]: every program is
+    /// assembler-validated and size/step-limited
+    /// ([`ct_workloads::LoaderLimits`]), so a malformed or oversized
+    /// tenant file is a typed error here — nothing invalid ever reaches
+    /// the evaluation cache. `scale` applies the manifests' `scaled`
+    /// sizing rule (1.0 = the checked-in base sizes).
+    pub fn from_dir(
+        machines: &[MachineModel],
+        dir: impl AsRef<Path>,
+        scale: f64,
+    ) -> Result<Self, ct_workloads::LoaderError> {
+        let limits = ct_workloads::LoaderLimits::default();
+        let loaded = ct_workloads::loader::load_dir(dir, scale, &limits)?;
+        Ok(Self::from_parts(
+            machines.to_vec(),
+            loaded.into_iter().map(CatalogWorkload::from).collect(),
+        ))
     }
 
     /// Sets the method options requests against this catalog are
@@ -656,20 +718,20 @@ impl<'a> Catalog<'a> {
 
     /// The catalog's machines.
     #[must_use]
-    pub fn machines(&self) -> &'a [MachineModel] {
-        self.machines
+    pub fn machines(&self) -> &[MachineModel] {
+        &self.machines
     }
 
     /// The catalog's workloads.
     #[must_use]
-    pub fn workloads(&self) -> &'a [WorkloadSpec<'a>] {
-        self.workloads
+    pub fn workloads(&self) -> &[CatalogWorkload] {
+        &self.workloads
     }
 
     /// The workload's CFG, built on first use and shared thereafter.
     fn workload_cfg(&self, w: usize) -> Arc<Cfg> {
         self.cfgs[w]
-            .get_or_init(|| Arc::new(Cfg::build(self.workloads[w].program)))
+            .get_or_init(|| Arc::new(Cfg::build(&self.workloads[w].program)))
             .clone()
     }
 }
@@ -681,15 +743,15 @@ impl<'a> Catalog<'a> {
 /// `catalog` field resolve to it, whatever it is named. Registration
 /// order is the cache namespace order, so keep it stable across runs
 /// that share persisted expectations.
-pub struct CatalogRegistry<'a> {
-    catalogs: Vec<(String, Catalog<'a>)>,
+pub struct CatalogRegistry {
+    catalogs: Vec<(String, Catalog)>,
 }
 
-impl<'a> CatalogRegistry<'a> {
+impl CatalogRegistry {
     /// A registry holding one default catalog under
     /// [`DEFAULT_CATALOG`].
     #[must_use]
-    pub fn new(default: Catalog<'a>) -> Self {
+    pub fn new(default: Catalog) -> Self {
         Self {
             catalogs: vec![(DEFAULT_CATALOG.to_string(), default)],
         }
@@ -699,7 +761,7 @@ impl<'a> CatalogRegistry<'a> {
     /// registered under that name (re-registering the default's name
     /// swaps the default in place).
     #[must_use]
-    pub fn register(mut self, name: &str, catalog: Catalog<'a>) -> Self {
+    pub fn register(mut self, name: &str, catalog: Catalog) -> Self {
         match self.catalogs.iter_mut().find(|(n, _)| n == name) {
             Some(slot) => slot.1 = catalog,
             None => self.catalogs.push((name.to_string(), catalog)),
@@ -714,7 +776,7 @@ impl<'a> CatalogRegistry<'a> {
 
     /// The catalog registered under `name`.
     #[must_use]
-    pub fn get(&self, name: &str) -> Option<&Catalog<'a>> {
+    pub fn get(&self, name: &str) -> Option<&Catalog> {
         self.catalogs
             .iter()
             .find(|(n, _)| n == name)
@@ -747,7 +809,7 @@ impl<'a> CatalogRegistry<'a> {
         }
     }
 
-    fn catalog(&self, index: usize) -> &Catalog<'a> {
+    fn catalog(&self, index: usize) -> &Catalog {
         &self.catalogs[index].1
     }
 }
@@ -1017,8 +1079,8 @@ struct ParsedChunk {
 /// configure with the builder methods, then feed request batches to
 /// [`EvalService::serve`] (the cache persists across batches and is
 /// shared by every catalog).
-pub struct EvalService<'a> {
-    registry: CatalogRegistry<'a>,
+pub struct EvalService {
+    registry: CatalogRegistry,
     threads: usize,
     cache: ProfileCache,
     requests: AtomicU64,
@@ -1039,11 +1101,11 @@ pub struct EvalService<'a> {
     snapshot_fingerprints: Mutex<HashMap<PairKey, u64>>,
 }
 
-impl<'a> EvalService<'a> {
+impl EvalService {
     /// A service over a single default catalog: default method options,
     /// all available hardware parallelism, unbounded cache.
     #[must_use]
-    pub fn new(machines: &'a [MachineModel], workloads: &'a [WorkloadSpec<'a>]) -> Self {
+    pub fn new(machines: &[MachineModel], workloads: &[WorkloadSpec<'_>]) -> Self {
         Self::with_registry(CatalogRegistry::new(Catalog::new(machines, workloads)))
     }
 
@@ -1051,7 +1113,7 @@ impl<'a> EvalService<'a> {
     /// cache and one admission policy. Requests pick their catalog with
     /// the `catalog` field; absent means the registry's default.
     #[must_use]
-    pub fn with_registry(registry: CatalogRegistry<'a>) -> Self {
+    pub fn with_registry(registry: CatalogRegistry) -> Self {
         let tenants = (0..registry.len()).map(|_| TenantCounters::default()).collect();
         Self {
             registry,
@@ -1069,8 +1131,37 @@ impl<'a> EvalService<'a> {
 
     /// The service's catalog registry.
     #[must_use]
-    pub fn registry(&self) -> &CatalogRegistry<'a> {
+    pub fn registry(&self) -> &CatalogRegistry {
         &self.registry
+    }
+
+    /// Appends a tenant catalog compiled from a directory of
+    /// `.ctasm` + manifest files (see [`Catalog::from_dir`]),
+    /// registered under the directory's file name and resolving against
+    /// the paper's three machine models. Loading failures are typed
+    /// [`ct_workloads::LoaderError`]s — a malformed or over-limit file
+    /// rejects the whole directory before anything reaches the cache.
+    pub fn workload_dir(
+        mut self,
+        dir: impl AsRef<Path>,
+        scale: f64,
+    ) -> Result<Self, ct_workloads::LoaderError> {
+        let dir = dir.as_ref();
+        let name = dir
+            .file_name()
+            .and_then(|s| s.to_str())
+            .unwrap_or("dir")
+            .to_string();
+        let machines = MachineModel::paper_machines();
+        let catalog = Catalog::from_dir(&machines, dir, scale)?;
+        match self.registry.catalogs.iter_mut().find(|(n, _)| *n == name) {
+            Some(slot) => slot.1 = catalog,
+            None => {
+                self.registry.catalogs.push((name, catalog));
+                self.tenants.push(TenantCounters::default());
+            }
+        }
+        Ok(self)
     }
 
     /// Sets the worker-thread count; `0` restores the default (available
@@ -1621,8 +1712,8 @@ impl<'a> EvalService<'a> {
         let built = self.cache.get_or_build_with_fingerprint(key, fingerprint, || {
             PairParts::collect(
                 machine,
-                workload.program,
-                workload.run_config,
+                &workload.program,
+                &workload.run_config,
                 catalog.workload_cfg(key.workload),
             )
         });
@@ -1670,8 +1761,8 @@ impl<'a> EvalService<'a> {
         let fp = crate::store::pair_fingerprint(
             name,
             &catalog.machines[key.machine],
-            workload.program,
-            workload.run_config,
+            &workload.program,
+            &workload.run_config,
             &catalog.opts,
         );
         memo.insert(key, fp);
@@ -1692,7 +1783,7 @@ impl<'a> EvalService<'a> {
         let machine = &catalog.machines[key.machine];
         let workload = &catalog.workloads[key.workload];
         let mut session =
-            parts.session(machine, workload.program, workload.run_config.clone());
+            parts.session(machine, &workload.program, workload.run_config.clone());
         let seeds: Vec<u64> = (0..request.effective_runs())
             .map(|r| request_seed(request.seed, r))
             .collect();

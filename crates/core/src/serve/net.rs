@@ -126,6 +126,18 @@ pub struct NetOptions {
     /// instrumented executions. `None` (the default) serves exactly as
     /// before.
     pub snapshot_dir: Option<std::path::PathBuf>,
+    /// Optional directory of `.ctasm` + manifest pairs compiled into an
+    /// extra served tenant catalog (named after the directory) before
+    /// the first accept — the data-catalog path. Programs are assembled
+    /// and size/step-limit checked by `ct_workloads::loader`; a
+    /// malformed directory is rejected with a typed error at
+    /// [`EvalServer::configure_service`] time, never at request time.
+    /// `None` (the default) serves exactly as before.
+    pub workload_dir: Option<std::path::PathBuf>,
+    /// Scale applied to [`NetOptions::workload_dir`] workloads' declared
+    /// size constants (the registry sizing rule). Ignored without a
+    /// `workload_dir`.
+    pub workload_scale: f64,
 }
 
 impl Default for NetOptions {
@@ -134,6 +146,8 @@ impl Default for NetOptions {
             pipeline: PipelineOptions::default(),
             max_connections: 8,
             snapshot_dir: None,
+            workload_dir: None,
+            workload_scale: 1.0,
         }
     }
 }
@@ -165,6 +179,21 @@ impl NetOptions {
     #[must_use]
     pub fn snapshot_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
         self.snapshot_dir = Some(dir.into());
+        self
+    }
+
+    /// Serves an extra tenant catalog compiled from a directory of
+    /// `.ctasm` + manifest pairs (see [`EvalService::workload_dir`]).
+    #[must_use]
+    pub fn workload_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.workload_dir = Some(dir.into());
+        self
+    }
+
+    /// Sets the scale applied to [`NetOptions::workload_dir`] workloads.
+    #[must_use]
+    pub fn workload_scale(mut self, scale: f64) -> Self {
+        self.workload_scale = scale;
         self
     }
 }
@@ -345,8 +374,31 @@ impl EvalServer {
     /// failing `accept`), carrying the stats accumulated so far.
     /// Per-connection I/O errors never surface here — they are counted
     /// in [`NetStats::io_errors`].
-    pub fn serve(&self, service: &EvalService<'_>) -> Result<NetStats, AcceptError> {
+    pub fn serve(&self, service: &EvalService) -> Result<NetStats, AcceptError> {
         self.serve_with(service, serve_connection)
+    }
+
+    /// Applies the data-catalog options to a service before serving it:
+    /// when [`NetOptions::workload_dir`] is set, compiles that directory
+    /// through [`EvalService::workload_dir`] at
+    /// [`NetOptions::workload_scale`] and registers the result as a
+    /// served tenant catalog. With no `workload_dir` the service is
+    /// returned unchanged. Consuming because tenant registration
+    /// happens before the (shared, `&self`) serve loop starts.
+    ///
+    /// # Errors
+    ///
+    /// A malformed catalog directory (unparsable manifest, assembler
+    /// diagnostic, size/step-limit violation, duplicate name) surfaces
+    /// here as `InvalidData` — before the first accept, never at
+    /// request time.
+    pub fn configure_service(&self, service: EvalService) -> std::io::Result<EvalService> {
+        match &self.options.workload_dir {
+            Some(dir) => service
+                .workload_dir(dir, self.options.workload_scale)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())),
+            None => Ok(service),
+        }
     }
 
     /// [`EvalServer::serve`] with a custom per-connection handler — the
@@ -365,11 +417,11 @@ impl EvalServer {
     /// Exactly as [`EvalServer::serve`]: only listener-level errors.
     pub fn serve_with<H>(
         &self,
-        service: &EvalService<'_>,
+        service: &EvalService,
         handler: H,
     ) -> Result<NetStats, AcceptError>
     where
-        H: Fn(&EvalService<'_>, &TcpStream, &PipelineOptions) -> std::io::Result<super::PipelineStats>
+        H: Fn(&EvalService, &TcpStream, &PipelineOptions) -> std::io::Result<super::PipelineStats>
             + Sync,
     {
         self.serve_on_source(&self.listener, service, handler)
@@ -381,12 +433,12 @@ impl EvalServer {
     pub(crate) fn serve_on_source<S, H>(
         &self,
         source: &S,
-        service: &EvalService<'_>,
+        service: &EvalService,
         handler: H,
     ) -> Result<NetStats, AcceptError>
     where
         S: AcceptSource + ?Sized,
-        H: Fn(&EvalService<'_>, &TcpStream, &PipelineOptions) -> std::io::Result<super::PipelineStats>
+        H: Fn(&EvalService, &TcpStream, &PipelineOptions) -> std::io::Result<super::PipelineStats>
             + Sync,
     {
         let workers = self.options.max_connections.max(1);
@@ -473,7 +525,7 @@ fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
 /// connection are replayed in front of the socket, so v1 service is
 /// byte-identical to a pre-negotiation server.
 fn serve_connection(
-    service: &EvalService<'_>,
+    service: &EvalService,
     stream: &TcpStream,
     pipeline: &PipelineOptions,
 ) -> std::io::Result<super::PipelineStats> {

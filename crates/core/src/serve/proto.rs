@@ -309,7 +309,7 @@ enum V2Item {
 /// [`PipelineStats`] so [`super::net::NetStats`] aggregates both
 /// protocols uniformly.
 pub(crate) fn serve_v2(
-    service: &EvalService<'_>,
+    service: &EvalService,
     stream: &TcpStream,
     options: &PipelineOptions,
 ) -> io::Result<PipelineStats> {

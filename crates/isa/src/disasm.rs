@@ -77,6 +77,51 @@ pub fn disassemble(program: &Program) -> String {
     out
 }
 
+/// Renders a program as **re-assemblable** source: `.data`/`.init`
+/// directives, `.func`/`.endfunc` blocks in entry order, and one
+/// instruction per line with `@addr` numeric branch targets.
+///
+/// For any validated program whose `init_data` indices lie inside
+/// `data_words` (always true of builder output), feeding the result
+/// back through [`crate::asm::assemble`] reproduces a structurally
+/// equal [`Program`] — the round-trip the `props.rs` property tier
+/// pins, and the renderer behind the `.ctasm` catalog emitter.
+#[must_use]
+pub fn to_asm(program: &Program) -> String {
+    let mut out = String::new();
+    if program.data_words > 0 {
+        let _ = writeln!(out, ".data {}", program.data_words);
+    }
+    for (idx, val) in &program.init_data {
+        let _ = writeln!(out, ".init {idx}, {val}");
+    }
+    let funcs = program.symbols.functions();
+    let mut next = 0usize;
+    let mut open_end: Option<u32> = None;
+    // Walk addresses 0..=len so a function ending at the last
+    // instruction still gets its `.endfunc`.
+    for a in 0..=program.insns.len() as u32 {
+        if open_end == Some(a) {
+            let _ = writeln!(out, ".endfunc");
+            open_end = None;
+        }
+        while next < funcs.len() && funcs[next].entry == a && open_end.is_none() {
+            let f = &funcs[next];
+            let _ = writeln!(out, ".func {}", f.name);
+            next += 1;
+            if f.end == a {
+                let _ = writeln!(out, ".endfunc");
+            } else {
+                open_end = Some(f.end);
+            }
+        }
+        if let Some(insn) = program.insns.get(a as usize) {
+            let _ = writeln!(out, "    {insn}");
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,5 +164,38 @@ mod tests {
         let text = disassemble(&p);
         assert!(text.contains("main:"));
         assert!(text.contains("halt"));
+    }
+
+    #[test]
+    fn to_asm_round_trips_through_assemble() {
+        let src = r#"
+            .data 16
+            .init 3, 7
+            .init 4, -1
+            .func main
+                movi r1, 10
+                call helper
+                brnz r1, @0
+                halt
+            .endfunc
+            .func helper
+                load r2, [r1+4]
+                store r2, [r1-8]
+                fmovi f1, 1.5
+                ret
+            .endfunc
+        "#;
+        let p = crate::asm::assemble("t", src).unwrap();
+        let rendered = to_asm(&p);
+        let back = crate::asm::assemble("t", &rendered).unwrap();
+        assert_eq!(p, back, "to_asm output must re-assemble structurally equal");
+    }
+
+    #[test]
+    fn to_asm_closes_function_ending_at_last_insn() {
+        let p = crate::asm::assemble("t", ".func main\n halt\n.endfunc\n").unwrap();
+        let rendered = to_asm(&p);
+        assert!(rendered.ends_with(".endfunc\n"));
+        assert_eq!(p, crate::asm::assemble("t", &rendered).unwrap());
     }
 }

@@ -16,12 +16,29 @@ pub enum IsaError {
     EmptyProgram,
     /// The last instruction can fall off the end of the program.
     FallsOffEnd,
-    /// Assembler: syntax error.
-    Parse { line: usize, detail: String },
+    /// Assembler: syntax error. `col` is the 1-based column of the
+    /// offending token (0 when the column could not be recovered).
+    Parse {
+        line: usize,
+        col: usize,
+        detail: String,
+    },
     /// Assembler: a label was referenced but never defined.
     UndefinedLabel { line: usize, label: String },
     /// Assembler: a label was defined more than once.
     DuplicateLabel { line: usize, label: String },
+    /// Assembler: an expression referenced an undefined `.const` name.
+    UndefinedConst {
+        line: usize,
+        col: usize,
+        name: String,
+    },
+    /// Assembler: a `.const` name was defined more than once.
+    DuplicateConst { line: usize, name: String },
+    /// Assembler: [`crate::asm::assemble_with`] was given an override
+    /// for a constant the source never defines — a manifest/source
+    /// mismatch.
+    UnknownOverride { name: String },
     /// Builder: a label was bound more than once.
     LabelRebound { label: u32 },
     /// Builder: an emitted reference was never bound.
@@ -50,12 +67,31 @@ impl fmt::Display for IsaError {
                     "control can fall off the end of the program (missing halt/ret)"
                 )
             }
-            IsaError::Parse { line, detail } => write!(f, "line {line}: {detail}"),
+            IsaError::Parse { line, col, detail } => {
+                if *col > 0 {
+                    write!(f, "line {line}:{col}: {detail}")
+                } else {
+                    write!(f, "line {line}: {detail}")
+                }
+            }
             IsaError::UndefinedLabel { line, label } => {
                 write!(f, "line {line}: undefined label `{label}`")
             }
             IsaError::DuplicateLabel { line, label } => {
                 write!(f, "line {line}: duplicate label `{label}`")
+            }
+            IsaError::UndefinedConst { line, col, name } => {
+                if *col > 0 {
+                    write!(f, "line {line}:{col}: undefined constant `{name}`")
+                } else {
+                    write!(f, "line {line}: undefined constant `{name}`")
+                }
+            }
+            IsaError::DuplicateConst { line, name } => {
+                write!(f, "line {line}: duplicate constant `{name}`")
+            }
+            IsaError::UnknownOverride { name } => {
+                write!(f, "override names no `.const` in source: `{name}`")
             }
             IsaError::LabelRebound { label } => write!(f, "builder label {label} bound twice"),
             IsaError::UnboundLabel { label } => {

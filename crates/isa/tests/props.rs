@@ -2,7 +2,7 @@
 //! invariants on randomly generated structured programs, primality.
 
 use ct_isa::reg::names::*;
-use ct_isa::{asm, prime, BasicBlock, Cfg, Cond, Insn, Opcode, ProgramBuilder, Reg};
+use ct_isa::{asm, disasm, prime, BasicBlock, Cfg, Cond, Insn, Opcode, ProgramBuilder, Reg};
 use proptest::prelude::*;
 
 fn arb_reg() -> impl Strategy<Value = Reg> {
@@ -123,6 +123,31 @@ proptest! {
         let text = format!(".data 8\n.func main\n {insn}\n halt\n.endfunc\n");
         let p = asm::assemble("t", &text).expect("rendered load parses");
         prop_assert_eq!(p.insns[0].op, Opcode::Load(r, base, off));
+    }
+
+    /// Whole-program round trip: random structured `Program` (control
+    /// flow, calls, data segment, init words) → [`disasm::to_asm`] text
+    /// → [`asm::assemble`] → structurally equal `Program`. Shrinking
+    /// happens on the generator inputs, which shrink the text form with
+    /// them — a failing case minimizes to the shortest source that
+    /// still breaks the round trip.
+    #[test]
+    fn whole_program_roundtrips_through_to_asm(
+        loop_n in 1u16..20,
+        body in prop::collection::vec(arb_body_op(), 0..30),
+        leaves in prop::collection::vec(prop::collection::vec(arb_linear_op(), 0..6), 0..3),
+        data_extra in 0usize..32,
+        inits in prop::collection::vec((0usize..24, -1000i64..1000), 0..8),
+    ) {
+        let mut p = build_program(loop_n, &body, &leaves);
+        // Graft a data segment and init words onto the built program the
+        // same way the builder-based workloads do.
+        p.data_words = 24 + data_extra;
+        p.init_data = inits;
+        let text = disasm::to_asm(&p);
+        let back = asm::assemble("prop", &text)
+            .expect("to_asm output of a valid program re-assembles");
+        prop_assert_eq!(p, back, "round trip changed the program; text was:\n{}", text);
     }
 
     #[test]

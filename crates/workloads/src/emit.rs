@@ -1,0 +1,304 @@
+//! Emitter: renders each built-in workload's Rust builder output as a
+//! checked-in `.ctasm` + manifest pair under `programs/`.
+//!
+//! The trick that keeps one source file valid at every scale: build the
+//! program at two probe sizes, diff the instruction streams, and
+//! require every differing position to be a `movi` whose immediate *is*
+//! the size parameter (true of all nine builders — program structure is
+//! scale-invariant). Those positions are emitted as `movi rD, N`
+//! against a `.const N = <scale-1.0 base>` header, which the loader
+//! overrides with the registry sizing rule at load time. Everything
+//! else — including the scale-invariant `.init` handler tables omnetpp
+//! and xalancbmk patch in after building — is emitted literally.
+//!
+//! The checked-in files are pinned by a test that re-runs the emitter
+//! and byte-compares; regenerate with `CTASM_REGEN=1 cargo test -p
+//! ct-workloads emit`.
+
+use crate::registry::WorkloadClass;
+use crate::{apps, kernels};
+use ct_isa::{Opcode, Program};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// One built-in workload's emission recipe.
+pub struct EmitSpec {
+    /// Registry name (manifest `name`).
+    pub name: &'static str,
+    pub class: WorkloadClass,
+    /// File stem under `programs/`; the `NN_` prefix pins filename
+    /// order to registry order for directory loads.
+    pub file_stem: &'static str,
+    /// The scaled constant's name in the emitted source.
+    pub const_name: &'static str,
+    /// Scale-1.0 size (the registry base) and clamp floor.
+    pub base: u64,
+    pub min: u64,
+    /// Builds the workload at a given size, fixed params baked in.
+    pub build: fn(u64) -> Program,
+}
+
+/// All nine built-ins in registry order (kernels then applications).
+#[must_use]
+pub fn specs() -> Vec<EmitSpec> {
+    use WorkloadClass::{Application, Kernel};
+    vec![
+        EmitSpec {
+            name: "latency_biased",
+            class: Kernel,
+            file_stem: "00_latency_biased",
+            const_name: "N",
+            base: 1_900_000,
+            min: 100,
+            build: kernels::latency_biased,
+        },
+        EmitSpec {
+            name: "callchain",
+            class: Kernel,
+            file_stem: "01_callchain",
+            const_name: "N",
+            base: 185_000,
+            min: 100,
+            build: |n| kernels::callchain(n, 10),
+        },
+        EmitSpec {
+            name: "g4box",
+            class: Kernel,
+            file_stem: "02_g4box",
+            const_name: "N",
+            base: 260_000,
+            min: 100,
+            build: kernels::g4box,
+        },
+        EmitSpec {
+            name: "test40",
+            class: Kernel,
+            file_stem: "03_test40",
+            const_name: "N",
+            base: 300_000,
+            min: 100,
+            build: kernels::test40,
+        },
+        EmitSpec {
+            name: "mcf",
+            class: Application,
+            file_stem: "04_mcf",
+            const_name: "N",
+            base: 10_000,
+            min: 50,
+            build: |n| apps::mcf(1 << 16, n),
+        },
+        EmitSpec {
+            name: "povray",
+            class: Application,
+            file_stem: "05_povray",
+            const_name: "N",
+            base: 130_000,
+            min: 50,
+            build: apps::povray,
+        },
+        EmitSpec {
+            name: "omnetpp",
+            class: Application,
+            file_stem: "06_omnetpp",
+            const_name: "N",
+            base: 160_000,
+            min: 50,
+            build: |n| apps::omnetpp(n, 4096),
+        },
+        EmitSpec {
+            name: "xalancbmk",
+            class: Application,
+            file_stem: "07_xalancbmk",
+            const_name: "N",
+            base: 170,
+            min: 50,
+            build: |n| apps::xalanc(8192, n),
+        },
+        EmitSpec {
+            name: "fullcms",
+            class: Application,
+            file_stem: "08_fullcms",
+            const_name: "N",
+            base: 22_000,
+            min: 50,
+            build: apps::fullcms,
+        },
+    ]
+}
+
+/// Positions whose `movi` immediate is the size parameter, found by
+/// diffing two probe builds. Panics (emitter-side only) if the builder
+/// violates the scale-invariant-structure contract.
+fn scaled_positions(spec: &EmitSpec) -> Vec<usize> {
+    const P1: u64 = 131;
+    const P2: u64 = 257;
+    let a = (spec.build)(P1);
+    let b = (spec.build)(P2);
+    assert_eq!(a.insns.len(), b.insns.len(), "{}: structure varies", spec.name);
+    assert_eq!(a.symbols, b.symbols, "{}: symbols vary", spec.name);
+    assert_eq!(a.data_words, b.data_words, "{}: data varies", spec.name);
+    assert_eq!(a.init_data, b.init_data, "{}: init varies", spec.name);
+    let mut out = Vec::new();
+    for (i, (x, y)) in a.insns.iter().zip(&b.insns).enumerate() {
+        if x == y {
+            continue;
+        }
+        match (x.op, y.op) {
+            (Opcode::MovI(d1, v1), Opcode::MovI(d2, v2))
+                if d1 == d2 && v1 == P1 as i64 && v2 == P2 as i64 =>
+            {
+                out.push(i);
+            }
+            _ => panic!(
+                "{}: insn {i} varies with size but is not `movi rD, n`: {x} vs {y}",
+                spec.name
+            ),
+        }
+    }
+    assert!(!out.is_empty(), "{}: size parameter is never materialized", spec.name);
+    out
+}
+
+/// Renders the `.ctasm` source for one spec.
+#[must_use]
+pub fn emit_source(spec: &EmitSpec) -> String {
+    let scaled: HashMap<usize, ()> = scaled_positions(spec).into_iter().map(|i| (i, ())).collect();
+    let p = (spec.build)(spec.base);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "; {} — generated from the Rust builder (crate ct-workloads, module emit).",
+        spec.name
+    );
+    let _ = writeln!(
+        out,
+        "; Regenerate with: CTASM_REGEN=1 cargo test -p ct-workloads emit"
+    );
+    let _ = writeln!(out, ".const {} = {}", spec.const_name, spec.base);
+    if p.data_words > 0 {
+        let _ = writeln!(out, ".data {}", p.data_words);
+    }
+    for (idx, val) in &p.init_data {
+        let _ = writeln!(out, ".init {idx}, {val}");
+    }
+    let funcs = p.symbols.functions();
+    let mut next = 0usize;
+    let mut open_end: Option<u32> = None;
+    for a in 0..=p.insns.len() as u32 {
+        if open_end == Some(a) {
+            let _ = writeln!(out, ".endfunc");
+            open_end = None;
+        }
+        while next < funcs.len() && funcs[next].entry == a && open_end.is_none() {
+            let f = &funcs[next];
+            let _ = writeln!(out, ".func {}", f.name);
+            next += 1;
+            if f.end == a {
+                let _ = writeln!(out, ".endfunc");
+            } else {
+                open_end = Some(f.end);
+            }
+        }
+        if let Some(insn) = p.insns.get(a as usize) {
+            if scaled.contains_key(&(a as usize)) {
+                let Opcode::MovI(d, _) = insn.op else {
+                    unreachable!("scaled positions are movi by construction")
+                };
+                let _ = writeln!(out, "    movi {d}, {}", spec.const_name);
+            } else {
+                let _ = writeln!(out, "    {insn}");
+            }
+        }
+    }
+    out
+}
+
+/// Renders the JSON manifest for one spec.
+#[must_use]
+pub fn emit_manifest(spec: &EmitSpec) -> String {
+    let class = match spec.class {
+        WorkloadClass::Kernel => "kernel",
+        WorkloadClass::Application => "application",
+    };
+    // The builder may name the program differently from the registry
+    // workload (xalancbmk wraps a program named "xalanc"); the manifest
+    // records that so the loaded program is structurally identical.
+    let program_name = (spec.build)(spec.base).name;
+    let program_field = if program_name == spec.name {
+        String::new()
+    } else {
+        format!("\n  \"program\": \"{program_name}\",")
+    };
+    format!(
+        "{{\n  \"name\": \"{}\",{}\n  \"class\": \"{}\",\n  \"source\": \"{}.ctasm\",\n  \"scaled\": {{ \"{}\": {{ \"base\": {}, \"min\": {} }} }}\n}}\n",
+        spec.name, program_field, class, spec.file_stem, spec.const_name, spec.base, spec.min
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loader::{self, LoaderLimits};
+    use std::path::Path;
+
+    /// Byte-pins every checked-in `programs/` pair to the emitter
+    /// output; set `CTASM_REGEN=1` to rewrite them instead.
+    #[test]
+    fn emit_checked_in_files_are_current() {
+        let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("programs");
+        let regen = std::env::var_os("CTASM_REGEN").is_some();
+        if regen {
+            std::fs::create_dir_all(&dir).unwrap();
+        }
+        for spec in specs() {
+            for (ext, text) in [
+                ("ctasm", emit_source(&spec)),
+                ("json", emit_manifest(&spec)),
+            ] {
+                let path = dir.join(format!("{}.{ext}", spec.file_stem));
+                if regen {
+                    std::fs::write(&path, &text).unwrap();
+                } else {
+                    let on_disk = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                        panic!("{}: {e} (run with CTASM_REGEN=1 to generate)", path.display())
+                    });
+                    assert_eq!(
+                        on_disk, text,
+                        "{} is stale; regenerate with CTASM_REGEN=1",
+                        path.display()
+                    );
+                }
+            }
+        }
+    }
+
+    /// The load path reproduces the builder output exactly, at every
+    /// scale the registry uses — including the min-clamped regime.
+    #[test]
+    fn emitted_pairs_load_identical_to_builders() {
+        let limits = LoaderLimits::default();
+        for spec in specs() {
+            let manifest = emit_manifest(&spec);
+            let source = emit_source(&spec);
+            for scale in [0.0, 0.000_001, 0.01, 0.02, 1.0] {
+                let w = loader::load_pair(
+                    Path::new("embedded:test"),
+                    &manifest,
+                    &source,
+                    scale,
+                    &limits,
+                )
+                .unwrap_or_else(|e| panic!("{} @ {scale}: {e}", spec.name));
+                let sized = ((spec.base as f64 * scale) as u64).max(spec.min);
+                let built = (spec.build)(sized);
+                assert_eq!(
+                    w.program, built,
+                    "{} @ scale {scale}: loaded program differs from builder",
+                    spec.name
+                );
+                assert_eq!(w.name, spec.name);
+            }
+        }
+    }
+}

@@ -42,8 +42,11 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod apps;
+pub mod emit;
 pub mod kernels;
+pub mod loader;
 pub mod registry;
 pub mod util;
 
+pub use loader::{LoaderError, LoaderLimits};
 pub use registry::{all, applications, kernels as kernel_set, Workload, WorkloadClass};

@@ -1,7 +1,17 @@
 //! The workload registry: named, sized instances of every kernel and
 //! application, as consumed by the evaluation binaries.
+//!
+//! Since the workloads-as-data refactor the built-in catalog is
+//! *compiled from data*: every workload's checked-in `.ctasm` +
+//! manifest pair under `programs/` is embedded at build time and fed
+//! through [`crate::loader`] — the same construction path a
+//! `--workload-dir` tenant catalog takes at runtime. The Rust builders
+//! in [`crate::kernels`]/[`crate::apps`] remain the generators of
+//! record: [`crate::emit`] renders them to the checked-in files, and
+//! its tests prove the loaded programs structurally identical to
+//! builder output at every scale.
 
-use crate::{apps, kernels};
+use crate::loader::{self, LoaderLimits};
 use ct_isa::Program;
 use ct_sim::RunConfig;
 
@@ -21,15 +31,37 @@ pub struct Workload {
     pub run_config: RunConfig,
 }
 
-impl Workload {
-    fn new(name: &str, class: WorkloadClass, program: Program) -> Self {
-        Self {
-            name: name.to_string(),
-            class,
-            program,
-            run_config: RunConfig::default(),
-        }
-    }
+/// `(label, manifest JSON, .ctasm source)` triples embedded from
+/// `programs/`. Array order is catalog order; the `NN_` filename
+/// prefixes make a directory scan of the same files agree.
+macro_rules! builtin {
+    ($stem:literal) => {
+        (
+            concat!($stem, ".json"),
+            include_str!(concat!("../programs/", $stem, ".json")),
+            include_str!(concat!("../programs/", $stem, ".ctasm")),
+        )
+    };
+}
+
+const BUILTIN_KERNELS: &[(&str, &str, &str)] = &[
+    builtin!("00_latency_biased"),
+    builtin!("01_callchain"),
+    builtin!("02_g4box"),
+    builtin!("03_test40"),
+];
+
+const BUILTIN_APPS: &[(&str, &str, &str)] = &[
+    builtin!("04_mcf"),
+    builtin!("05_povray"),
+    builtin!("06_omnetpp"),
+    builtin!("07_xalancbmk"),
+    builtin!("08_fullcms"),
+];
+
+fn load_builtins(pairs: &[(&str, &str, &str)], scale: f64) -> Vec<Workload> {
+    loader::load_embedded(pairs, scale, &LoaderLimits::default())
+        .expect("embedded built-in catalog is well-formed")
 }
 
 /// The four kernels of Table 1 at a given scale. Scale 1.0 sizes every
@@ -38,55 +70,14 @@ impl Workload {
 /// regime, scaled); tests use much smaller scales.
 #[must_use]
 pub fn kernels(scale: f64) -> Vec<Workload> {
-    let s = |base: u64| ((base as f64 * scale) as u64).max(100);
-    vec![
-        Workload::new(
-            "latency_biased",
-            WorkloadClass::Kernel,
-            kernels::latency_biased(s(1_900_000)),
-        ),
-        Workload::new(
-            "callchain",
-            WorkloadClass::Kernel,
-            kernels::callchain(s(185_000), 10),
-        ),
-        Workload::new("g4box", WorkloadClass::Kernel, kernels::g4box(s(260_000))),
-        Workload::new("test40", WorkloadClass::Kernel, kernels::test40(s(300_000))),
-    ]
+    load_builtins(BUILTIN_KERNELS, scale)
 }
 
 /// The five applications of Table 2 at a given scale (1.0 ≈ 1.5×10^7
 /// dynamic instructions each).
 #[must_use]
 pub fn applications(scale: f64) -> Vec<Workload> {
-    let s = |base: u64| ((base as f64 * scale) as u64).max(50);
-    vec![
-        Workload::new(
-            "mcf",
-            WorkloadClass::Application,
-            apps::mcf(1 << 16, s(10_000)),
-        ),
-        Workload::new(
-            "povray",
-            WorkloadClass::Application,
-            apps::povray(s(130_000)),
-        ),
-        Workload::new(
-            "omnetpp",
-            WorkloadClass::Application,
-            apps::omnetpp(s(160_000), 4096),
-        ),
-        Workload::new(
-            "xalancbmk",
-            WorkloadClass::Application,
-            apps::xalanc(8192, s(170)),
-        ),
-        Workload::new(
-            "fullcms",
-            WorkloadClass::Application,
-            apps::fullcms(s(22_000)),
-        ),
-    ]
+    load_builtins(BUILTIN_APPS, scale)
 }
 
 /// Every workload (kernels then applications).
@@ -129,6 +120,31 @@ mod tests {
         assert!(applications(0.01)
             .iter()
             .all(|w| w.class == WorkloadClass::Application));
+    }
+
+    /// The data path (embedded `.ctasm` + manifest through the loader)
+    /// must reproduce the hand-coded Rust builders exactly — this is
+    /// what keeps the golden exec-trace digests pinned across the
+    /// workloads-as-data refactor.
+    #[test]
+    fn data_path_matches_builders_at_every_scale() {
+        for scale in [0.000_001, 0.01, 0.02, 1.0] {
+            let catalog = all(scale);
+            for spec in crate::emit::specs() {
+                let w = catalog
+                    .iter()
+                    .find(|w| w.name == spec.name)
+                    .unwrap_or_else(|| panic!("{} missing from catalog", spec.name));
+                let sized = ((spec.base as f64 * scale) as u64).max(spec.min);
+                assert_eq!(
+                    w.program,
+                    (spec.build)(sized),
+                    "{} @ scale {scale}",
+                    spec.name
+                );
+                assert_eq!(w.class, spec.class);
+            }
+        }
     }
 
     #[test]

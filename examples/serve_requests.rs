@@ -182,4 +182,65 @@ this line is not a request at all
             println!("stream {s}: {line}");
         }
     }
+
+    // --- Data-catalog coda: a directory served as a tenant ---------------
+    // Workloads are data: author a `.ctasm` source and a JSON manifest,
+    // point the server at the directory, and it becomes a served tenant
+    // catalog (named after the directory) — assembled, size-checked and
+    // rejected with typed errors *before* the first accept. Requests
+    // address it with `"catalog":"<dirname>"`.
+    use countertrust::serve::net::exchange;
+
+    let dir = std::env::temp_dir().join(format!("ct_example_catalog_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    std::fs::write(
+        dir.join("00_spin.json"),
+        r#"{
+  "name": "spin",
+  "class": "kernel",
+  "source": "00_spin.ctasm",
+  "scaled": { "N": { "base": 40000, "min": 100 } }
+}
+"#,
+    )
+    .expect("manifest");
+    std::fs::write(
+        dir.join("00_spin.ctasm"),
+        "; A counted loop, sized by the manifest's scaled constant.\n\
+         .const N = 40000\n\
+         .func main\n    movi r1, N\ntop:\n    addi r2, r2, 1\n    subi r1, r1, 1\n    brnz r1, top\n    halt\n.endfunc\n",
+    )
+    .expect("source");
+    let tenant = dir.file_name().unwrap().to_string_lossy().into_owned();
+
+    let server = EvalServer::listen(
+        "127.0.0.1:0",
+        NetOptions::new().workload_dir(&dir).workload_scale(0.5),
+    )
+    .expect("loopback listener binds");
+    // configure_service compiles the directory into the served registry;
+    // a malformed catalog errors out here, not at request time.
+    let service = server
+        .configure_service(service)
+        .expect("catalog directory is well-formed");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let wire = format!(
+        "{{\"machine\":\"Ivy Bridge (Xeon E3-1265L)\",\"workload\":\"spin\",\"method\":\"classic\",\"runs\":2,\"seed\":11,\"catalog\":\"{tenant}\"}}\n"
+    );
+    let reply = std::thread::scope(|scope| {
+        let serving = scope.spawn(|| server.serve(&service));
+        let reply = exchange(addr, &wire).expect("loopback exchange");
+        handle.shutdown();
+        serving
+            .join()
+            .expect("server thread")
+            .expect("accept loop stays clean");
+        reply
+    });
+    println!("# data catalog: directory {tenant:?} served as a tenant");
+    for line in reply.lines() {
+        println!("{line}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -116,7 +116,7 @@ fn retained_cpu_swapping_programs_settles_allocation_free() {
 
 /// Shared serve-path audit: warms the service, then measures the
 /// allocation delta of `steady` and bounds it per retired instruction.
-fn audit_serve(label: &str, steady: impl FnOnce(&EvalService<'_>, &[EvalRequest])) {
+fn audit_serve(label: &str, steady: impl FnOnce(&EvalService, &[EvalRequest])) {
     let machines = [MachineModel::ivy_bridge()];
     let program = kernel();
     let run_config = RunConfig::default();

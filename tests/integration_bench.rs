@@ -1,5 +1,5 @@
 //! End-to-end tests of the `bench_suite` harness binary: the smoke run
-//! must produce a parseable `BENCH_8.json` covering the whole scenario
+//! must produce a parseable report covering the whole scenario
 //! matrix, back-to-back runs must report identical determinism
 //! fingerprints, and `--compare` / `--compare-files` must hard-fail on
 //! a fingerprint mismatch while staying green against an honest
@@ -177,10 +177,10 @@ fn compare_files_mode_diffs_two_reports_without_running() {
 
 #[test]
 fn checked_in_report_matches_the_harness_schema() {
-    // BENCH_9.json at the repo root is the tracked baseline CI compares
+    // BENCH_10.json at the repo root is the tracked baseline CI compares
     // against; it must always parse and carry the full matrix.
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_9.json");
-    let text = std::fs::read_to_string(path).expect("BENCH_9.json is checked in at the repo root");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_10.json");
+    let text = std::fs::read_to_string(path).expect("BENCH_10.json is checked in at the repo root");
     let report = parse_report(&text).expect("checked-in report parses");
     assert_eq!(report.version, BENCH_VERSION);
     assert_eq!(report.mode, "full", "the tracked baseline is a full-mode run");

@@ -125,7 +125,7 @@ fn quotas_and_fairness_lift_the_cold_tenants_hit_rate_without_changing_bytes() {
             .cache_capacity(4)
             .cache_quotas(quotas)
     };
-    let serve = |service: &EvalService<'_>, options: &PipelineOptions| {
+    let serve = |service: &EvalService, options: &PipelineOptions| {
         let mut out = Vec::new();
         let stats = service
             .serve_pipelined(stream_wire.as_bytes(), &mut out, options)
@@ -148,7 +148,7 @@ fn quotas_and_fairness_lift_the_cold_tenants_hit_rate_without_changing_bytes() {
 
     // The acceptance criterion: the cold tenant's hit rate strictly
     // improves under quotas + fairness.
-    let cold_of = |service: &EvalService<'_>| {
+    let cold_of = |service: &EvalService| {
         service
             .stats()
             .tenants

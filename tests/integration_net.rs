@@ -66,7 +66,7 @@ fn connection_streams(machines: &[MachineModel], connections: usize) -> Vec<Vec<
 /// shuts down gracefully, and returns each client's result plus the
 /// server's stats.
 fn serve_loopback<R: Send>(
-    service: &EvalService<'_>,
+    service: &EvalService,
     options: NetOptions,
     clients: impl Fn(std::net::SocketAddr, usize) -> R + Sync,
     connections: usize,
@@ -439,4 +439,86 @@ fn record_latency_stamps_networked_responses() {
     assert_eq!(stats.timed_requests, 2);
     assert!(stats.latency_p99_us >= stats.latency_p50_us);
     assert!(stats.latency_p50_us > 0);
+}
+
+/// The data-catalog path end to end: a directory of `.ctasm` + manifest
+/// pairs rides in on [`NetOptions::workload_dir`], is compiled by
+/// [`EvalServer::configure_service`] into a served tenant catalog named
+/// after the directory, and answers TCP requests byte-identically to an
+/// offline service built the same way — while the default catalog keeps
+/// serving untouched.
+#[test]
+fn workload_dir_option_serves_a_directory_as_a_tenant_catalog() {
+    let dir = std::env::temp_dir().join(format!("ct_net_wdir_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(
+        dir.join("00_spin.json"),
+        "{\"name\": \"spin\", \"class\": \"kernel\", \"source\": \"00_spin.ctasm\", \"scaled\": { \"N\": { \"base\": 9000, \"min\": 10 } } }\n",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("00_spin.ctasm"),
+        ".const N = 9000\n.func main\n    movi r1, N\ntop:\n    addi r2, r2, 1\n    subi r1, r1, 1\n    brnz r1, top\n    halt\n.endfunc\n",
+    )
+    .unwrap();
+    let tenant = dir.file_name().unwrap().to_str().unwrap().to_string();
+
+    let program = kernel(8_000);
+    let run_config = RunConfig::default();
+    let workloads = [WorkloadSpec { name: "k", program: &program, run_config: &run_config }];
+    let machines = [MachineModel::ivy_bridge()];
+    let base = || {
+        EvalService::new(&machines, &workloads)
+            .method_options(MethodOptions::fast())
+            .threads(2)
+    };
+    // One default-catalog request plus two tenant requests (the tenant's
+    // machines come from the paper catalog, not the default's).
+    let requests = vec![
+        EvalRequest::new("Ivy Bridge (Xeon E3-1265L)", "k", "classic", 1, 1),
+        EvalRequest::new("Ivy Bridge (Xeon E3-1265L)", "spin", "classic", 1, 2)
+            .in_catalog(&tenant),
+        EvalRequest::new("Westmere (Xeon X5650)", "spin", "lbr", 1, 3).in_catalog(&tenant),
+    ];
+
+    let options = NetOptions::new().workload_dir(&dir).workload_scale(0.5);
+    let server = EvalServer::listen("127.0.0.1:0", options).expect("loopback bind");
+    let served = server.configure_service(base()).expect("well-formed catalog dir");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let (output, stats) = std::thread::scope(|scope| {
+        let serving = scope.spawn(|| server.serve(&served));
+        let output = exchange(addr, &wire(&requests)).expect("loopback exchange");
+        handle.shutdown();
+        (output, serving.join().expect("server thread").expect("accept loop"))
+    });
+    assert_eq!(stats.responses, 3);
+    assert_eq!(stats.io_errors, 0);
+
+    // Offline reference: the same base service with the same directory
+    // registered through the library API.
+    let offline = base().workload_dir(&dir, 0.5).unwrap();
+    let mut expected = Vec::new();
+    offline
+        .serve_pipelined(wire(&requests).as_bytes(), &mut expected, &PipelineOptions::default())
+        .unwrap();
+    assert_eq!(output.as_bytes(), expected.as_slice());
+    // And every response is a real evaluation, not an error object.
+    for line in output.lines() {
+        let response: EvalResponse = serde_json::from_str(line).unwrap();
+        assert!(response.error.is_none(), "{line}");
+    }
+
+    // A malformed directory is rejected at configure time, typed, before
+    // any accept: the serve loop never sees it.
+    std::fs::write(dir.join("01_bad.json"), "{ not json").unwrap();
+    let bad = EvalServer::listen("127.0.0.1:0", NetOptions::new().workload_dir(&dir))
+        .expect("loopback bind");
+    let err = match bad.configure_service(base()) {
+        Err(e) => e,
+        Ok(_) => panic!("malformed manifest must be rejected"),
+    };
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    let _ = std::fs::remove_dir_all(&dir);
 }

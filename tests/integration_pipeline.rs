@@ -35,7 +35,7 @@ fn service<'a>(
     machines: &'a [MachineModel],
     workloads: &'a [WorkloadSpec<'a>],
     threads: usize,
-) -> EvalService<'a> {
+) -> EvalService {
     EvalService::new(machines, workloads)
         .method_options(MethodOptions::fast())
         .threads(threads)

@@ -66,7 +66,7 @@ fn streams_for(machines: &[MachineModel], count: usize) -> Vec<Vec<EvalRequest>>
 /// Runs `body` against a freshly bound loopback server and returns its
 /// result after a graceful shutdown.
 fn with_server<R>(
-    service: &EvalService<'_>,
+    service: &EvalService,
     options: NetOptions,
     body: impl FnOnce(std::net::SocketAddr) -> R,
 ) -> R {
