@@ -30,6 +30,11 @@
 //! errors — the 1-based column of the offending token, so a catalog
 //! loader can point at the exact spot in a tenant-supplied file.
 //!
+//! The data segment is hard-bounded at [`MAX_DATA_WORDS`]: `.data`
+//! sizes and `.init` indices past the bound (notably huge `.init
+//! LO..HI` range fills) are rejected before any memory is laid out, so
+//! assembling a hostile file never allocates unboundedly.
+//!
 //! [`assemble_with`] additionally takes **constant overrides**: the
 //! loader's hook for scaling a checked-in program (`.const ITERS =
 //! 1900000` in the file, `ITERS = 19000` at load time) without editing
@@ -42,6 +47,18 @@ use crate::insn::{Addr, Cond, Insn, Opcode};
 use crate::program::{Function, Program, SymbolTable};
 use crate::reg::{FReg, Reg};
 use std::collections::{HashMap, HashSet};
+
+/// Hard upper bound on the data segment the assembler will lay out: no
+/// `.data` size and no `.init` index (including every index implied by
+/// a `.init LO..HI` range fill) may reach past this many words.
+///
+/// This is a structural bound of the front-end, enforced *before* any
+/// fill loop runs, so a hostile source line like
+/// `.init 0..0x4000000000000000, 1` is a typed
+/// [`IsaError::DataTooLarge`] instead of an unbounded allocation.
+/// Catalog loaders layer their own tighter, configurable caps on top
+/// after assembly (see `workloads::loader::LoaderLimits`).
+pub const MAX_DATA_WORDS: usize = 1 << 24;
 
 /// Assembles `source` into a validated [`Program`] named `name`.
 pub fn assemble(name: &str, source: &str) -> Result<Program, IsaError> {
@@ -221,78 +238,8 @@ impl<'o> Assembler<'o> {
     }
 
     fn line(&mut self, text: &str, ctx: Ctx<'_>) -> Result<(), IsaError> {
-        if let Some(rest) = text.strip_prefix(".const") {
-            let (cname, expr) = rest
-                .split_once('=')
-                .ok_or_else(|| ctx.err(rest, ".const takes `NAME = expression`"))?;
-            let cname = cname.trim();
-            if !is_const_name(cname) {
-                return Err(ctx.err(
-                    cname,
-                    format!("bad constant name `{cname}` (want [A-Za-z_][A-Za-z0-9_]*)"),
-                ));
-            }
-            if self.consts.contains_key(cname) {
-                return Err(IsaError::DuplicateConst {
-                    line: ctx.line,
-                    name: cname.to_string(),
-                });
-            }
-            // The declared expression is always parsed (so a broken
-            // default cannot hide behind an override), then the
-            // override value wins.
-            let declared = self.eval(expr, ctx)?;
-            let value = match self.overrides.iter().find(|(n, _)| *n == cname) {
-                Some((_, v)) => {
-                    self.overridden.insert(cname.to_string());
-                    *v
-                }
-                None => declared,
-            };
-            self.consts.insert(cname.to_string(), value);
-            return Ok(());
-        }
-        if let Some(rest) = text.strip_prefix(".data") {
-            self.data_words = self.eval_index(rest, ctx, ".data size")?;
-            return Ok(());
-        }
-        if let Some(rest) = text.strip_prefix(".init") {
-            return self.init_directive(rest, ctx);
-        }
-        if let Some(rest) = text.strip_prefix(".func") {
-            if let Some((open, _, line)) = &self.open_func {
-                return Err(ctx.err(
-                    text,
-                    format!("nested .func (function `{open}` opened on line {line} is still open)"),
-                ));
-            }
-            let fname = rest.trim();
-            if fname.is_empty() {
-                return Err(ctx.err(text, ".func needs a name"));
-            }
-            self.open_func = Some((fname.to_string(), self.insns.len() as Addr, ctx.line));
-            return Ok(());
-        }
-        if text == ".endfunc" {
-            let (fname, entry, _) = self
-                .open_func
-                .take()
-                .ok_or_else(|| ctx.err(text, ".endfunc without .func"))?;
-            self.funcs.push(Function {
-                name: fname,
-                entry,
-                end: self.insns.len() as Addr,
-            });
-            return Ok(());
-        }
-        if let Some(dir) = text.strip_prefix('.') {
-            // Any other dotted line is a mistyped directive; saying so
-            // beats the "unknown mnemonic `.blah`" it used to become.
-            let dir_name: String = dir.chars().take_while(|c| !c.is_whitespace()).collect();
-            return Err(ctx.err(
-                text,
-                format!("unknown directive `.{dir_name}` (expected .const/.data/.init/.func/.endfunc)"),
-            ));
+        if text.starts_with('.') {
+            return self.directive(text, ctx);
         }
         if let Some(label) = text.strip_suffix(':') {
             let label = label.trim();
@@ -309,6 +256,90 @@ impl<'o> Assembler<'o> {
         let insn = self.instruction(text, ctx)?;
         self.insns.push(insn);
         Ok(())
+    }
+
+    /// Dispatches a dotted directive line. The directive keyword is the
+    /// whole first token, matched exactly — `.database 8` is an unknown
+    /// directive, not `.data` with operand `base 8`.
+    fn directive(&mut self, text: &str, ctx: Ctx<'_>) -> Result<(), IsaError> {
+        let (dir, rest) = match text.split_once(char::is_whitespace) {
+            Some((d, r)) => (d, r.trim()),
+            None => (text, ""),
+        };
+        match dir {
+            ".const" => {
+                let (cname, expr) = rest
+                    .split_once('=')
+                    .ok_or_else(|| ctx.err(rest, ".const takes `NAME = expression`"))?;
+                let cname = cname.trim();
+                if !is_const_name(cname) {
+                    return Err(ctx.err(
+                        cname,
+                        format!("bad constant name `{cname}` (want [A-Za-z_][A-Za-z0-9_]*)"),
+                    ));
+                }
+                if self.consts.contains_key(cname) {
+                    return Err(IsaError::DuplicateConst {
+                        line: ctx.line,
+                        name: cname.to_string(),
+                    });
+                }
+                // The declared expression is always parsed (so a broken
+                // default cannot hide behind an override), then the
+                // override value wins.
+                let declared = self.eval(expr, ctx)?;
+                let value = match self.overrides.iter().find(|(n, _)| *n == cname) {
+                    Some((_, v)) => {
+                        self.overridden.insert(cname.to_string());
+                        *v
+                    }
+                    None => declared,
+                };
+                self.consts.insert(cname.to_string(), value);
+                Ok(())
+            }
+            ".data" => {
+                let words = self.eval_index(rest, ctx, ".data size")?;
+                self.check_data_bound(words, ctx.line)?;
+                self.data_words = words;
+                Ok(())
+            }
+            ".init" => self.init_directive(rest, ctx),
+            ".func" => {
+                if let Some((open, _, line)) = &self.open_func {
+                    return Err(ctx.err(
+                        text,
+                        format!(
+                            "nested .func (function `{open}` opened on line {line} is still open)"
+                        ),
+                    ));
+                }
+                if rest.is_empty() {
+                    return Err(ctx.err(text, ".func needs a name"));
+                }
+                self.open_func = Some((rest.to_string(), self.insns.len() as Addr, ctx.line));
+                Ok(())
+            }
+            ".endfunc" => {
+                if !rest.is_empty() {
+                    return Err(ctx.err(rest, ".endfunc takes no operands"));
+                }
+                let (fname, entry, _) = self
+                    .open_func
+                    .take()
+                    .ok_or_else(|| ctx.err(text, ".endfunc without .func"))?;
+                self.funcs.push(Function {
+                    name: fname,
+                    entry,
+                    end: self.insns.len() as Addr,
+                });
+                Ok(())
+            }
+            other => Err(ctx.err(
+                text,
+                format!("unknown directive `{other}` (expected .const/.data/.init/.func/.endfunc)"),
+            )),
+        }
     }
 
     /// The `.init` directive in its three forms:
@@ -339,25 +370,42 @@ impl<'o> Assembler<'o> {
                     format!(".init range {lo}..{hi} is reversed"),
                 ));
             }
+            // Bound the range BEFORE the fill loop: a huge `hi` must be
+            // a diagnostic, not 2^60 pushes.
+            self.check_data_bound(hi, ctx.line)?;
             let value = self.eval(parts[1], ctx)?;
             for idx in lo..hi {
-                self.push_init(idx, value);
+                self.push_init(idx, value, ctx)?;
             }
             return Ok(());
         }
         let start = self.eval_index(parts[0], ctx, ".init index")?;
         for (k, part) in parts[1..].iter().enumerate() {
             let value = self.eval(part, ctx)?;
-            self.push_init(start + k, value);
+            self.push_init(start.saturating_add(k), value, ctx)?;
         }
         Ok(())
     }
 
-    fn push_init(&mut self, idx: usize, value: i64) {
+    /// Errors when a data index/size reaches past [`MAX_DATA_WORDS`].
+    fn check_data_bound(&self, words: usize, line: usize) -> Result<(), IsaError> {
+        if words > MAX_DATA_WORDS {
+            return Err(IsaError::DataTooLarge {
+                line,
+                words,
+                limit: MAX_DATA_WORDS,
+            });
+        }
+        Ok(())
+    }
+
+    fn push_init(&mut self, idx: usize, value: i64, ctx: Ctx<'_>) -> Result<(), IsaError> {
+        self.check_data_bound(idx.saturating_add(1), ctx.line)?;
         self.init_data.push((idx, value));
         if idx >= self.data_words {
             self.data_words = idx + 1;
         }
+        Ok(())
     }
 
     fn instruction(&mut self, text: &str, ctx: Ctx<'_>) -> Result<Insn, IsaError> {
@@ -977,6 +1025,38 @@ mod tests {
     }
 
     #[test]
+    fn huge_init_range_is_rejected_without_allocating() {
+        // 2^62 words: must be a typed error, not 2^62 pushes / an OOM.
+        let e = assemble(
+            "t",
+            ".init 0..0x4000000000000000, 1\n.func main\n halt\n.endfunc\n",
+        )
+        .unwrap_err();
+        assert_eq!(
+            e,
+            IsaError::DataTooLarge {
+                line: 1,
+                words: 1 << 62,
+                limit: MAX_DATA_WORDS
+            }
+        );
+    }
+
+    #[test]
+    fn huge_init_index_and_data_size_are_rejected() {
+        let e = assemble(
+            "t",
+            ".init 0x3fffffffffffffff, 1\n.func main\n halt\n.endfunc\n",
+        )
+        .unwrap_err();
+        assert!(matches!(e, IsaError::DataTooLarge { line: 1, .. }), "{e}");
+        let e = assemble("t", ".data 0x100000000\n.func main\n halt\n.endfunc\n").unwrap_err();
+        assert!(matches!(e, IsaError::DataTooLarge { line: 1, .. }), "{e}");
+        // The bound itself is fine for `.data` (no per-word allocation).
+        assemble("t", ".data 0x1000000\n.func main\n halt\n.endfunc\n").unwrap();
+    }
+
+    #[test]
     fn init_range_with_const_bounds() {
         let p = assemble(
             "t",
@@ -1103,6 +1183,30 @@ mod tests {
         let (line, _, detail) = parse_err(".dtaa 8\n.func main\n halt\n.endfunc\n");
         assert_eq!(line, 1);
         assert!(detail.contains("unknown directive"));
+    }
+
+    #[test]
+    fn mistyped_directive_extensions_are_unknown_directives() {
+        // Each extends a real directive keyword; bare strip_prefix used
+        // to misparse these (`.constN = 5` defined const `N`, …).
+        for src in [
+            ".constN = 5\n.func main\n halt\n.endfunc\n",
+            ".database 8\n.func main\n halt\n.endfunc\n",
+            ".funcmain\n halt\n.endfunc\n",
+            ".initial 1, 2\n.func main\n halt\n.endfunc\n",
+            ".endfunction\n",
+        ] {
+            let (line, _, detail) = parse_err(src);
+            assert_eq!(line, 1, "{src}");
+            assert!(detail.contains("unknown directive"), "{src}: {detail}");
+        }
+    }
+
+    #[test]
+    fn endfunc_with_operands_is_rejected() {
+        let (line, _, detail) = parse_err(".func main\n halt\n.endfunc main\n");
+        assert_eq!(line, 3);
+        assert!(detail.contains("takes no operands"));
     }
 
     #[test]

@@ -39,6 +39,16 @@ pub enum IsaError {
     /// for a constant the source never defines — a manifest/source
     /// mismatch.
     UnknownOverride { name: String },
+    /// Assembler: a `.data` size or `.init` index would grow the data
+    /// segment past the assembler's hard bound
+    /// ([`crate::asm::MAX_DATA_WORDS`]). Checked before any fill loop
+    /// runs, so a hostile source cannot make assembly itself allocate
+    /// unbounded memory.
+    DataTooLarge {
+        line: usize,
+        words: usize,
+        limit: usize,
+    },
     /// Builder: a label was bound more than once.
     LabelRebound { label: u32 },
     /// Builder: an emitted reference was never bound.
@@ -92,6 +102,12 @@ impl fmt::Display for IsaError {
             }
             IsaError::UnknownOverride { name } => {
                 write!(f, "override names no `.const` in source: `{name}`")
+            }
+            IsaError::DataTooLarge { line, words, limit } => {
+                write!(
+                    f,
+                    "line {line}: data segment of {words} words exceeds assembler cap {limit}"
+                )
             }
             IsaError::LabelRebound { label } => write!(f, "builder label {label} bound twice"),
             IsaError::UnboundLabel { label } => {

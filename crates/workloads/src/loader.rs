@@ -311,6 +311,13 @@ pub fn load_pair(
     limits: &LoaderLimits,
 ) -> Result<Workload, LoaderError> {
     let m = parse_manifest(path, manifest_text, limits)?;
+    compile(path, m, source_text, scale)
+}
+
+/// Assembles and limit-checks an already-parsed manifest against its
+/// source — the single back half shared by [`load_pair`] and
+/// [`load_dir`], so each manifest is parsed exactly once.
+fn compile(path: &Path, m: Manifest, source_text: &str, scale: f64) -> Result<Workload, LoaderError> {
     let overrides: Vec<(String, i64)> = m
         .scaled
         .iter()
@@ -389,7 +396,7 @@ pub fn load_dir(
             path: spath.clone(),
             detail: e.to_string(),
         })?;
-        let w = load_pair(&mpath, &manifest_text, &source_text, scale, limits)?;
+        let w = compile(&mpath, m, &source_text, scale)?;
         if !seen.insert(w.name.clone()) {
             return Err(LoaderError::DuplicateWorkload { name: w.name });
         }

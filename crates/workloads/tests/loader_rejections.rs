@@ -127,6 +127,23 @@ fn step_limit_overflow_is_rejected() {
 }
 
 #[test]
+fn huge_init_range_is_rejected_at_assembly_not_oom() {
+    // A hostile range fill must die inside the assembler as a typed
+    // error, before it can allocate 2^62 init entries — the loader's
+    // post-assembly data cap would be far too late.
+    let bad_src = ".const N = 1000\n.init 0..0x4000000000000000, 1\n.func main\n halt\n.endfunc\n";
+    match load(&manifest(""), bad_src).unwrap_err() {
+        LoaderError::Assemble { error, .. } => {
+            assert!(
+                matches!(error, IsaError::DataTooLarge { line: 2, .. }),
+                "expected DataTooLarge, got {error:?}"
+            );
+        }
+        other => panic!("expected Assemble(DataTooLarge), got {other}"),
+    }
+}
+
+#[test]
 fn manifest_source_mismatch_is_typed() {
     // The manifest scales a constant the source never defines.
     let m = "{\n  \"name\": \"demo\",\n  \"class\": \"kernel\",\n  \"source\": \"demo.ctasm\",\n  \"scaled\": { \"MISSING\": { \"base\": 7 } }\n}\n";
